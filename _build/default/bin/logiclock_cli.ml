@@ -1,0 +1,314 @@
+(* Command-line frontend: generate benchmarks, lock designs, run attacks
+   and check equivalence on .bench netlists. *)
+
+module LL = Logiclock
+module Circuit = LL.Netlist.Circuit
+module Bench_io = LL.Netlist.Bench_io
+module Bitvec = LL.Util.Bitvec
+open Cmdliner
+
+(* --- shared helpers --- *)
+
+(* A design argument is either a bench-suite name (c17..c7552) or a .bench
+   file path. *)
+let load_design spec =
+  if Sys.file_exists spec then Bench_io.parse_file spec
+  else
+    try LL.Bench_suite.Iscas.get spec
+    with Not_found ->
+      Printf.eprintf "error: %s is neither a file nor a known benchmark\n" spec;
+      exit 2
+
+let design_arg ~doc position =
+  Arg.(required & pos position (some string) None & info [] ~docv:"DESIGN" ~doc)
+
+let output_arg =
+  Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE"
+         ~doc:"Write the resulting netlist to $(docv) (default: stdout).")
+
+let seed_arg =
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc:"PRNG seed.")
+
+let emit output c =
+  match output with
+  | None -> print_string (Bench_io.to_string c)
+  | Some path ->
+      Bench_io.write_file path c;
+      Printf.printf "wrote %s (%d gates)\n" path (Circuit.gate_count c)
+
+(* --- gen --- *)
+
+let gen_cmd =
+  let run name output =
+    emit output (load_design name);
+    0
+  in
+  let bench_name = design_arg ~doc:"Benchmark name (c17, c432, ..., c7552)." 0 in
+  Cmd.v
+    (Cmd.info "gen" ~doc:"Emit a benchmark-suite circuit as a .bench netlist.")
+    Term.(const run $ bench_name $ output_arg)
+
+(* --- verilog --- *)
+
+let verilog_cmd =
+  let run spec output =
+    let c = load_design spec in
+    (match output with
+    | None -> print_string (LL.Netlist.Verilog_out.to_string c)
+    | Some path ->
+        LL.Netlist.Verilog_out.write_file path c;
+        Printf.printf "wrote %s\n" path);
+    0
+  in
+  Cmd.v
+    (Cmd.info "verilog" ~doc:"Export a netlist as structural Verilog.")
+    Term.(const run $ design_arg ~doc:"Netlist file or benchmark name." 0 $ output_arg)
+
+(* --- testbench --- *)
+
+let testbench_cmd =
+  let run spec key vectors seed output =
+    let c = load_design spec in
+    let key = Option.map Bitvec.of_string key in
+    let text = LL.Netlist.Testbench.generate ~vectors ~seed ?key c in
+    (match output with
+    | None -> print_string text
+    | Some path ->
+        let oc = open_out path in
+        output_string oc text;
+        close_out oc;
+        Printf.printf "wrote %s\n" path);
+    0
+  in
+  let key =
+    Arg.(value & opt (some string) None & info [ "key" ] ~docv:"BITS"
+           ~doc:"Key driven on the key ports (required for locked designs).")
+  in
+  let vectors =
+    Arg.(value & opt int 32 & info [ "vectors" ] ~docv:"N" ~doc:"Stimulus vectors.")
+  in
+  Cmd.v
+    (Cmd.info "testbench"
+       ~doc:"Emit a self-checking Verilog testbench for a design (see also 'verilog').")
+    Term.(const run $ design_arg ~doc:"Netlist file or benchmark name." 0 $ key $ vectors
+          $ seed_arg $ output_arg)
+
+(* --- stats --- *)
+
+let stats_cmd =
+  let run spec =
+    let c = load_design spec in
+    Format.printf "%a@." Circuit.pp_stats c;
+    List.iter (fun (g, n) -> Format.printf "  %-5s %d@." g n) (Circuit.gate_histogram c);
+    0
+  in
+  Cmd.v
+    (Cmd.info "stats" ~doc:"Print size statistics of a netlist.")
+    Term.(const run $ design_arg ~doc:"Netlist file or benchmark name." 0)
+
+(* --- lock --- *)
+
+let lock_cmd =
+  let run spec scheme keys width m a output seed =
+    let c = load_design spec in
+    let prng = LL.Util.Prng.create seed in
+    let locked =
+      match scheme with
+      | "xor" -> LL.Locking.Xor_lock.lock ~prng ~num_keys:keys c
+      | "sll" -> LL.Locking.Sll.lock ~prng ~num_keys:keys c
+      | "sarlock" -> LL.Locking.Sarlock.lock ~prng ~key_size:keys c
+      | "mixed-sarlock" -> LL.Locking.Mixed_sarlock.lock ~prng ~key_size:keys c
+      | "antisat" -> LL.Locking.Antisat.lock ~prng ~width c
+      | "lut" -> LL.Locking.Lut_lock.lock ~prng ~stage1_luts:m ~stage1_inputs:a c
+      | other ->
+          Printf.eprintf
+            "error: unknown scheme %s (xor|sll|sarlock|mixed-sarlock|antisat|lut)\n" other;
+          exit 2
+    in
+    Printf.eprintf "scheme      : %s\n" locked.LL.Locking.Locked.scheme;
+    Printf.eprintf "correct key : %s\n" (Bitvec.to_string locked.correct_key);
+    emit output locked.circuit;
+    0
+  in
+  let scheme =
+    Arg.(value & opt string "xor" & info [ "scheme" ] ~docv:"NAME"
+           ~doc:"Locking scheme: xor, sll, sarlock, mixed-sarlock, antisat or lut.")
+  in
+  let keys =
+    Arg.(value & opt int 16 & info [ "keys" ] ~docv:"N"
+           ~doc:"Key bits (xor) or key size (sarlock).")
+  in
+  let width =
+    Arg.(value & opt int 8 & info [ "width" ] ~docv:"N" ~doc:"Anti-SAT block width.")
+  in
+  let m =
+    Arg.(value & opt int 3 & info [ "stage1-luts" ] ~docv:"N" ~doc:"LUT scheme: stage-1 LUTs.")
+  in
+  let a =
+    Arg.(value & opt int 3 & info [ "stage1-inputs" ] ~docv:"N"
+           ~doc:"LUT scheme: inputs per stage-1 LUT.")
+  in
+  Cmd.v
+    (Cmd.info "lock" ~doc:"Lock a design; the correct key is printed on stderr.")
+    Term.(const run $ design_arg ~doc:"Netlist file or benchmark name." 0 $ scheme $ keys
+          $ width $ m $ a $ output_arg $ seed_arg)
+
+(* --- sim --- *)
+
+let sim_cmd =
+  let run spec inputs key =
+    let c = load_design spec in
+    let iv = Bitvec.of_string inputs in
+    let kv = match key with None -> Bitvec.create 0 | Some k -> Bitvec.of_string k in
+    let out = LL.Netlist.Eval.eval_bv c ~inputs:iv ~keys:kv in
+    Printf.printf "%s\n" (Bitvec.to_string out);
+    0
+  in
+  let inputs =
+    Arg.(required & opt (some string) None & info [ "inputs" ] ~docv:"BITS"
+           ~doc:"Input pattern, bit 0 first.")
+  in
+  let key =
+    Arg.(value & opt (some string) None & info [ "key" ] ~docv:"BITS" ~doc:"Key pattern.")
+  in
+  Cmd.v
+    (Cmd.info "sim" ~doc:"Evaluate a netlist on one pattern.")
+    Term.(const run $ design_arg ~doc:"Netlist file or benchmark name." 0 $ inputs $ key)
+
+(* --- ec --- *)
+
+let ec_cmd =
+  let run spec_a spec_b key =
+    let a = load_design spec_a in
+    let a =
+      match key with
+      | None -> a
+      | Some k -> LL.Netlist.Instantiate.bind_keys a (Bitvec.of_string k)
+    in
+    let b = load_design spec_b in
+    match LL.Attack.Equiv.check a b with
+    | LL.Attack.Equiv.Equivalent ->
+        Printf.printf "EQUIVALENT\n";
+        0
+    | LL.Attack.Equiv.Counterexample cex ->
+        Printf.printf "DIFFERENT on input %s\n"
+          (Bitvec.to_string (Bitvec.of_bool_array cex));
+        1
+  in
+  let key =
+    Arg.(value & opt (some string) None & info [ "key" ] ~docv:"BITS"
+           ~doc:"Bind this key to the first design's key ports before checking.")
+  in
+  Cmd.v
+    (Cmd.info "ec" ~doc:"SAT-based combinational equivalence check of two designs.")
+    Term.(const run $ design_arg ~doc:"First design." 0
+          $ design_arg ~doc:"Second design." 1 $ key)
+
+(* --- fanout --- *)
+
+let fanout_cmd =
+  let run spec n =
+    let c = load_design spec in
+    let scores = LL.Attack.Fanout.scores c in
+    let rank = LL.Attack.Fanout.rank c in
+    Printf.printf "input ranking by key-controlled fan-out (top %d):\n" n;
+    Array.iteri
+      (fun i pos ->
+        if i < n then
+          Printf.printf "  %2d. input %-12s (position %d): %d key-controlled gates\n"
+            (i + 1)
+            (Circuit.node_name c c.Circuit.inputs.(pos))
+            pos scores.(pos))
+      rank;
+    0
+  in
+  let n = Arg.(value & opt int 10 & info [ "top" ] ~docv:"N" ~doc:"Entries to print.") in
+  Cmd.v
+    (Cmd.info "fanout" ~doc:"Rank primary inputs for split-input selection (paper Sec. 4).")
+    Term.(const run $ design_arg ~doc:"Locked netlist file." 0 $ n)
+
+(* --- attack --- *)
+
+let attack_cmd =
+  let run locked_spec oracle_spec n parallel max_iters =
+    let locked = load_design locked_spec in
+    let original = load_design oracle_spec in
+    let oracle = LL.Attack.Oracle.of_circuit original in
+    let config =
+      { LL.Attack.Sat_attack.default_config with max_iterations = max_iters }
+    in
+    if n = 0 then begin
+      let r = LL.Attack.Sat_attack.run ~config locked ~oracle in
+      Printf.printf "status : %s\n"
+        (match r.LL.Attack.Sat_attack.status with
+        | LL.Attack.Sat_attack.Broken -> "broken"
+        | LL.Attack.Sat_attack.Iteration_limit -> "iteration limit"
+        | LL.Attack.Sat_attack.Time_limit -> "time limit");
+      Printf.printf "#DIP   : %d\n" r.num_dips;
+      Printf.printf "time   : %.3f s (%.3f s solving)\n" r.total_time r.solve_time;
+      (match r.key with
+      | Some k -> (
+          Printf.printf "key    : %s\n" (Bitvec.to_string k);
+          match
+            LL.Attack.Equiv.check original (LL.Netlist.Instantiate.bind_keys locked k)
+          with
+          | LL.Attack.Equiv.Equivalent -> Printf.printf "verify : functionally correct\n"
+          | LL.Attack.Equiv.Counterexample _ -> Printf.printf "verify : WRONG key\n")
+      | None -> Printf.printf "key    : none\n");
+      0
+    end
+    else begin
+      let runner = if parallel then LL.Attack.Split_attack.run_parallel ?num_domains:None
+                   else LL.Attack.Split_attack.run in
+      let s = runner ~config ~n locked ~oracle in
+      Array.iteri
+        (fun i t ->
+          Printf.printf "task %2d: %3d DIPs, %4d gates, %.3f s\n" i
+            t.LL.Attack.Split_attack.result.LL.Attack.Sat_attack.num_dips t.sub_gates
+            t.task_time)
+        s.tasks;
+      Printf.printf "task time: min %.3f mean %.3f max %.3f (wall %.3f)\n"
+        (LL.Attack.Split_attack.min_task_time s)
+        (LL.Attack.Split_attack.mean_task_time s)
+        (LL.Attack.Split_attack.max_task_time s)
+        s.wall_time;
+      match LL.Attack.Compose.of_attack locked s with
+      | None ->
+          Printf.printf "result : some task failed\n";
+          1
+      | Some composed -> (
+          match LL.Attack.Equiv.check original composed with
+          | LL.Attack.Equiv.Equivalent ->
+              Printf.printf "result : multi-key composition EQUIVALENT — design broken\n";
+              0
+          | LL.Attack.Equiv.Counterexample _ ->
+              Printf.printf "result : composition mismatch\n";
+              1)
+    end
+  in
+  let n =
+    Arg.(value & opt int 0 & info [ "n"; "split" ] ~docv:"N"
+           ~doc:"Splitting effort: 0 = classic SAT attack, N>0 = 2^N sub-tasks.")
+  in
+  let parallel =
+    Arg.(value & flag & info [ "parallel" ] ~doc:"Run sub-tasks on multiple domains.")
+  in
+  let max_iters =
+    Arg.(value & opt (some int) None & info [ "max-iterations" ] ~docv:"N"
+           ~doc:"DIP budget per (sub-)attack.")
+  in
+  Cmd.v
+    (Cmd.info "attack"
+       ~doc:"Run the SAT attack (or the multi-key split attack with --n) on a locked design.")
+    Term.(const run $ design_arg ~doc:"Locked netlist." 0
+          $ design_arg ~doc:"Original design used to simulate the oracle." 1
+          $ n $ parallel $ max_iters)
+
+let () =
+  let doc = "logic locking framework: lock, attack, verify" in
+  let info = Cmd.info "logiclock" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [ gen_cmd; verilog_cmd; testbench_cmd; stats_cmd; lock_cmd; sim_cmd; ec_cmd;
+            fanout_cmd; attack_cmd ]))

@@ -1,0 +1,1 @@
+examples/defense.ml: Array Format Logiclock

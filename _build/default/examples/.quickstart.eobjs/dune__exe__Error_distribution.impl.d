@@ -1,0 +1,1 @@
+examples/error_distribution.ml: Format List Logiclock String

@@ -1,0 +1,1 @@
+examples/exact_analysis.ml: Format List Logiclock

@@ -1,0 +1,1 @@
+examples/lut_attack.ml: Array Format List Logiclock String

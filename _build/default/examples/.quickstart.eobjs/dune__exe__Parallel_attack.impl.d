@@ -1,0 +1,1 @@
+examples/parallel_attack.ml: Array Domain Format List Logiclock

@@ -1,0 +1,46 @@
+(* The paper's future-work direction: defenses against the multi-key
+   attack.  Classic SARLock compares the key with individual inputs, so
+   cofactoring (pinning split inputs) collapses the comparator and each
+   sub-attack gets exponentially easier.  Input-mixing SARLock
+   (LL.Locking.Mixed_sarlock) compares against wide parity mixes of the
+   inputs with private anchors, so every cofactor still contains the full
+   wrong-key population — the split attack stops paying off.
+
+   Run with: dune exec examples/defense.exe *)
+
+module LL = Logiclock
+module Sat_attack = LL.Attack.Sat_attack
+module Split_attack = LL.Attack.Split_attack
+
+let max_dips attack =
+  Array.fold_left
+    (fun acc t -> max acc t.Split_attack.result.Sat_attack.num_dips)
+    0 attack.Split_attack.tasks
+
+let () =
+  let original = LL.Bench_suite.Iscas.get "c432" in
+  let oracle = LL.Attack.Oracle.of_circuit original in
+  let key_size = 8 in
+  let classic =
+    LL.Locking.Sarlock.lock ~prng:(LL.Util.Prng.create 1) ~key_size original
+  in
+  let mixed =
+    LL.Locking.Mixed_sarlock.lock ~prng:(LL.Util.Prng.create 1) ~key_size original
+  in
+  Format.printf "design: %a, key size %d@.@." LL.Netlist.Circuit.pp_stats original key_size;
+  Format.printf "%-22s %8s %8s %8s   (max per-task #DIP)@." "" "N=0" "N=2" "N=4";
+  let row label (locked : LL.Locking.Locked.t) =
+    let dips n =
+      if n = 0 then (Sat_attack.run locked.circuit ~oracle).Sat_attack.num_dips
+      else max_dips (Split_attack.run ~n locked.circuit ~oracle)
+    in
+    Format.printf "%-22s %8d %8d %8d@." label (dips 0) (dips 2) (dips 4)
+  in
+  row "classic SARLock" classic;
+  row "input-mixing SARLock" mixed;
+  Format.printf
+    "@.classic: #DIP halves per split bit (the paper's attack wins).@.";
+  Format.printf
+    "mixed:   #DIP stays ~2^K-1 per task — splitting mostly multiplies total work,@.";
+  Format.printf
+    "         restoring the one-key-style security level against this attack.@."

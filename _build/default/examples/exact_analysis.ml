@@ -1,0 +1,43 @@
+(* Exact symbolic analysis of locking schemes with the BDD engine:
+   how many keys are functionally correct, and exactly how much damage a
+   wrong key does.  These quantities explain the paper's observation that
+   sub-functions admit many unlocking keys.
+
+   Run with: dune exec examples/exact_analysis.exe *)
+
+module LL = Logiclock
+module Bitvec = LL.Util.Bitvec
+module Exact = LL.Bdd.Exact
+
+let () =
+  let c = LL.Bench_suite.Generator.random_circuit ~seed:12 ~num_inputs:10 ~num_outputs:4 ~gates:60 () in
+  Format.printf "design: %a@.@." LL.Netlist.Circuit.pp_stats c;
+
+  let schemes =
+    [
+      ("xor(k=6)", LL.Locking.Xor_lock.lock ~prng:(LL.Util.Prng.create 1) ~num_keys:6 c);
+      ("sarlock(k=6)", LL.Locking.Sarlock.lock ~prng:(LL.Util.Prng.create 1) ~key_size:6 c);
+      ("antisat(m=3)", LL.Locking.Antisat.lock ~prng:(LL.Util.Prng.create 1) ~width:3 c);
+      ("lut(m=2,a=2)",
+       LL.Locking.Lut_lock.lock ~prng:(LL.Util.Prng.create 1) ~stage1_luts:2 ~stage1_inputs:2 c);
+    ]
+  in
+  Format.printf "%-14s %18s %22s@." "scheme" "correct keys" "wrong-key error rate";
+  List.iter
+    (fun (label, (locked : LL.Locking.Locked.t)) ->
+      let correct = Exact.correct_key_count ~original:c ~locked:locked.circuit in
+      let total = 2.0 ** float_of_int (LL.Locking.Locked.key_size locked) in
+      (* A canonical wrong key: flip the first bit of the correct key. *)
+      let wrong = Bitvec.mapi (fun i b -> if i = 0 then not b else b) locked.correct_key in
+      let rate = Exact.error_rate ~original:c ~locked:locked.circuit ~key:wrong in
+      Format.printf "%-14s %10.0f / %-7.0f %20.6f@." label correct total rate)
+    schemes;
+
+  Format.printf
+    "@.Reading: point-function schemes (sarlock) have one correct key and nearly@.";
+  Format.printf
+    "invisible wrong-key corruption; XOR locking corrupts heavily but falls to the@.";
+  Format.printf
+    "SAT attack in seconds; LUT insertion tolerates many correct keys.  The@.";
+  Format.printf
+    "multi-key split attack exploits exactly this key-population structure.@."

@@ -1,0 +1,1 @@
+lib/attack/analysis.ml: Array Format Int64 List Ll_netlist Ll_util

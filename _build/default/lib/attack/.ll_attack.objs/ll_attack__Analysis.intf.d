@@ -1,0 +1,1 @@
+lib/attack/analysis.mli: Format Ll_netlist Ll_util

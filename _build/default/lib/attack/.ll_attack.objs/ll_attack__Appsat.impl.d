@@ -1,0 +1,1 @@
+lib/attack/appsat.ml: Array List Ll_netlist Ll_sat Ll_synth Ll_util Miter Oracle

@@ -1,0 +1,1 @@
+lib/attack/appsat.mli: Ll_netlist Ll_util Oracle

@@ -1,0 +1,1 @@
+lib/attack/compose.ml: Array Ll_netlist Ll_synth Ll_util Split_attack

@@ -1,0 +1,1 @@
+lib/attack/compose.mli: Ll_netlist Ll_util Split_attack

@@ -1,0 +1,1 @@
+lib/attack/equiv.ml: Array Int64 Ll_netlist Ll_sat Ll_util

@@ -1,0 +1,1 @@
+lib/attack/equiv.mli: Ll_netlist

@@ -1,0 +1,1 @@
+lib/attack/fanout.ml: Array Ll_netlist Ll_util

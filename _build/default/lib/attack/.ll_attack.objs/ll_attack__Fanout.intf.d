@@ -1,0 +1,1 @@
+lib/attack/fanout.mli: Ll_netlist Ll_util

@@ -1,0 +1,1 @@
+lib/attack/miter.ml: Array Ll_netlist

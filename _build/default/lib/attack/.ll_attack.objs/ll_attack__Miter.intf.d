@@ -1,0 +1,1 @@
+lib/attack/miter.mli: Ll_netlist

@@ -1,0 +1,1 @@
+lib/attack/oracle.ml: Array Atomic List Ll_netlist

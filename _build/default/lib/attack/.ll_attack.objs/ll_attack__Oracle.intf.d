@@ -1,0 +1,1 @@
+lib/attack/oracle.mli: Ll_netlist

@@ -1,0 +1,1 @@
+lib/attack/random_guess.ml: Array Ll_netlist Ll_util Oracle

@@ -1,0 +1,1 @@
+lib/attack/random_guess.mli: Ll_netlist Ll_util Oracle

@@ -1,0 +1,1 @@
+lib/attack/sat_attack.mli: Ll_netlist Ll_util Oracle

@@ -1,0 +1,1 @@
+lib/attack/sensitization.ml: Array Ll_netlist Ll_sat Ll_util Oracle

@@ -1,0 +1,1 @@
+lib/attack/sensitization.mli: Ll_netlist Ll_util Oracle

@@ -1,0 +1,1 @@
+lib/attack/split_attack.ml: Array Domain Fanout List Ll_netlist Ll_synth Ll_util Option Oracle Sat_attack

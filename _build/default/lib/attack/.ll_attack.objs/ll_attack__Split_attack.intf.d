@@ -1,0 +1,1 @@
+lib/attack/split_attack.mli: Ll_netlist Ll_util Oracle Sat_attack

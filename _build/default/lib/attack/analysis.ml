@@ -1,0 +1,117 @@
+module Circuit = Ll_netlist.Circuit
+module Eval = Ll_netlist.Eval
+module Bitvec = Ll_util.Bitvec
+
+type matrix = { num_inputs : int; num_keys : int; errors : bool array array }
+
+let error_matrix ~original ~locked =
+  let n_in = Circuit.num_inputs locked and n_key = Circuit.num_keys locked in
+  if Circuit.num_inputs original <> n_in then
+    invalid_arg "Analysis.error_matrix: input count mismatch";
+  if Circuit.num_outputs original <> Circuit.num_outputs locked then
+    invalid_arg "Analysis.error_matrix: output count mismatch";
+  if n_in + n_key > 24 then invalid_arg "Analysis.error_matrix: space too large";
+  let reference =
+    Array.init (1 lsl n_in) (fun x ->
+        Eval.eval original ~inputs:(Bitvec.to_bool_array (Bitvec.of_int ~width:n_in x)) ~keys:[||])
+  in
+  let errors =
+    Array.init (1 lsl n_key) (fun k ->
+        let keys = Bitvec.to_bool_array (Bitvec.of_int ~width:n_key k) in
+        Array.init (1 lsl n_in) (fun x ->
+            let inputs = Bitvec.to_bool_array (Bitvec.of_int ~width:n_in x) in
+            Eval.eval locked ~inputs ~keys <> reference.(x)))
+  in
+  { num_inputs = n_in; num_keys = n_key; errors }
+
+let correct_keys m =
+  List.init (Array.length m.errors) (fun k -> k)
+  |> List.filter (fun k -> Array.for_all not m.errors.(k))
+
+let matches_condition ~condition x =
+  List.for_all (fun (pos, v) -> (x lsr pos) land 1 = (if v then 1 else 0)) condition
+
+let unlocking_keys m ~condition =
+  List.init (Array.length m.errors) (fun k -> k)
+  |> List.filter (fun k ->
+         let ok = ref true in
+         Array.iteri
+           (fun x err -> if err && matches_condition ~condition x then ok := false)
+           m.errors.(k);
+         !ok)
+
+let error_rate m ~key =
+  let row = m.errors.(key) in
+  let bad = Array.fold_left (fun acc e -> if e then acc + 1 else acc) 0 row in
+  float_of_int bad /. float_of_int (Array.length row)
+
+let sampled_error_rate ?(prng = Ll_util.Prng.create 0xE44) ?(samples = 4096) ~original
+    ~locked key =
+  if Circuit.num_inputs original <> Circuit.num_inputs locked then
+    invalid_arg "Analysis.sampled_error_rate: input count mismatch";
+  if Circuit.num_outputs original <> Circuit.num_outputs locked then
+    invalid_arg "Analysis.sampled_error_rate: output count mismatch";
+  if Bitvec.length key <> Circuit.num_keys locked then
+    invalid_arg "Analysis.sampled_error_rate: key length mismatch";
+  let n_in = Circuit.num_inputs original in
+  let key_lanes =
+    Array.init (Bitvec.length key) (fun i -> if Bitvec.get key i then -1L else 0L)
+  in
+  let rounds = max 1 ((samples + 63) / 64) in
+  let bad = ref 0 in
+  for _ = 1 to rounds do
+    let inputs = Array.init n_in (fun _ -> Ll_util.Prng.bits64 prng) in
+    let reference = Eval.eval_lanes original ~inputs ~keys:[||] in
+    let got = Eval.eval_lanes locked ~inputs ~keys:key_lanes in
+    let diff = ref 0L in
+    Array.iteri (fun o w -> diff := Int64.logor !diff (Int64.logxor w got.(o))) reference;
+    for lane = 0 to 63 do
+      if Int64.logand (Int64.shift_right_logical !diff lane) 1L = 1L then incr bad
+    done
+  done;
+  float_of_int !bad /. float_of_int (rounds * 64)
+
+let sampled_output_corruption ?(prng = Ll_util.Prng.create 0xACE) ?(samples = 4096)
+    ~original ~locked key =
+  if Circuit.num_inputs original <> Circuit.num_inputs locked then
+    invalid_arg "Analysis.sampled_output_corruption: input count mismatch";
+  if Circuit.num_outputs original <> Circuit.num_outputs locked then
+    invalid_arg "Analysis.sampled_output_corruption: output count mismatch";
+  if Bitvec.length key <> Circuit.num_keys locked then
+    invalid_arg "Analysis.sampled_output_corruption: key length mismatch";
+  let n_in = Circuit.num_inputs original in
+  let n_out = Circuit.num_outputs original in
+  let key_lanes =
+    Array.init (Bitvec.length key) (fun i -> if Bitvec.get key i then -1L else 0L)
+  in
+  let rounds = max 1 ((samples + 63) / 64) in
+  let flipped_bits = ref 0 in
+  for _ = 1 to rounds do
+    let inputs = Array.init n_in (fun _ -> Ll_util.Prng.bits64 prng) in
+    let reference = Eval.eval_lanes original ~inputs ~keys:[||] in
+    let got = Eval.eval_lanes locked ~inputs ~keys:key_lanes in
+    Array.iteri
+      (fun o w ->
+        let diff = Int64.logxor w got.(o) in
+        for lane = 0 to 63 do
+          if Int64.logand (Int64.shift_right_logical diff lane) 1L = 1L then
+            incr flipped_bits
+        done)
+      reference
+  done;
+  float_of_int !flipped_bits /. float_of_int (rounds * 64 * n_out)
+
+let pp fmt m =
+  Format.fprintf fmt "key\\input";
+  for x = 0 to (1 lsl m.num_inputs) - 1 do
+    Format.fprintf fmt " %*d" m.num_inputs x
+  done;
+  Format.pp_print_newline fmt ();
+  Array.iteri
+    (fun k row ->
+      Format.fprintf fmt "%9s" (Bitvec.to_string (Bitvec.of_int ~width:m.num_keys k));
+      Array.iter
+        (fun err -> Format.fprintf fmt " %*s" m.num_inputs (if err then "X" else "."))
+        row;
+      Format.pp_print_newline fmt ())
+    m.errors

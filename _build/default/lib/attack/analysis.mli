@@ -1,0 +1,53 @@
+(** Exhaustive error analysis of small locked designs — the machinery
+    behind the paper's Fig. 1(a) error-distribution table. *)
+
+type matrix = {
+  num_inputs : int;
+  num_keys : int;
+  errors : bool array array;  (** [errors.(key).(input)] = output mismatch *)
+}
+
+val error_matrix :
+  original:Ll_netlist.Circuit.t -> locked:Ll_netlist.Circuit.t -> matrix
+(** Exhaustive over both spaces; requires [num_inputs + num_keys <= 24]
+    in total.  Input/key integers are little-endian over port order. *)
+
+val correct_keys : matrix -> int list
+(** Keys with no error anywhere (functionally correct for the whole
+    design). *)
+
+val unlocking_keys : matrix -> condition:(int * bool) list -> int list
+(** Keys with no error on the input-space region matching [condition]
+    (positions are input-port positions).  This is the set of "incorrect
+    keys that unlock a sub-function" the multi-key attack exploits. *)
+
+val error_rate : matrix -> key:int -> float
+(** Fraction of input patterns the given key corrupts. *)
+
+val pp : Format.formatter -> matrix -> unit
+(** Renders the Fig. 1(a)-style table (keys as rows, inputs as columns,
+    [X] marking errors). *)
+
+val sampled_error_rate :
+  ?prng:Ll_util.Prng.t ->
+  ?samples:int ->
+  original:Ll_netlist.Circuit.t ->
+  locked:Ll_netlist.Circuit.t ->
+  Ll_util.Bitvec.t ->
+  float
+(** Monte-Carlo estimate of the fraction of input patterns a key corrupts,
+    for designs too large for {!error_matrix}.  [samples] (default 4096,
+    rounded up to a multiple of 64) random patterns are simulated with the
+    64-lane evaluator.  0.0 means no corruption was observed. *)
+
+val sampled_output_corruption :
+  ?prng:Ll_util.Prng.t ->
+  ?samples:int ->
+  original:Ll_netlist.Circuit.t ->
+  locked:Ll_netlist.Circuit.t ->
+  Ll_util.Bitvec.t ->
+  float
+(** Average fraction of {e output bits} flipped per input pattern — the
+    "corruptibility" metric of the locking literature.  Point-function
+    schemes (SARLock) score near 0, XOR locking with a wrong key scores
+    high; this trade-off is exactly what the multi-key attack exploits. *)

@@ -1,0 +1,107 @@
+module Circuit = Ll_netlist.Circuit
+module Eval = Ll_netlist.Eval
+module Bitvec = Ll_util.Bitvec
+module Prng = Ll_util.Prng
+module Timer = Ll_util.Timer
+module Solver = Ll_sat.Solver
+module Tseitin = Ll_sat.Tseitin
+module Lit = Ll_sat.Lit
+module Simplify = Ll_synth.Simplify
+module Sweep = Ll_synth.Sweep
+
+type result = {
+  key : Bitvec.t option;
+  estimated_error : float;
+  exact : bool;
+  num_dips : int;
+  oracle_queries : int;
+  total_time : float;
+}
+
+let estimate_error ~prng ~samples locked oracle key =
+  let n_in = Circuit.num_inputs locked in
+  let keys = Bitvec.to_bool_array key in
+  let bad = ref 0 in
+  for _ = 1 to samples do
+    let inputs = Array.init n_in (fun _ -> Prng.bool prng) in
+    if Eval.eval locked ~inputs ~keys <> Oracle.query oracle inputs then incr bad
+  done;
+  float_of_int !bad /. float_of_int samples
+
+let run ?(prng = Prng.create 0xA99) ?(target_error = 0.01) ?(check_every = 5)
+    ?(samples = 512) ?(max_iterations = 1000) locked ~oracle =
+  if Circuit.num_keys locked = 0 then invalid_arg "Appsat.run: circuit has no keys";
+  if Circuit.num_inputs locked <> Oracle.num_inputs oracle then
+    invalid_arg "Appsat.run: oracle input count mismatch";
+  let started = Timer.now () in
+  let queries_before = Oracle.query_count oracle in
+  let n_in = Circuit.num_inputs locked and n_key = Circuit.num_keys locked in
+  let solver = Solver.create () in
+  let env = Tseitin.create solver in
+  let miter = Ll_synth.Optimize.run (Miter.dup_key locked) in
+  let input_lits = Tseitin.fresh_lits env n_in in
+  let key_lits = Tseitin.fresh_lits env (2 * n_key) in
+  let key1 = Array.sub key_lits 0 n_key in
+  let key2 = Array.sub key_lits n_key n_key in
+  let diff =
+    match Tseitin.encode env miter ~input_lits ~key_lits with
+    | [| d |] -> d
+    | _ -> assert false
+  in
+  let act = (Tseitin.fresh_lits env 1).(0) in
+  Solver.add_clause solver [ Lit.negate act; diff ];
+  let candidate_key () =
+    match Solver.solve ~assumptions:[ Lit.negate act ] solver with
+    | Solver.Sat -> Some (Bitvec.init n_key (fun k -> Solver.value solver key1.(k)))
+    | Solver.Unsat -> None
+  in
+  let add_constraint dip response =
+    let small =
+      Sweep.run (Simplify.run ~bind:(List.init n_in (fun p -> (p, dip.(p)))) locked)
+    in
+    List.iter
+      (fun kl ->
+        let outs = Tseitin.encode env small ~input_lits:[||] ~key_lits:kl in
+        Array.iteri (fun o l -> Tseitin.force env l response.(o)) outs)
+      [ key1; key2 ]
+  in
+  let finish ~exact ~dips key err =
+    {
+      key;
+      estimated_error = err;
+      exact;
+      num_dips = dips;
+      oracle_queries = Oracle.query_count oracle - queries_before;
+      total_time = Timer.now () -. started;
+    }
+  in
+  let rec loop i =
+    if i >= max_iterations then
+      let key = candidate_key () in
+      let err =
+        match key with
+        | Some k -> estimate_error ~prng ~samples locked oracle k
+        | None -> 1.0
+      in
+      finish ~exact:false ~dips:i key err
+    else
+      match Solver.solve ~assumptions:[ act ] solver with
+      | Solver.Unsat ->
+          let key = candidate_key () in
+          finish ~exact:true ~dips:i key 0.0
+      | Solver.Sat ->
+          let dip = Array.map (fun l -> Solver.value solver l) input_lits in
+          let response = Oracle.query oracle dip in
+          add_constraint dip response;
+          let i = i + 1 in
+          if i mod check_every = 0 then begin
+            match candidate_key () with
+            | None -> loop i
+            | Some k ->
+                let err = estimate_error ~prng ~samples locked oracle k in
+                if err <= target_error then finish ~exact:false ~dips:i (Some k) err
+                else loop i
+          end
+          else loop i
+  in
+  loop 0

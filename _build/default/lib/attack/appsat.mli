@@ -1,0 +1,33 @@
+(** AppSAT-style approximate SAT attack [Shamsi et al., HOST'17].
+
+    Runs the exact DIP loop but periodically estimates the error rate of
+    the current best candidate key by random sampling against the oracle;
+    once the estimate drops to [target_error] the attack stops and returns
+    the {e approximate} key.  Against point-function schemes (SARLock,
+    Anti-SAT) this terminates after a handful of DIPs with a key that is
+    wrong on only a vanishing input fraction — the classic counter to
+    "provably SAT-resilient" locking, and a useful contrast to the paper's
+    multi-key attack, which achieves {e exact} recovery per cofactor at a
+    similar cost. *)
+
+type result = {
+  key : Ll_util.Bitvec.t option;  (** best candidate at termination *)
+  estimated_error : float;  (** sampled error rate of that key *)
+  exact : bool;  (** true when the DIP loop actually converged (UNSAT) *)
+  num_dips : int;
+  oracle_queries : int;
+  total_time : float;
+}
+
+val run :
+  ?prng:Ll_util.Prng.t ->
+  ?target_error:float ->
+  ?check_every:int ->
+  ?samples:int ->
+  ?max_iterations:int ->
+  Ll_netlist.Circuit.t ->
+  oracle:Oracle.t ->
+  result
+(** Defaults: [target_error = 0.01], [check_every = 5] DIPs,
+    [samples = 512] random patterns per estimate, [max_iterations = 1000].
+    Raises [Invalid_argument] like {!Sat_attack.run}. *)

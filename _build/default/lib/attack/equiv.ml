@@ -1,0 +1,87 @@
+module Circuit = Ll_netlist.Circuit
+module Eval = Ll_netlist.Eval
+module Solver = Ll_sat.Solver
+module Tseitin = Ll_sat.Tseitin
+module Lit = Ll_sat.Lit
+module Prng = Ll_util.Prng
+
+type verdict = Equivalent | Counterexample of bool array
+
+let equal_outputs a b ~inputs =
+  Eval.eval a ~inputs ~keys:[||] = Eval.eval b ~inputs ~keys:[||]
+
+let random_counterexample ~samples a b =
+  let g = Prng.create 0x5EED in
+  let n = Circuit.num_inputs a in
+  let rec round r =
+    if r >= samples then None
+    else begin
+      let lanes = Array.init n (fun _ -> Prng.bits64 g) in
+      let o1 = Eval.eval_lanes a ~inputs:lanes ~keys:[||] in
+      let o2 = Eval.eval_lanes b ~inputs:lanes ~keys:[||] in
+      let diff = ref None in
+      Array.iteri
+        (fun o w1 -> if !diff = None && w1 <> o2.(o) then
+            (* Find the offending lane. *)
+            let w = Int64.logxor w1 o2.(o) in
+            let rec lane i = if Int64.logand (Int64.shift_right_logical w i) 1L = 1L then i else lane (i + 1) in
+            let l = lane 0 in
+            diff := Some (Array.init n (fun i ->
+                Int64.logand (Int64.shift_right_logical lanes.(i) l) 1L = 1L)))
+        o1;
+      match !diff with Some cex -> Some cex | None -> round (r + 1)
+    end
+  in
+  round 0
+
+let sat_decide ?conflict_limit a b =
+  let solver = Solver.create () in
+  let env = Tseitin.create solver in
+  let input_lits = Tseitin.fresh_lits env (Circuit.num_inputs a) in
+  let outs1 = Tseitin.encode env a ~input_lits ~key_lits:[||] in
+  let outs2 = Tseitin.encode env b ~input_lits ~key_lits:[||] in
+  let diffs =
+    Array.map2
+      (fun o1 o2 ->
+        let d = (Tseitin.fresh_lits env 1).(0) in
+        (* d <-> o1 xor o2 *)
+        Solver.add_clause solver [ Lit.negate d; o1; o2 ];
+        Solver.add_clause solver [ Lit.negate d; Lit.negate o1; Lit.negate o2 ];
+        Solver.add_clause solver [ d; Lit.negate o1; o2 ];
+        Solver.add_clause solver [ d; o1; Lit.negate o2 ];
+        d)
+      outs1 outs2
+  in
+  Solver.add_clause solver (Array.to_list diffs);
+  match Solver.solve ?conflict_limit solver with
+  | Solver.Unsat -> `Equivalent
+  | Solver.Sat -> `Counterexample (Array.map (fun l -> Solver.value solver l) input_lits)
+
+let validate_pair name a b =
+  if Circuit.num_keys a > 0 || Circuit.num_keys b > 0 then
+    invalid_arg (name ^ ": circuits must be key-free");
+  if
+    Circuit.num_inputs a <> Circuit.num_inputs b
+    || Circuit.num_outputs a <> Circuit.num_outputs b
+  then invalid_arg (name ^ ": signature mismatch")
+
+let check ?(samples = 8) a b =
+  validate_pair "Equiv.check" a b;
+  match random_counterexample ~samples a b with
+  | Some cex -> Counterexample cex
+  | None -> (
+      match sat_decide a b with
+      | `Equivalent -> Equivalent
+      | `Counterexample cex -> Counterexample cex)
+
+type bounded_verdict = Proved_equivalent | Refuted of bool array | Unknown
+
+let check_bounded ?(samples = 8) ~conflict_limit a b =
+  validate_pair "Equiv.check_bounded" a b;
+  match random_counterexample ~samples a b with
+  | Some cex -> Refuted cex
+  | None -> (
+      match sat_decide ~conflict_limit a b with
+      | `Equivalent -> Proved_equivalent
+      | `Counterexample cex -> Refuted cex
+      | exception Solver.Conflict_limit -> Unknown)

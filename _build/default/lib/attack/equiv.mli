@@ -1,0 +1,29 @@
+(** Combinational equivalence checking: fast random simulation followed by
+    a complete SAT decision on the miter. *)
+
+type verdict = Equivalent | Counterexample of bool array
+
+val check : ?samples:int -> Ll_netlist.Circuit.t -> Ll_netlist.Circuit.t -> verdict
+(** [check a b] for key-free circuits of equal signature.  [samples]
+    controls the number of 64-pattern random-simulation rounds tried before
+    falling back to SAT (default 8).  The returned counterexample is an
+    input pattern on which the circuits differ. *)
+
+val equal_outputs :
+  Ll_netlist.Circuit.t -> Ll_netlist.Circuit.t -> inputs:bool array -> bool
+(** One-pattern comparison (shared by tests and verdict checking). *)
+
+type bounded_verdict =
+  | Proved_equivalent
+  | Refuted of bool array
+  | Unknown  (** resource limit hit before a decision *)
+
+val check_bounded :
+  ?samples:int ->
+  conflict_limit:int ->
+  Ll_netlist.Circuit.t ->
+  Ll_netlist.Circuit.t ->
+  bounded_verdict
+(** Like {!check}, but gives up ([Unknown]) once the SAT search exceeds
+    [conflict_limit] conflicts — for verifying huge compositions where a
+    complete proof may be impractical (e.g. multiplier equivalence). *)

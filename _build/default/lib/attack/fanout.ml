@@ -1,0 +1,21 @@
+module Circuit = Ll_netlist.Circuit
+module Cone = Ll_netlist.Cone
+
+let scores c =
+  let key_ctrl = Cone.key_controlled c in
+  Cone.input_fanout_counts c ~within:key_ctrl
+
+let rank c =
+  let s = scores c in
+  let order = Array.init (Array.length s) (fun i -> i) in
+  Array.sort (fun a b -> if s.(a) <> s.(b) then compare s.(b) s.(a) else compare a b) order;
+  order
+
+let select c ~n =
+  if n < 0 || n > Circuit.num_inputs c then invalid_arg "Fanout.select: n out of range";
+  Array.sub (rank c) 0 n
+
+let select_random prng c ~n =
+  if n < 0 || n > Circuit.num_inputs c then
+    invalid_arg "Fanout.select_random: n out of range";
+  Array.of_list (Ll_util.Prng.sample prng ~k:n ~n:(Circuit.num_inputs c))

@@ -1,0 +1,21 @@
+(** Split-input selection by fan-out cone analysis (paper, Section 4).
+
+    Inputs whose transitive fanout cones contain the most key-controlled
+    gates are preferred: pinning them simplifies the conditional netlists
+    the most, shrinking the per-task miters. *)
+
+val scores : Ll_netlist.Circuit.t -> int array
+(** Per primary input (port order): number of key-controlled gates in its
+    transitive fanout cone. *)
+
+val rank : Ll_netlist.Circuit.t -> int array
+(** All input positions, best first (score descending, position ascending
+    as the tie-break). *)
+
+val select : Ll_netlist.Circuit.t -> n:int -> int array
+(** First [n] of {!rank}.  Raises [Invalid_argument] when [n] exceeds the
+    input count. *)
+
+val select_random : Ll_util.Prng.t -> Ll_netlist.Circuit.t -> n:int -> int array
+(** Baseline for the ablation study: a uniform random choice of [n]
+    distinct input positions. *)

@@ -1,0 +1,40 @@
+module Circuit = Ll_netlist.Circuit
+module Builder = Ll_netlist.Builder
+module Instantiate = Ll_netlist.Instantiate
+
+let diff_of_outputs b outs1 outs2 =
+  let xors = Array.map2 (fun o1 o2 -> Builder.xor2 b o1 o2) outs1 outs2 in
+  Builder.or_reduce b xors
+
+let of_pair c1 c2 =
+  if Circuit.num_keys c1 > 0 || Circuit.num_keys c2 > 0 then
+    invalid_arg "Miter.of_pair: circuits must be key-free";
+  if Circuit.num_inputs c1 <> Circuit.num_inputs c2 then
+    invalid_arg "Miter.of_pair: input count mismatch";
+  if Circuit.num_outputs c1 <> Circuit.num_outputs c2 then
+    invalid_arg "Miter.of_pair: output count mismatch";
+  let b = Builder.create ~name:(c1.Circuit.name ^ "_vs_" ^ c2.Circuit.name) () in
+  let inputs =
+    Array.map (fun j -> Builder.input b (Circuit.node_name c1 j)) c1.Circuit.inputs
+  in
+  let outs1 = Instantiate.append b c1 ~inputs ~keys:[||] in
+  let outs2 = Instantiate.append b c2 ~inputs ~keys:[||] in
+  Builder.output b "diff" (diff_of_outputs b outs1 outs2);
+  Builder.finish b
+
+let dup_key c =
+  if Circuit.num_keys c = 0 then invalid_arg "Miter.dup_key: circuit has no keys";
+  let b = Builder.create ~name:(c.Circuit.name ^ "_miter") () in
+  let inputs =
+    Array.map (fun j -> Builder.input b (Circuit.node_name c j)) c.Circuit.inputs
+  in
+  let keys1 =
+    Array.map (fun j -> Builder.key_input b (Circuit.node_name c j ^ "_a")) c.Circuit.keys
+  in
+  let keys2 =
+    Array.map (fun j -> Builder.key_input b (Circuit.node_name c j ^ "_b")) c.Circuit.keys
+  in
+  let outs1 = Instantiate.append b c ~inputs ~keys:keys1 in
+  let outs2 = Instantiate.append b c ~inputs ~keys:keys2 in
+  Builder.output b "diff" (diff_of_outputs b outs1 outs2);
+  Builder.finish b

@@ -1,0 +1,17 @@
+(** Miter construction.
+
+    A miter joins two circuits over shared inputs and raises a single
+    [diff] output when any output pair disagrees — the satisfiability core
+    of both the SAT attack and combinational equivalence checking. *)
+
+val of_pair : Ll_netlist.Circuit.t -> Ll_netlist.Circuit.t -> Ll_netlist.Circuit.t
+(** Equivalence miter of two key-free circuits with equal input and output
+    counts (matched by port order).  The result's single output ["diff"] is
+    1 iff the circuits disagree on the given input.  Raises
+    [Invalid_argument] on signature mismatch or remaining key ports. *)
+
+val dup_key : Ll_netlist.Circuit.t -> Ll_netlist.Circuit.t
+(** The SAT-attack miter of a locked circuit: two copies share the primary
+    inputs but carry independent key ports (first copy's keys first), and
+    ["diff"] is 1 iff the two keys produce different outputs.  Raises
+    [Invalid_argument] when the circuit has no keys. *)

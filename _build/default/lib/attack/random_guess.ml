@@ -1,0 +1,43 @@
+module Circuit = Ll_netlist.Circuit
+module Eval = Ll_netlist.Eval
+module Bitvec = Ll_util.Bitvec
+module Prng = Ll_util.Prng
+module Timer = Ll_util.Timer
+
+type result = {
+  key : Bitvec.t option;
+  guesses : int;
+  oracle_queries : int;
+  total_time : float;
+}
+
+let run ?(prng = Prng.create 1) ?(samples_per_guess = 64) ~max_guesses locked ~oracle =
+  if Circuit.num_keys locked = 0 then invalid_arg "Random_guess.run: circuit has no keys";
+  if Circuit.num_inputs locked <> Oracle.num_inputs oracle then
+    invalid_arg "Random_guess.run: oracle input count mismatch";
+  let started = Timer.now () in
+  let queries_before = Oracle.query_count oracle in
+  let n_in = Circuit.num_inputs locked and n_key = Circuit.num_keys locked in
+  let survives key =
+    let keys = Bitvec.to_bool_array key in
+    let rec sample i =
+      i >= samples_per_guess
+      ||
+      let inputs = Array.init n_in (fun _ -> Prng.bool prng) in
+      Eval.eval locked ~inputs ~keys = Oracle.query oracle inputs && sample (i + 1)
+    in
+    sample 0
+  in
+  let rec guess i =
+    if i >= max_guesses then (None, i)
+    else
+      let key = Bitvec.random prng n_key in
+      if survives key then (Some key, i + 1) else guess (i + 1)
+  in
+  let key, guesses = guess 0 in
+  {
+    key;
+    guesses;
+    oracle_queries = Oracle.query_count oracle - queries_before;
+    total_time = Timer.now () -. started;
+  }

@@ -1,0 +1,27 @@
+(** Random-key guessing baseline.
+
+    Draws random keys and tests each against the oracle on random input
+    patterns.  Hopeless against any real scheme (success probability
+    [~2^-|K|] per guess) — included to quantify the gap to the SAT attack
+    and as a sanity baseline for evaluations. *)
+
+type result = {
+  key : Ll_util.Bitvec.t option;  (** first key that survived all samples *)
+  guesses : int;
+  oracle_queries : int;
+  total_time : float;
+}
+
+val run :
+  ?prng:Ll_util.Prng.t ->
+  ?samples_per_guess:int ->
+  max_guesses:int ->
+  Ll_netlist.Circuit.t ->
+  oracle:Oracle.t ->
+  result
+(** [run ~max_guesses locked ~oracle] — a guess survives when the locked
+    circuit matches the oracle on [samples_per_guess] (default 64) random
+    patterns; surviving keys are {e candidates}, not proofs (use
+    {!Equiv.check} with the original design for certainty).  Raises
+    [Invalid_argument] when the circuit has no keys or the oracle signature
+    mismatches. *)

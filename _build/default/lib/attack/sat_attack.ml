@@ -1,0 +1,147 @@
+module Circuit = Ll_netlist.Circuit
+module Bitvec = Ll_util.Bitvec
+module Timer = Ll_util.Timer
+module Solver = Ll_sat.Solver
+module Tseitin = Ll_sat.Tseitin
+module Lit = Ll_sat.Lit
+module Simplify = Ll_synth.Simplify
+module Sweep = Ll_synth.Sweep
+
+type config = {
+  simplify_constraints : bool;
+  max_iterations : int option;
+  time_limit : float option;
+  log : (string -> unit) option;
+}
+
+let default_config =
+  { simplify_constraints = true; max_iterations = None; time_limit = None; log = None }
+
+type status = Broken | Iteration_limit | Time_limit
+
+type result = {
+  status : status;
+  key : Bitvec.t option;
+  dips : Bitvec.t list;
+  num_dips : int;
+  oracle_queries : int;
+  total_time : float;
+  solve_time : float;
+  solver_conflicts : int;
+}
+
+(* Force an encoded circuit's outputs to the observed oracle response. *)
+let constrain_outputs env outs response =
+  Array.iteri (fun i o -> Tseitin.force env o response.(i)) outs
+
+(* Encode "C_l(dip, K) = y" for one key-literal vector.  With
+   simplification on, the cofactored circuit collapses before encoding;
+   otherwise a full copy with constant input literals is added (the
+   unpreprocessed baseline). *)
+let add_dip_constraint env ~simplified ~locked ~key_lits ~dip ~response =
+  match simplified with
+  | Some small ->
+      let outs = Tseitin.encode env small ~input_lits:[||] ~key_lits in
+      constrain_outputs env outs response
+  | None ->
+      let t = Tseitin.lit_true env in
+      let input_lits =
+        Array.init (Array.length dip) (fun i -> if dip.(i) then t else Lit.negate t)
+      in
+      let outs = Tseitin.encode env locked ~input_lits ~key_lits in
+      constrain_outputs env outs response
+
+let run ?(config = default_config) locked ~oracle =
+  if Circuit.num_keys locked = 0 then invalid_arg "Sat_attack.run: circuit has no keys";
+  if Circuit.num_inputs locked <> Oracle.num_inputs oracle then
+    invalid_arg "Sat_attack.run: oracle input count mismatch";
+  if Circuit.num_outputs locked <> Oracle.num_outputs oracle then
+    invalid_arg "Sat_attack.run: oracle output count mismatch";
+  let started = Timer.now () in
+  let queries_before = Oracle.query_count oracle in
+  let solver = Solver.create () in
+  let env = Tseitin.create solver in
+  let n_in = Circuit.num_inputs locked and n_key = Circuit.num_keys locked in
+  (* The two key-sharing copies are built as one circuit and synthesized
+     before encoding: structural hashing merges all key-independent logic
+     shared by the copies, which shrinks the miter dramatically (for
+     point-function schemes it collapses to the key cones). *)
+  let miter = Ll_synth.Optimize.run (Miter.dup_key locked) in
+  assert (Circuit.num_keys miter = 2 * n_key);
+  let input_lits = Tseitin.fresh_lits env n_in in
+  let key_lits = Tseitin.fresh_lits env (2 * n_key) in
+  let key1 = Array.sub key_lits 0 n_key in
+  let key2 = Array.sub key_lits n_key n_key in
+  let diff =
+    match Tseitin.encode env miter ~input_lits ~key_lits with
+    | [| d |] -> d
+    | _ -> assert false
+  in
+  (* Guarded difference clause: act -> diff. *)
+  let act = (Tseitin.fresh_lits env 1).(0) in
+  Solver.add_clause solver [ Lit.negate act; diff ];
+  let solve_time = ref 0.0 in
+  let timed_solve assumptions =
+    let r, dt = Timer.time (fun () -> Solver.solve ~assumptions solver) in
+    solve_time := !solve_time +. dt;
+    r
+  in
+  let over_time () =
+    match config.time_limit with
+    | Some limit -> Timer.now () -. started > limit
+    | None -> false
+  in
+  let over_iterations i =
+    match config.max_iterations with Some m -> i >= m | None -> false
+  in
+  let finish status key dips =
+    {
+      status;
+      key;
+      dips = List.rev dips;
+      num_dips = List.length dips;
+      oracle_queries = Oracle.query_count oracle - queries_before;
+      total_time = Timer.now () -. started;
+      solve_time = !solve_time;
+      solver_conflicts = (Solver.stats solver).Solver.conflicts;
+    }
+  in
+  let rec loop i dips =
+    if over_iterations i then finish Iteration_limit None dips
+    else if over_time () then finish Time_limit None dips
+    else
+      match timed_solve [ act ] with
+      | Solver.Unsat ->
+          (* No DIP left: extract any surviving key. *)
+          let key =
+            match timed_solve [ Lit.negate act ] with
+            | Solver.Sat ->
+                Some (Bitvec.init n_key (fun k -> Solver.value solver key1.(k)))
+            | Solver.Unsat -> None
+          in
+          finish Broken key dips
+      | Solver.Sat ->
+          let dip = Array.map (fun l -> Solver.value solver l) input_lits in
+          let response = Oracle.query oracle dip in
+          (* One linear constant-propagation pass suffices: with every
+             primary input pinned, the circuit collapses to key logic in a
+             single topological sweep. *)
+          let simplified =
+            if config.simplify_constraints then
+              Some
+                (Sweep.run
+                   (Simplify.run ~bind:(List.init n_in (fun p -> (p, dip.(p)))) locked))
+            else None
+          in
+          add_dip_constraint env ~simplified ~locked ~key_lits:key1 ~dip ~response;
+          add_dip_constraint env ~simplified ~locked ~key_lits:key2 ~dip ~response;
+          (match config.log with
+          | Some log ->
+              log
+                (Printf.sprintf "iter %d: dip=%s response=%s" (i + 1)
+                   (Bitvec.to_string (Bitvec.of_bool_array dip))
+                   (Bitvec.to_string (Bitvec.of_bool_array response)))
+          | None -> ());
+          loop (i + 1) (Bitvec.of_bool_array dip :: dips)
+  in
+  loop 0 []

@@ -1,0 +1,43 @@
+(** The oracle-guided SAT attack [Subramanyan et al., HOST'15] — the
+    baseline ([N = 0]) of the paper's experiments.
+
+    The attack solves a key-duplicated miter of the locked netlist to find
+    distinguishing input patterns (DIPs), queries the oracle on each DIP
+    and constrains both key copies to reproduce the observed output,
+    iterating until the miter is unsatisfiable; any key satisfying the
+    accumulated constraints is then functionally correct.
+
+    The miter's "find a difference" clause is guarded by an activation
+    literal, so the final key extraction reuses the same incremental solver
+    with the guard released. *)
+
+type config = {
+  simplify_constraints : bool;
+      (** Constant-propagate each DIP constraint before encoding it (the
+          standard preprocessing; disable for the ablation study). *)
+  max_iterations : int option;  (** DIP budget; [None] = unlimited *)
+  time_limit : float option;  (** wall-clock seconds; checked between iterations *)
+  log : (string -> unit) option;  (** per-iteration progress callback *)
+}
+
+val default_config : config
+
+type status =
+  | Broken  (** miter proved UNSAT; the returned key is functionally correct *)
+  | Iteration_limit
+  | Time_limit
+
+type result = {
+  status : status;
+  key : Ll_util.Bitvec.t option;  (** present when [status = Broken] *)
+  dips : Ll_util.Bitvec.t list;  (** in discovery order *)
+  num_dips : int;
+  oracle_queries : int;
+  total_time : float;
+  solve_time : float;  (** time inside the SAT solver *)
+  solver_conflicts : int;
+}
+
+val run : ?config:config -> Ll_netlist.Circuit.t -> oracle:Oracle.t -> result
+(** [run locked ~oracle] — [locked] must carry key ports and match the
+    oracle's input/output counts.  Raises [Invalid_argument] otherwise. *)

@@ -1,0 +1,101 @@
+module Circuit = Ll_netlist.Circuit
+module Bitvec = Ll_util.Bitvec
+module Timer = Ll_util.Timer
+module Solver = Ll_sat.Solver
+module Tseitin = Ll_sat.Tseitin
+module Lit = Ll_sat.Lit
+
+type result = {
+  key : Bitvec.t;
+  resolved_bits : int;
+  sweeps : int;
+  oracle_queries : int;
+  total_time : float;
+}
+
+let run ?initial ?(max_sweeps = 4) locked ~oracle =
+  let n_key = Circuit.num_keys locked in
+  if n_key = 0 then invalid_arg "Sensitization.run: circuit has no keys";
+  if Circuit.num_inputs locked <> Oracle.num_inputs oracle then
+    invalid_arg "Sensitization.run: oracle input count mismatch";
+  let started = Timer.now () in
+  let queries_before = Oracle.query_count oracle in
+  let candidate =
+    match initial with
+    | Some k ->
+        if Bitvec.length k <> n_key then invalid_arg "Sensitization.run: initial key length";
+        Bitvec.copy k
+    | None -> Bitvec.create n_key
+  in
+  (* One shared encoding: two copies over common inputs, keys k0 / k1. *)
+  let solver = Solver.create () in
+  let env = Tseitin.create solver in
+  let n_in = Circuit.num_inputs locked in
+  let input_lits = Tseitin.fresh_lits env n_in in
+  let key0 = Tseitin.fresh_lits env n_key in
+  let key1 = Tseitin.fresh_lits env n_key in
+  let outs0 = Tseitin.encode env locked ~input_lits ~key_lits:key0 in
+  let outs1 = Tseitin.encode env locked ~input_lits ~key_lits:key1 in
+  let diffs =
+    Array.map2
+      (fun a b ->
+        let d = (Tseitin.fresh_lits env 1).(0) in
+        Solver.add_clause solver [ Lit.negate d; a; b ];
+        Solver.add_clause solver [ Lit.negate d; Lit.negate a; Lit.negate b ];
+        Solver.add_clause solver [ d; Lit.negate a; b ];
+        Solver.add_clause solver [ d; a; Lit.negate b ];
+        d)
+      outs0 outs1
+  in
+  let any_diff = (Tseitin.fresh_lits env 1).(0) in
+  Solver.add_clause solver (Lit.negate any_diff :: Array.to_list diffs);
+  let resolved = Array.make n_key false in
+  let sweeps = ref 0 in
+  let changed = ref true in
+  while !changed && !sweeps < max_sweeps do
+    incr sweeps;
+    changed := false;
+    for bit = 0 to n_key - 1 do
+      (* Assume: copy0 carries candidate with bit=0, copy1 with bit=1; all
+         other bits equal the current candidate in both copies; outputs
+         differ somewhere. *)
+      let assumptions = ref [ any_diff; Lit.negate key0.(bit); key1.(bit) ] in
+      for j = 0 to n_key - 1 do
+        if j <> bit then begin
+          let v = Bitvec.get candidate j in
+          assumptions := Lit.make (Lit.var key0.(j)) v :: Lit.make (Lit.var key1.(j)) v
+                         :: !assumptions
+        end
+      done;
+      match Solver.solve ~assumptions:!assumptions solver with
+      | Solver.Unsat -> () (* bit not observable under this candidate *)
+      | Solver.Sat ->
+          resolved.(bit) <- true;
+          let pattern = Array.map (fun l -> Solver.value solver l) input_lits in
+          let with0 = Array.map (fun l -> Solver.value solver l) outs0 in
+          let with1 = Array.map (fun l -> Solver.value solver l) outs1 in
+          let truth = Oracle.query oracle pattern in
+          (* Read the bit off the first sensitized output — the one where
+             the two copies disagree (other outputs may mismatch the oracle
+             because of still-wrong candidate bits). *)
+          let inferred = ref None in
+          Array.iteri
+            (fun o w0 ->
+              if !inferred = None && w0 <> with1.(o) then
+                inferred := Some (truth.(o) = with1.(o)))
+            with0;
+          let inferred = !inferred in
+          (match inferred with
+          | Some v when Bitvec.get candidate bit <> v ->
+              Bitvec.set candidate bit v;
+              changed := true
+          | Some _ | None -> ())
+    done
+  done;
+  {
+    key = candidate;
+    resolved_bits = Array.fold_left (fun acc r -> if r then acc + 1 else acc) 0 resolved;
+    sweeps = !sweeps;
+    oracle_queries = Oracle.query_count oracle - queries_before;
+    total_time = Timer.now () -. started;
+  }

@@ -1,0 +1,33 @@
+(** Heuristic key-sensitization attack (Rajendran et al., DAC'12) — the
+    pre-SAT-attack baseline against XOR/XNOR locking.
+
+    For each key bit, a SAT query finds an input pattern on which flipping
+    {e only that bit} (the others held at the current candidate value)
+    changes some output; the oracle response then fixes the bit.  Sweeps
+    repeat until the candidate stops changing.
+
+    The method is exact when key gates do not interfere (each key bit's
+    effect is separately observable, as in sparse XOR locking); against
+    interfering or point-function schemes it may converge to a wrong key —
+    callers must verify the result (e.g. {!Equiv.check}), exactly like the
+    original attack.  Included as a literature baseline; the SAT attack
+    supersedes it. *)
+
+type result = {
+  key : Ll_util.Bitvec.t;  (** final candidate (verify before trusting!) *)
+  resolved_bits : int;  (** key bits that were sensitized at least once *)
+  sweeps : int;
+  oracle_queries : int;
+  total_time : float;
+}
+
+val run :
+  ?initial:Ll_util.Bitvec.t ->
+  ?max_sweeps:int ->
+  Ll_netlist.Circuit.t ->
+  oracle:Oracle.t ->
+  result
+(** [run locked ~oracle] — [initial] seeds the candidate key (default all
+    zeros); [max_sweeps] bounds the fixpoint iteration (default 4).
+    Raises [Invalid_argument] on keyless circuits or oracle signature
+    mismatch. *)

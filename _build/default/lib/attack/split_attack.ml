@@ -1,0 +1,105 @@
+module Circuit = Ll_netlist.Circuit
+module Bitvec = Ll_util.Bitvec
+module Timer = Ll_util.Timer
+module Cofactor = Ll_synth.Cofactor
+
+type task = {
+  condition : (int * bool) list;
+  sub_inputs : int;
+  sub_gates : int;
+  result : Sat_attack.result;
+  task_time : float;
+}
+
+type t = {
+  split_inputs : int array;
+  tasks : task array;
+  wall_time : float;
+  domains_used : int;
+}
+
+let keys t =
+  let collected =
+    Array.map (fun task -> task.result.Sat_attack.key) t.tasks |> Array.to_list
+  in
+  if List.for_all Option.is_some collected then
+    Some (Array.of_list (List.map Option.get collected))
+  else None
+
+let task_times t = Array.map (fun task -> task.task_time) t.tasks
+
+let max_task_time t = Array.fold_left max 0.0 (task_times t)
+
+let min_task_time t =
+  Array.fold_left min infinity (task_times t)
+
+let mean_task_time t =
+  let times = task_times t in
+  Array.fold_left ( +. ) 0.0 times /. float_of_int (Array.length times)
+
+let recommended_effort ?cores locked =
+  let cores =
+    match cores with Some c -> max 1 c | None -> Domain.recommended_domain_count ()
+  in
+  let rec log2 n = if n <= 1 then 0 else 1 + log2 (n / 2) in
+  min (log2 cores) (max 0 (Circuit.num_inputs locked - 1))
+
+let run_task ~config ~locked ~oracle condition =
+  let t0 = Timer.now () in
+  let conditional = Cofactor.apply locked condition in
+  let sub_oracle = Oracle.restrict oracle condition in
+  let result = Sat_attack.run ?config conditional ~oracle:sub_oracle in
+  {
+    condition;
+    sub_inputs = Circuit.num_inputs conditional;
+    sub_gates = Circuit.gate_count conditional;
+    result;
+    task_time = Timer.now () -. t0;
+  }
+
+let prepare ?inputs ~n locked =
+  let split_inputs =
+    match inputs with
+    | Some a ->
+        if Array.length a < n then invalid_arg "Split_attack: not enough split inputs";
+        Array.sub a 0 n
+    | None -> Fanout.select locked ~n
+  in
+  let conditions = Cofactor.conditions ~split_inputs n in
+  (split_inputs, conditions)
+
+let run ?config ?inputs ~n locked ~oracle =
+  let split_inputs, conditions = prepare ?inputs ~n locked in
+  let t0 = Timer.now () in
+  let tasks = Array.map (fun cond -> run_task ~config ~locked ~oracle cond) conditions in
+  { split_inputs; tasks; wall_time = Timer.now () -. t0; domains_used = 1 }
+
+let run_parallel ?config ?inputs ?num_domains ~n locked ~oracle =
+  let split_inputs, conditions = prepare ?inputs ~n locked in
+  let num_tasks = Array.length conditions in
+  let domains =
+    let d =
+      match num_domains with
+      | Some d -> d
+      | None -> Domain.recommended_domain_count ()
+    in
+    max 1 (min d num_tasks)
+  in
+  let t0 = Timer.now () in
+  let results = Array.make num_tasks None in
+  (* Static round-robin chunking: domain d owns tasks d, d+domains, ... *)
+  let worker d () =
+    let rec go i =
+      if i < num_tasks then begin
+        results.(i) <- Some (run_task ~config ~locked ~oracle conditions.(i));
+        go (i + domains)
+      end
+    in
+    go d
+  in
+  let handles = Array.init domains (fun d -> Domain.spawn (worker d)) in
+  Array.iter Domain.join handles;
+  let tasks =
+    Array.map (function Some t -> t | None -> assert false) results
+  in
+  { split_inputs; tasks; wall_time = Timer.now () -. t0; domains_used = domains }

@@ -1,0 +1,65 @@
+(** The paper's multi-key attack (Algorithm 1).
+
+    The primary-input space is split into [2^N] cofactors over [N] selected
+    inputs; each conditional netlist is synthesized ({!Ll_synth.Cofactor})
+    and attacked independently with the classic SAT attack against a
+    restricted oracle.  The resulting keys — usually {e incorrect} for the
+    full design — collectively unlock it through the key-selecting MUX of
+    Fig. 1(b) (see {!Compose}).
+
+    Tasks are independent; {!run} executes them sequentially,
+    {!run_parallel} distributes them over OCaml domains (the paper's
+    16-core scenario). *)
+
+type task = {
+  condition : (int * bool) list;  (** pinned input positions and values *)
+  sub_inputs : int;  (** free inputs of the conditional netlist *)
+  sub_gates : int;  (** gate count after cofactor synthesis *)
+  result : Sat_attack.result;
+  task_time : float;  (** cofactoring + attack, wall clock *)
+}
+
+type t = {
+  split_inputs : int array;  (** selected input positions, in split order *)
+  tasks : task array;  (** indexed by condition integer *)
+  wall_time : float;
+  domains_used : int;
+}
+
+val keys : t -> Ll_util.Bitvec.t array option
+(** The key list [K] of Algorithm 1 — [None] when any task failed to
+    converge (hit a limit). *)
+
+val max_task_time : t -> float
+(** Runtime of the slowest sub-task — the paper's headline metric
+    (Table 2 reports [max / baseline]). *)
+
+val min_task_time : t -> float
+val mean_task_time : t -> float
+
+val run :
+  ?config:Sat_attack.config ->
+  ?inputs:int array ->
+  n:int ->
+  Ll_netlist.Circuit.t ->
+  oracle:Oracle.t ->
+  t
+(** [run ~n locked ~oracle] — [inputs] overrides the fan-out-cone selection
+    of split inputs ({!Fanout.select}).  [n = 0] degenerates to the plain
+    SAT attack as a single task. *)
+
+val run_parallel :
+  ?config:Sat_attack.config ->
+  ?inputs:int array ->
+  ?num_domains:int ->
+  n:int ->
+  Ll_netlist.Circuit.t ->
+  oracle:Oracle.t ->
+  t
+(** Same, with tasks distributed over [num_domains] domains (default:
+    [Domain.recommended_domain_count], capped at the task count). *)
+
+val recommended_effort : ?cores:int -> Ll_netlist.Circuit.t -> int
+(** The paper's "adjust N to the computational resources": the largest [n]
+    with [2^n <= cores] (default: the runtime's recommended domain count)
+    that also leaves at least one free primary input per cofactor. *)

@@ -1,0 +1,1 @@
+lib/bdd/bdd.ml: Array Float Hashtbl Ll_netlist Ll_util

@@ -1,0 +1,1 @@
+lib/bdd/exact.ml: Array Bdd Float Ll_netlist Ll_util

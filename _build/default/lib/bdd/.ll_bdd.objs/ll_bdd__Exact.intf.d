@@ -1,0 +1,1 @@
+lib/bdd/exact.mli: Ll_netlist Ll_util

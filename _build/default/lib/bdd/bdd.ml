@@ -1,0 +1,271 @@
+(* Hash-consed ROBDD with an operation cache.  Terminals are nodes 0
+   (false) and 1 (true); internal nodes store (var, low, high) in parallel
+   growable arrays.  The reduction invariant low <> high and hash-consing
+   make node equality functional equality. *)
+
+type node = int
+
+type manager = {
+  nvars : int;
+  mutable var_of : int array;
+  mutable low_of : int array;
+  mutable high_of : int array;
+  mutable count : int;  (* allocated nodes, terminals included *)
+  unique : (int * int * int, int) Hashtbl.t;  (* (var, low, high) -> node *)
+  op_cache : (int * int * int, int) Hashtbl.t;  (* (op-tag, a, b) -> node *)
+  ite_cache : (int * int * int, int) Hashtbl.t;
+}
+
+let bot : node = 0
+let top : node = 1
+
+let manager ?(initial_capacity = 1024) ~num_vars () =
+  if num_vars < 0 then invalid_arg "Bdd.manager: negative num_vars";
+  let cap = max 2 initial_capacity in
+  let m =
+    {
+      nvars = num_vars;
+      var_of = Array.make cap max_int;
+      low_of = Array.make cap (-1);
+      high_of = Array.make cap (-1);
+      count = 2;
+      unique = Hashtbl.create cap;
+      op_cache = Hashtbl.create cap;
+      ite_cache = Hashtbl.create cap;
+    }
+  in
+  (* Terminals sit below every variable. *)
+  m.var_of.(0) <- max_int;
+  m.var_of.(1) <- max_int;
+  m
+
+let num_vars m = m.nvars
+
+let grow m =
+  let old = Array.length m.var_of in
+  let n = 2 * old in
+  let grow_arr a fill =
+    let fresh = Array.make n fill in
+    Array.blit a 0 fresh 0 old;
+    fresh
+  in
+  m.var_of <- grow_arr m.var_of max_int;
+  m.low_of <- grow_arr m.low_of (-1);
+  m.high_of <- grow_arr m.high_of (-1)
+
+let mk m v low high =
+  if low = high then low
+  else
+    let key = (v, low, high) in
+    match Hashtbl.find_opt m.unique key with
+    | Some n -> n
+    | None ->
+        if m.count = Array.length m.var_of then grow m;
+        let n = m.count in
+        m.count <- n + 1;
+        m.var_of.(n) <- v;
+        m.low_of.(n) <- low;
+        m.high_of.(n) <- high;
+        Hashtbl.replace m.unique key n;
+        n
+
+let var m i =
+  if i < 0 || i >= m.nvars then invalid_arg "Bdd.var: out of range";
+  mk m i bot top
+
+(* Binary apply with terminal cases per operator. *)
+type op = Op_and | Op_or | Op_xor
+
+let op_tag = function Op_and -> 0 | Op_or -> 1 | Op_xor -> 2
+
+let terminal_case op a b =
+  match op with
+  | Op_and ->
+      if a = bot || b = bot then Some bot
+      else if a = top then Some b
+      else if b = top then Some a
+      else if a = b then Some a
+      else None
+  | Op_or ->
+      if a = top || b = top then Some top
+      else if a = bot then Some b
+      else if b = bot then Some a
+      else if a = b then Some a
+      else None
+  | Op_xor ->
+      if a = b then Some bot
+      else if a = bot then Some b
+      else if b = bot then Some a
+      else None
+
+let rec apply m op a b =
+  match terminal_case op a b with
+  | Some r -> r
+  | None ->
+      (* Symmetric operators: canonical argument order doubles cache hits. *)
+      let a, b = if a <= b then (a, b) else (b, a) in
+      let key = (op_tag op, a, b) in
+      (match Hashtbl.find_opt m.op_cache key with
+      | Some r -> r
+      | None ->
+          let va = m.var_of.(a) and vb = m.var_of.(b) in
+          let v = min va vb in
+          let a0 = if va = v then m.low_of.(a) else a in
+          let a1 = if va = v then m.high_of.(a) else a in
+          let b0 = if vb = v then m.low_of.(b) else b in
+          let b1 = if vb = v then m.high_of.(b) else b in
+          let low = apply m op a0 b0 in
+          let high = apply m op a1 b1 in
+          let r = mk m v low high in
+          Hashtbl.replace m.op_cache key r;
+          r)
+
+let apply_and m a b = apply m Op_and a b
+let apply_or m a b = apply m Op_or a b
+let apply_xor m a b = apply m Op_xor a b
+
+let neg m a = apply_xor m a top
+
+let rec ite m i t e =
+  if i = top then t
+  else if i = bot then e
+  else if t = e then t
+  else if t = top && e = bot then i
+  else
+    let key = (i, t, e) in
+    match Hashtbl.find_opt m.ite_cache key with
+    | Some r -> r
+    | None ->
+        let v = min m.var_of.(i) (min m.var_of.(t) m.var_of.(e)) in
+        let part n = if m.var_of.(n) = v then (m.low_of.(n), m.high_of.(n)) else (n, n) in
+        let i0, i1 = part i and t0, t1 = part t and e0, e1 = part e in
+        let low = ite m i0 t0 e0 in
+        let high = ite m i1 t1 e1 in
+        let r = mk m v low high in
+        Hashtbl.replace m.ite_cache key r;
+        r
+
+let rec restrict m n v value =
+  if n <= top || m.var_of.(n) > v then n
+  else if m.var_of.(n) = v then if value then m.high_of.(n) else m.low_of.(n)
+  else
+    let low = restrict m m.low_of.(n) v value in
+    let high = restrict m m.high_of.(n) v value in
+    mk m m.var_of.(n) low high
+
+let eval m n assignment =
+  if Array.length assignment <> m.nvars then invalid_arg "Bdd.eval: assignment length";
+  let rec go n =
+    if n = bot then false
+    else if n = top then true
+    else if assignment.(m.var_of.(n)) then go m.high_of.(n)
+    else go m.low_of.(n)
+  in
+  go n
+
+let sat_count m n =
+  let memo = Hashtbl.create 256 in
+  (* count n = models over variables [var_of n .. nvars); scale at root. *)
+  let rec go n =
+    if n = bot then 0.0
+    else if n = top then 1.0
+    else
+      match Hashtbl.find_opt memo n with
+      | Some c -> c
+      | None ->
+          let v = m.var_of.(n) in
+          let child_scale child =
+            let vc = if child <= top then m.nvars else m.var_of.(child) in
+            go child *. Float.pow 2.0 (float_of_int (vc - v - 1))
+          in
+          let c = child_scale m.low_of.(n) +. child_scale m.high_of.(n) in
+          Hashtbl.replace memo n c;
+          c
+  in
+  if n = bot then 0.0
+  else if n = top then Float.pow 2.0 (float_of_int m.nvars)
+  else go n *. Float.pow 2.0 (float_of_int m.var_of.(n))
+
+let size m n =
+  let seen = Hashtbl.create 64 in
+  let rec go n =
+    if n > top && not (Hashtbl.mem seen n) then begin
+      Hashtbl.add seen n ();
+      go m.low_of.(n);
+      go m.high_of.(n)
+    end
+  in
+  go n;
+  Hashtbl.length seen
+
+let total_nodes m = m.count
+
+module Circuit = Ll_netlist.Circuit
+module Gate = Ll_netlist.Gate
+module Bitvec = Ll_util.Bitvec
+
+let of_circuit m c ~inputs ~keys =
+  if Array.length inputs <> Circuit.num_inputs c then
+    invalid_arg "Bdd.of_circuit: input count mismatch";
+  if Array.length keys <> Circuit.num_keys c then
+    invalid_arg "Bdd.of_circuit: key count mismatch";
+  let node_fn = Array.make (Circuit.num_nodes c) bot in
+  let next_input = ref 0 and next_key = ref 0 in
+  let reduce op init fns =
+    match Array.length fns with
+    | 0 -> init
+    | _ -> Array.fold_left (fun acc f -> op m acc f) fns.(0) (Array.sub fns 1 (Array.length fns - 1))
+  in
+  Array.iteri
+    (fun i nd ->
+      let f =
+        match nd with
+        | Circuit.Input ->
+            let f = inputs.(!next_input) in
+            incr next_input;
+            f
+        | Circuit.Key_input ->
+            let f = keys.(!next_key) in
+            incr next_key;
+            f
+        | Circuit.Const v -> if v then top else bot
+        | Circuit.Gate (g, fanins) -> (
+            let fns = Array.map (fun j -> node_fn.(j)) fanins in
+            match g with
+            | Gate.And -> reduce apply_and top fns
+            | Gate.Nand -> neg m (reduce apply_and top fns)
+            | Gate.Or -> reduce apply_or bot fns
+            | Gate.Nor -> neg m (reduce apply_or bot fns)
+            | Gate.Xor -> reduce apply_xor bot fns
+            | Gate.Xnor -> neg m (reduce apply_xor bot fns)
+            | Gate.Not -> neg m fns.(0)
+            | Gate.Buf -> fns.(0)
+            | Gate.Mux -> ite m fns.(0) fns.(2) fns.(1)
+            | Gate.Lut table ->
+                (* Shannon expansion over the minterm list. *)
+                let k = Array.length fns in
+                let acc = ref bot in
+                for idx = 0 to (1 lsl k) - 1 do
+                  if Bitvec.get table idx then begin
+                    let minterm = ref top in
+                    for b = 0 to k - 1 do
+                      let lit =
+                        if (idx lsr b) land 1 = 1 then fns.(b) else neg m fns.(b)
+                      in
+                      minterm := apply_and m !minterm lit
+                    done;
+                    acc := apply_or m !acc !minterm
+                  end
+                done;
+                !acc)
+      in
+      node_fn.(i) <- f)
+    c.Circuit.nodes;
+  Array.map (fun (_, j) -> node_fn.(j)) c.Circuit.outputs
+
+let circuit_manager c =
+  let n_in = Circuit.num_inputs c and n_key = Circuit.num_keys c in
+  let m = manager ~num_vars:(n_in + n_key) () in
+  let inputs = Array.init n_in (fun i -> var m i) in
+  let keys = Array.init n_key (fun i -> var m (n_in + i)) in
+  (m, inputs, keys)

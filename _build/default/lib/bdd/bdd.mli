@@ -1,0 +1,67 @@
+(** Reduced ordered binary decision diagrams (ROBDDs).
+
+    A second, SAT-independent engine for exact reasoning about circuit
+    functions: canonical equivalence, exact model counting (used for exact
+    error rates of locked designs) and cofactoring.  Nodes are
+    hash-consed, so two equal functions over one manager are the {e same}
+    node — equality is integer comparison.
+
+    The variable order is fixed at manager creation (index order).  BDDs
+    can blow up on multiplier-like functions; guard large circuits with
+    {!size} checks or fall back to SAT ({!Ll_sat}). *)
+
+type manager
+
+type node = private int
+(** Canonical function handle, valid only within its manager. *)
+
+val manager : ?initial_capacity:int -> num_vars:int -> unit -> manager
+(** [num_vars] fixes the support; variables are indexed [0 .. num_vars-1]
+    with 0 closest to the root.  Raises [Invalid_argument] when negative. *)
+
+val num_vars : manager -> int
+
+val bot : node
+(** The constant-false function. *)
+
+val top : node
+(** The constant-true function. *)
+
+val var : manager -> int -> node
+(** The projection function of a variable.  Raises [Invalid_argument] when
+    out of range. *)
+
+val apply_and : manager -> node -> node -> node
+val apply_or : manager -> node -> node -> node
+val apply_xor : manager -> node -> node -> node
+val neg : manager -> node -> node
+
+val ite : manager -> node -> node -> node -> node
+(** [ite m i t e] = if [i] then [t] else [e]. *)
+
+val restrict : manager -> node -> int -> bool -> node
+(** Cofactor with respect to one variable. *)
+
+val eval : manager -> node -> bool array -> bool
+(** Raises [Invalid_argument] when the assignment length differs from
+    [num_vars]. *)
+
+val sat_count : manager -> node -> float
+(** Number of satisfying assignments over all [num_vars] variables
+    (exact for counts below 2^53). *)
+
+val size : manager -> node -> int
+(** Number of internal (non-terminal) nodes reachable from [node]. *)
+
+val total_nodes : manager -> int
+(** Allocated nodes in the manager (monotone; includes garbage). *)
+
+val of_circuit :
+  manager -> Ll_netlist.Circuit.t -> inputs:node array -> keys:node array -> node array
+(** Symbolically simulate a circuit: ports are bound to the given BDDs
+    (port order), outputs are returned in output order.  Raises
+    [Invalid_argument] on count mismatches. *)
+
+val circuit_manager : Ll_netlist.Circuit.t -> manager * node array * node array
+(** Convenience: a manager with one variable per primary input followed by
+    one per key port, plus the corresponding projection nodes. *)

@@ -1,0 +1,71 @@
+module Circuit = Ll_netlist.Circuit
+module Bitvec = Ll_util.Bitvec
+
+let check_signatures a b =
+  if Circuit.num_inputs a <> Circuit.num_inputs b then
+    invalid_arg "Bdd.Exact: input count mismatch";
+  if Circuit.num_outputs a <> Circuit.num_outputs b then
+    invalid_arg "Bdd.Exact: output count mismatch"
+
+let equivalent a b =
+  check_signatures a b;
+  if Circuit.num_keys a > 0 || Circuit.num_keys b > 0 then
+    invalid_arg "Bdd.Exact.equivalent: circuits must be key-free";
+  let m = Bdd.manager ~num_vars:(Circuit.num_inputs a) () in
+  let inputs = Array.init (Circuit.num_inputs a) (fun i -> Bdd.var m i) in
+  let fa = Bdd.of_circuit m a ~inputs ~keys:[||] in
+  let fb = Bdd.of_circuit m b ~inputs ~keys:[||] in
+  (* Hash-consing makes equivalence plain equality of node handles. *)
+  Array.for_all2 (fun x y -> x = y) fa fb
+
+(* The difference function OR_o (f_o xor g_o) for a keyed locked design. *)
+let difference ~original ~locked ~key =
+  check_signatures original locked;
+  if Bitvec.length key <> Circuit.num_keys locked then
+    invalid_arg "Bdd.Exact: key length mismatch";
+  let n_in = Circuit.num_inputs original in
+  let m = Bdd.manager ~num_vars:n_in () in
+  let inputs = Array.init n_in (fun i -> Bdd.var m i) in
+  let keys =
+    Array.init (Bitvec.length key) (fun i -> if Bitvec.get key i then Bdd.top else Bdd.bot)
+  in
+  let f = Bdd.of_circuit m original ~inputs ~keys:[||] in
+  let g = Bdd.of_circuit m locked ~inputs ~keys in
+  let diff = ref Bdd.bot in
+  Array.iteri (fun o fo -> diff := Bdd.apply_or m !diff (Bdd.apply_xor m fo g.(o))) f;
+  (m, !diff)
+
+let error_count ~original ~locked ~key =
+  let m, diff = difference ~original ~locked ~key in
+  Bdd.sat_count m diff
+
+let error_rate ~original ~locked ~key =
+  error_count ~original ~locked ~key
+  /. Float.pow 2.0 (float_of_int (Circuit.num_inputs original))
+
+let correct_key_count ~original ~locked =
+  check_signatures original locked;
+  let n_in = Circuit.num_inputs original and n_key = Circuit.num_keys locked in
+  (* Order keys first: [forall inputs] is then a traversal of the lower
+     part of the BDD, but a simple universal quantification works at any
+     order; we put inputs below keys so the final count ranges over key
+     variables only. *)
+  let m = Bdd.manager ~num_vars:(n_key + n_in) () in
+  let keys = Array.init n_key (fun i -> Bdd.var m i) in
+  let inputs = Array.init n_in (fun i -> Bdd.var m (n_key + i)) in
+  let f = Bdd.of_circuit m original ~inputs ~keys:[||] in
+  let g = Bdd.of_circuit m locked ~inputs ~keys in
+  let agree = ref Bdd.top in
+  Array.iteri
+    (fun o fo ->
+      agree := Bdd.apply_and m !agree (Bdd.neg m (Bdd.apply_xor m fo g.(o))))
+    f;
+  (* Universally quantify the input variables (indices n_key ..): a key is
+     correct iff agree holds for every input assignment. *)
+  let forall = ref !agree in
+  for v = n_key + n_in - 1 downto n_key do
+    forall := Bdd.apply_and m (Bdd.restrict m !forall v false) (Bdd.restrict m !forall v true)
+  done;
+  (* Count over key variables only: the function no longer depends on the
+     input variables, so divide their factor out. *)
+  Bdd.sat_count m !forall /. Float.pow 2.0 (float_of_int n_in)

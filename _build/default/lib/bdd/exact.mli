@@ -1,0 +1,35 @@
+(** Exact symbolic analyses of locked designs, built on {!Bdd}.
+
+    These complement the sampled estimators of [Ll_attack.Analysis] with
+    exact counts, and the SAT checks of [Ll_attack.Equiv] with a canonical
+    (counterexample-free) decision procedure.  Practical for designs whose
+    BDDs stay small — control-dominated logic up to a few hundred gates;
+    multipliers will blow up. *)
+
+val equivalent : Ll_netlist.Circuit.t -> Ll_netlist.Circuit.t -> bool
+(** Canonical equivalence of two key-free circuits of equal signature
+    (same input/output counts, matched by port order).  Raises
+    [Invalid_argument] on signature mismatch or remaining key ports. *)
+
+val error_count :
+  original:Ll_netlist.Circuit.t ->
+  locked:Ll_netlist.Circuit.t ->
+  key:Ll_util.Bitvec.t ->
+  float
+(** Exact number of input patterns on which the locked design under [key]
+    differs from the original (exact below 2^53).  Raises
+    [Invalid_argument] on mismatches. *)
+
+val error_rate :
+  original:Ll_netlist.Circuit.t ->
+  locked:Ll_netlist.Circuit.t ->
+  key:Ll_util.Bitvec.t ->
+  float
+(** {!error_count} divided by [2^num_inputs]. *)
+
+val correct_key_count :
+  original:Ll_netlist.Circuit.t -> locked:Ll_netlist.Circuit.t -> float
+(** Exact number of functionally correct keys: the model count of
+    [forall x. locked(x, k) = original(x)] over the key variables.  This
+    quantifies the "many right keys" effect of LUT-style locking.  Raises
+    [Invalid_argument] on mismatches. *)

@@ -1,0 +1,1 @@
+lib/bench_suite/generator.ml: Array Ll_netlist Ll_util Printf

@@ -1,0 +1,1 @@
+lib/bench_suite/generator.mli: Ll_netlist Ll_util

@@ -1,0 +1,1 @@
+lib/bench_suite/iscas.ml: Array Char Generator List Ll_netlist Ll_util Printf String Structured

@@ -1,0 +1,1 @@
+lib/bench_suite/iscas.mli: Ll_netlist

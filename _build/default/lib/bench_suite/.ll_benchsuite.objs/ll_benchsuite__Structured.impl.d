@@ -1,0 +1,1 @@
+lib/bench_suite/structured.ml: Array Ll_netlist

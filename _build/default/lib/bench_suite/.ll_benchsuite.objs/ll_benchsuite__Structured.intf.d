@@ -1,0 +1,1 @@
+lib/bench_suite/structured.mli: Ll_netlist

@@ -1,0 +1,88 @@
+module Builder = Ll_netlist.Builder
+module Gate = Ll_netlist.Gate
+module Prng = Ll_util.Prng
+
+(* AND/OR-family dominated, like the real ISCAS'85 netlists; XOR-heavy
+   random logic would make SAT queries unrealistically hard. *)
+let gate_menu =
+  [|
+    Gate.And; Gate.Nand; Gate.Or; Gate.Nor;
+    Gate.And; Gate.Nand; Gate.Or; Gate.Nor;
+    Gate.Xor; Gate.Xnor;
+  |]
+
+(* Pick a fanin, biased towards recently created signals so the network
+   gains depth instead of staying a two-level forest. *)
+let pick_fanin g pool pool_len =
+  let n = pool_len in
+  let r = Prng.float g 1.0 in
+  let i =
+    if r < 0.5 && n > 8 then n - 1 - Prng.int g (n / 4) (* recent quarter *)
+    else Prng.int g n
+  in
+  pool.(i)
+
+let filler g b ~seeds ~count =
+  if count > 0 && Array.length seeds = 0 then invalid_arg "Generator.filler: no seeds";
+  if count <= 0 then [||]
+  else begin
+    let pool = Array.make (Array.length seeds + count) seeds.(0) in
+    Array.blit seeds 0 pool 0 (Array.length seeds);
+    let pool_len = ref (Array.length seeds) in
+    let created = Array.make count seeds.(0) in
+    for i = 0 to count - 1 do
+      let gate = gate_menu.(Prng.int g (Array.length gate_menu)) in
+      let x = pick_fanin g pool !pool_len in
+      let y = pick_fanin g pool !pool_len in
+      let s =
+        (* Occasionally produce an inverter to diversify structure. *)
+        if Prng.float g 1.0 < 0.08 then Builder.not_ b x
+        else Builder.gate b gate [| x; y |]
+      in
+      pool.(!pool_len) <- s;
+      incr pool_len;
+      created.(i) <- s
+    done;
+    created
+  end
+
+let random_reduce g b signals =
+  if Array.length signals = 0 then invalid_arg "Generator.random_reduce: empty";
+  let rec round signals =
+    let n = Array.length signals in
+    if n = 1 then signals.(0)
+    else begin
+      let next = Array.make ((n + 1) / 2) signals.(0) in
+      let j = ref 0 in
+      let i = ref 0 in
+      while !i + 1 < n do
+        let gate = gate_menu.(Prng.int g (Array.length gate_menu)) in
+        next.(!j) <- Builder.gate b gate [| signals.(!i); signals.(!i + 1) |];
+        incr j;
+        i := !i + 2
+      done;
+      if !i < n then begin
+        next.(!j) <- signals.(!i);
+        incr j
+      end;
+      round (Array.sub next 0 !j)
+    end
+  in
+  round signals
+
+let random_circuit ?(seed = 1) ?(name = "random") ~num_inputs ~num_outputs ~gates () =
+  if num_inputs <= 0 || num_outputs <= 0 then
+    invalid_arg "Generator.random_circuit: need at least one input and output";
+  let g = Prng.create seed in
+  let b = Builder.create ~name () in
+  let inputs = Array.init num_inputs (fun i -> Builder.input b (Printf.sprintf "x%d" i)) in
+  let created = filler g b ~seeds:inputs ~count:gates in
+  let candidates = if Array.length created = 0 then inputs else created in
+  for o = 0 to num_outputs - 1 do
+    (* Prefer tapping distinct late gates; wrap around when outputs exceed
+       candidates. *)
+    let n = Array.length candidates in
+    let idx = if o < n then n - 1 - o else Prng.int g n in
+    Builder.output b (Printf.sprintf "y%d" o) candidates.(idx)
+  done;
+  Builder.finish b

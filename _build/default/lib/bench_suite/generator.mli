@@ -1,0 +1,36 @@
+(** Seeded random combinational logic.
+
+    Produces layered DAGs of 2-input gates.  Used both to pad structured
+    stand-ins to their target gate counts and as a source of arbitrary test
+    circuits for property-based testing. *)
+
+val filler :
+  Ll_util.Prng.t ->
+  Ll_netlist.Builder.t ->
+  seeds:Ll_netlist.Builder.signal array ->
+  count:int ->
+  Ll_netlist.Builder.signal array
+(** [filler g b ~seeds ~count] appends roughly [count] random gates whose
+    fanins are drawn from [seeds] and previously created filler gates (with
+    a locality bias so that depth grows).  Returns the created signals.
+    Raises [Invalid_argument] when [seeds] is empty and [count > 0]. *)
+
+val random_reduce :
+  Ll_util.Prng.t ->
+  Ll_netlist.Builder.t ->
+  Ll_netlist.Builder.signal array ->
+  Ll_netlist.Builder.signal
+(** Pairwise balanced reduction with randomly chosen 2-input gates.  Adds
+    [n-1] gates.  Raises [Invalid_argument] on an empty array. *)
+
+val random_circuit :
+  ?seed:int ->
+  ?name:string ->
+  num_inputs:int ->
+  num_outputs:int ->
+  gates:int ->
+  unit ->
+  Ll_netlist.Circuit.t
+(** A connected random circuit: outputs are tapped from the most recently
+    created gates (falling back to inputs for tiny gate counts).
+    Deterministic in [seed]. *)

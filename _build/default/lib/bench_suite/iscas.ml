@@ -1,0 +1,163 @@
+module Builder = Ll_netlist.Builder
+module Circuit = Ll_netlist.Circuit
+module Gate = Ll_netlist.Gate
+module Prng = Ll_util.Prng
+
+type functional_class = Control | Ecc | Alu | Multiplier | Adder_comparator
+
+type profile = {
+  name : string;
+  num_inputs : int;
+  num_outputs : int;
+  target_gates : int;
+  circuit_class : functional_class;
+}
+
+let profiles =
+  [
+    { name = "c432"; num_inputs = 36; num_outputs = 7; target_gates = 160; circuit_class = Control };
+    { name = "c499"; num_inputs = 41; num_outputs = 32; target_gates = 202; circuit_class = Ecc };
+    { name = "c880"; num_inputs = 60; num_outputs = 26; target_gates = 383; circuit_class = Alu };
+    { name = "c1355"; num_inputs = 41; num_outputs = 32; target_gates = 546; circuit_class = Ecc };
+    { name = "c1908"; num_inputs = 33; num_outputs = 25; target_gates = 880; circuit_class = Ecc };
+    { name = "c2670"; num_inputs = 233; num_outputs = 140; target_gates = 1193; circuit_class = Alu };
+    { name = "c3540"; num_inputs = 50; num_outputs = 22; target_gates = 1669; circuit_class = Alu };
+    { name = "c5315"; num_inputs = 178; num_outputs = 123; target_gates = 2307; circuit_class = Alu };
+    { name = "c6288"; num_inputs = 32; num_outputs = 32; target_gates = 2406; circuit_class = Multiplier };
+    { name = "c7552"; num_inputs = 207; num_outputs = 108; target_gates = 3512; circuit_class = Adder_comparator };
+  ]
+
+let names = "c17" :: List.map (fun p -> p.name) profiles
+
+let c17 () =
+  let b = Builder.create ~name:"c17" () in
+  let g1 = Builder.input b "G1" in
+  let g2 = Builder.input b "G2" in
+  let g3 = Builder.input b "G3" in
+  let g6 = Builder.input b "G6" in
+  let g7 = Builder.input b "G7" in
+  let g10 = Builder.gate ~name:"G10" b Gate.Nand [| g1; g3 |] in
+  let g11 = Builder.gate ~name:"G11" b Gate.Nand [| g3; g6 |] in
+  let g16 = Builder.gate ~name:"G16" b Gate.Nand [| g2; g11 |] in
+  let g19 = Builder.gate ~name:"G19" b Gate.Nand [| g11; g7 |] in
+  let g22 = Builder.gate ~name:"G22" b Gate.Nand [| g10; g16 |] in
+  let g23 = Builder.gate ~name:"G23" b Gate.Nand [| g16; g19 |] in
+  Builder.output b "G22" g22;
+  Builder.output b "G23" g23;
+  Builder.finish b
+
+(* Derive a stable seed from a benchmark name. *)
+let seed_of_name name =
+  let h = ref 5381 in
+  String.iter (fun ch -> h := (!h * 33) + Char.code ch) name;
+  !h land 0x3FFFFFFF
+
+(* Slice [k] signals starting at [pos mod n], wrapping. *)
+let slice inputs pos k =
+  let n = Array.length inputs in
+  Array.init k (fun i -> inputs.((pos + i) mod n))
+
+(* Build the structured core of a stand-in; returns interesting signals to
+   seed the random filler and tap outputs from. *)
+let structured_core g b inputs circuit_class =
+  let n = Array.length inputs in
+  let blocks = ref [] in
+  let add signals = blocks := signals :: !blocks in
+  (match circuit_class with
+  | Multiplier ->
+      let half = n / 2 in
+      let a = Array.sub inputs 0 half and bb = Array.sub inputs half (n - half) in
+      add (Structured.array_multiplier b ~a ~b:(Array.sub bb 0 half))
+  | Ecc ->
+      (* Parity checks over overlapping windows, like ECC syndrome logic. *)
+      let window = max 4 (n / 6) in
+      for i = 0 to 7 do
+        add [| Structured.parity b (slice inputs (i * 5) window) |]
+      done;
+      let w = min 8 (n / 2) in
+      add [|
+        Structured.equality b ~a:(slice inputs 0 w) ~b:(slice inputs w w);
+      |]
+  | Alu ->
+      let w = min 12 (n / 3) in
+      let a = slice inputs 0 w and bb = slice inputs w w in
+      let cin = inputs.(2 * w mod n) in
+      let sum, cout = Structured.ripple_adder b ~a ~b:bb ~cin in
+      add sum;
+      add [| cout |];
+      add [| Structured.less_than b ~a ~b:bb |];
+      let sel_idx = if (2 * w) + 1 < n then (2 * w) + 1 else 0 in
+      let sel = inputs.(sel_idx) in
+      add (Structured.mux_word b ~select:sel ~low:a ~high:bb)
+  | Control ->
+      let w = max 3 (min 6 (n / 6)) in
+      for i = 0 to 3 do
+        add [| Structured.equality b ~a:(slice inputs (i * w) w) ~b:(slice inputs ((i * w) + w) w) |]
+      done;
+      add (Structured.decoder b (slice inputs 1 3))
+  | Adder_comparator ->
+      (* c7552 is documented as a 34-bit adder/magnitude comparator with
+         parity logic. *)
+      let w = min 34 (n / 4) in
+      let a = slice inputs 0 w and bb = slice inputs w w in
+      let sum, cout = Structured.ripple_adder b ~a ~b:bb ~cin:inputs.(3 * w mod n) in
+      add sum;
+      add [| cout |];
+      add [| Structured.less_than b ~a ~b:bb |];
+      add [| Structured.equality b ~a ~b:bb |];
+      for i = 0 to 3 do
+        add [| Structured.parity b (slice inputs (i * 7) (max 4 (n / 8))) |]
+      done);
+  ignore g;
+  Array.concat !blocks
+
+let build_standin p =
+  let g = Prng.create (seed_of_name p.name) in
+  let b = Builder.create ~name:p.name () in
+  let inputs =
+    Array.init p.num_inputs (fun i -> Builder.input b (Printf.sprintf "I%d" i))
+  in
+  let core = structured_core g b inputs p.circuit_class in
+  if p.circuit_class = Multiplier then begin
+    (* c6288 is exactly an array multiplier: tap the product bits directly
+       (the structured core already accounts for the whole gate budget). *)
+    Array.iteri
+      (fun o s -> if o < p.num_outputs then Builder.output b (Printf.sprintf "O%d" o) s)
+      core;
+    Builder.finish b
+  end
+  else begin
+  let used = Builder.num_nodes b - p.num_inputs in
+  let remaining = max 0 (p.target_gates - used) in
+  (* Every filler gate must reach an output: the leftover budget is split
+     between free-form filler and the per-output combining trees that absorb
+     it (a tree over L signals costs L-1 gates). *)
+  let fill_count = max 0 ((remaining + p.num_outputs - Array.length core) / 2) in
+  let seeds = Array.append inputs core in
+  let created = Generator.filler g b ~seeds ~count:fill_count in
+  let pool = Array.append core created in
+  let pool = if Array.length pool = 0 then inputs else pool in
+  Ll_util.Prng.shuffle g pool;
+  let n = Array.length pool in
+  let n_out = p.num_outputs in
+  for o = 0 to n_out - 1 do
+    (* Round-robin partition of the pool across outputs. *)
+    let len = (n / n_out) + (if o < n mod n_out then 1 else 0) in
+    let signal =
+      if len = 0 then pool.(o mod n)
+      else if len = 1 then pool.(o)
+      else
+        let slice = Array.init len (fun i -> pool.(((i * n_out) + o) mod n)) in
+        Generator.random_reduce g b slice
+    in
+    Builder.output b (Printf.sprintf "O%d" o) signal
+  done;
+  Builder.finish b
+  end
+
+let get name =
+  if name = "c17" then c17 ()
+  else
+    match List.find_opt (fun p -> p.name = name) profiles with
+    | Some p -> build_standin p
+    | None -> raise Not_found

@@ -1,0 +1,30 @@
+(** The ISCAS'85 benchmark suite used by the paper's evaluation.
+
+    The original benchmark netlists are external artifacts; this module
+    embeds the textbook c17 exactly and builds deterministic structured
+    stand-ins for the larger members with the published input/output counts
+    and comparable gate counts (see DESIGN.md, substitution 3).  Real
+    [.bench] files can be used instead through {!Ll_netlist.Bench_io}. *)
+
+type functional_class = Control | Ecc | Alu | Multiplier | Adder_comparator
+
+type profile = {
+  name : string;
+  num_inputs : int;
+  num_outputs : int;
+  target_gates : int;  (** published gate count, used as the generation target *)
+  circuit_class : functional_class;
+}
+
+val profiles : profile list
+(** c432 … c7552 in size order (c17 excluded — it is exact). *)
+
+val names : string list
+(** ["c17"; "c432"; ...] *)
+
+val c17 : unit -> Ll_netlist.Circuit.t
+(** The exact 6-NAND textbook netlist. *)
+
+val get : string -> Ll_netlist.Circuit.t
+(** [get "c880"] builds the stand-in (or exact c17).  Deterministic.
+    Raises [Not_found] for unknown names. *)

@@ -1,0 +1,82 @@
+module Builder = Ll_netlist.Builder
+
+type signal = Builder.signal
+
+let full_adder b ~a ~b:bb ~cin =
+  let axb = Builder.xor2 b a bb in
+  let sum = Builder.xor2 b axb cin in
+  let carry = Builder.or2 b (Builder.and2 b a bb) (Builder.and2 b axb cin) in
+  (sum, carry)
+
+let ripple_adder b ~a ~b:bb ~cin =
+  if Array.length a <> Array.length bb then invalid_arg "ripple_adder: width mismatch";
+  let n = Array.length a in
+  let sums = Array.make n cin in
+  let carry = ref cin in
+  for i = 0 to n - 1 do
+    let s, c = full_adder b ~a:a.(i) ~b:bb.(i) ~cin:!carry in
+    sums.(i) <- s;
+    carry := c
+  done;
+  (sums, !carry)
+
+let array_multiplier b ~a ~b:bb =
+  let n = Array.length a and m = Array.length bb in
+  if n = 0 || m = 0 then invalid_arg "array_multiplier: empty operand";
+  let zero = Builder.const b false in
+  (* Row-by-row carry-propagate accumulation of partial products. *)
+  let acc = Array.make (n + m) zero in
+  for j = 0 to m - 1 do
+    let partial = Array.map (fun ai -> Builder.and2 b ai bb.(j)) a in
+    let carry = ref zero in
+    for i = 0 to n - 1 do
+      let s, c = full_adder b ~a:acc.(i + j) ~b:partial.(i) ~cin:!carry in
+      acc.(i + j) <- s;
+      carry := c
+    done;
+    (* Propagate the final carry into the accumulator tail. *)
+    let is_zero s = Builder.index_of_signal s = Builder.index_of_signal zero in
+    let pos = ref (n + j) in
+    while !pos < n + m && not (is_zero !carry) do
+      let s, c = full_adder b ~a:acc.(!pos) ~b:!carry ~cin:zero in
+      acc.(!pos) <- s;
+      carry := c;
+      incr pos
+    done
+  done;
+  acc
+
+let equality b ~a ~b:bb =
+  if Array.length a <> Array.length bb then invalid_arg "equality: width mismatch";
+  let bits = Array.map2 (fun x y -> Builder.xnor2 b x y) a bb in
+  Builder.and_reduce b bits
+
+let less_than b ~a ~b:bb =
+  if Array.length a <> Array.length bb then invalid_arg "less_than: width mismatch";
+  (* From MSB down: lt_i = (¬a_i ∧ b_i) ∨ (a_i = b_i) ∧ lt_{i-1}. *)
+  let n = Array.length a in
+  let lt = ref (Builder.const b false) in
+  for i = 0 to n - 1 do
+    let strictly = Builder.and2 b (Builder.not_ b a.(i)) bb.(i) in
+    let equal_here = Builder.xnor2 b a.(i) bb.(i) in
+    lt := Builder.or2 b strictly (Builder.and2 b equal_here !lt)
+  done;
+  !lt
+
+let parity b signals = Builder.xor_reduce b signals
+
+let majority3 b x y z =
+  Builder.or_reduce b [| Builder.and2 b x y; Builder.and2 b x z; Builder.and2 b y z |]
+
+let decoder b sel =
+  let k = Array.length sel in
+  let inverted = Array.map (fun s -> Builder.not_ b s) sel in
+  Array.init (1 lsl k) (fun v ->
+      let terms =
+        Array.init k (fun j -> if (v lsr j) land 1 = 1 then sel.(j) else inverted.(j))
+      in
+      if k = 0 then Builder.const b true else Builder.and_reduce b terms)
+
+let mux_word b ~select ~low ~high =
+  if Array.length low <> Array.length high then invalid_arg "mux_word: width mismatch";
+  Array.map2 (fun l h -> Builder.mux b ~select ~low:l ~high:h) low high

@@ -1,0 +1,38 @@
+(** Reusable datapath blocks for benchmark construction: adders,
+    multipliers, comparators and parity networks.
+
+    All blocks are little-endian: bit 0 of an operand array is the least
+    significant bit. *)
+
+type signal = Ll_netlist.Builder.signal
+
+val full_adder :
+  Ll_netlist.Builder.t -> a:signal -> b:signal -> cin:signal -> signal * signal
+(** [(sum, carry)]. *)
+
+val ripple_adder :
+  Ll_netlist.Builder.t -> a:signal array -> b:signal array -> cin:signal -> signal array * signal
+(** Equal-width operands; returns (sum bits, carry out). *)
+
+val array_multiplier :
+  Ll_netlist.Builder.t -> a:signal array -> b:signal array -> signal array
+(** Carry-save array multiplier; result width is [|a| + |b|].  This is the
+    structure of ISCAS'85 c6288. *)
+
+val equality : Ll_netlist.Builder.t -> a:signal array -> b:signal array -> signal
+(** 1 iff the operands are bitwise equal. *)
+
+val less_than : Ll_netlist.Builder.t -> a:signal array -> b:signal array -> signal
+(** Unsigned [a < b] for equal-width operands. *)
+
+val parity : Ll_netlist.Builder.t -> signal array -> signal
+(** XOR reduction. *)
+
+val majority3 : Ll_netlist.Builder.t -> signal -> signal -> signal -> signal
+
+val decoder : Ll_netlist.Builder.t -> signal array -> signal array
+(** [decoder b sel] produces [2^|sel|] one-hot lines. *)
+
+val mux_word :
+  Ll_netlist.Builder.t -> select:signal -> low:signal array -> high:signal array -> signal array
+(** Per-bit 2:1 selection of equal-width words. *)

@@ -1,0 +1,1 @@
+lib/locking/antisat.ml: Array Compose_key Ll_netlist Ll_util Locked Printf Rework

@@ -1,0 +1,1 @@
+lib/locking/antisat.mli: Ll_netlist Ll_util Locked

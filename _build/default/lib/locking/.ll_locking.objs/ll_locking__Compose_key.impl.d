@@ -1,0 +1,1 @@
+lib/locking/compose_key.ml: Ll_netlist Ll_util Locked

@@ -1,0 +1,1 @@
+lib/locking/compose_key.mli: Ll_netlist Ll_util Locked

@@ -1,0 +1,1 @@
+lib/locking/locked.ml: Ll_netlist Ll_util

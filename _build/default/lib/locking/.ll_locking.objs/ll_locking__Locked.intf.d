@@ -1,0 +1,1 @@
+lib/locking/locked.mli: Ll_netlist Ll_util

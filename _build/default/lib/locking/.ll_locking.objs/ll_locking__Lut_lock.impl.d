@@ -1,0 +1,1 @@
+lib/locking/lut_lock.ml: Array Compose_key List Ll_netlist Ll_util Locked Printf Rework

@@ -1,0 +1,1 @@
+lib/locking/lut_lock.mli: Ll_netlist Ll_util Locked

@@ -1,0 +1,1 @@
+lib/locking/mixed_sarlock.ml: Array Compose_key List Ll_netlist Ll_util Locked Printf Rework Structured_eq

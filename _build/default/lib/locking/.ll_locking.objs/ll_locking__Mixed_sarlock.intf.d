@@ -1,0 +1,1 @@
+lib/locking/mixed_sarlock.mli: Ll_netlist Ll_util Locked

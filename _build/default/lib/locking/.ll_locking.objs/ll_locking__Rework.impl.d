@@ -1,0 +1,1 @@
+lib/locking/rework.ml: Array Ll_netlist Printf String

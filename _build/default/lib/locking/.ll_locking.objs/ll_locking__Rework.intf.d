@@ -1,0 +1,1 @@
+lib/locking/rework.mli: Ll_netlist

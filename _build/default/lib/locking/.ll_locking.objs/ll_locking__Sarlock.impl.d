@@ -1,0 +1,1 @@
+lib/locking/sarlock.ml: Array Compose_key Hashtbl Ll_netlist Ll_util Locked Printf Rework Structured_eq

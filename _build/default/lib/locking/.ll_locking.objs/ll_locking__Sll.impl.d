@@ -1,0 +1,1 @@
+lib/locking/sll.ml: Array Compose_key Hashtbl List Ll_netlist Ll_util Locked Printf Rework

@@ -1,0 +1,1 @@
+lib/locking/sll.mli: Ll_netlist Ll_util Locked

@@ -1,0 +1,1 @@
+lib/locking/structured_eq.ml: Array Ll_netlist

@@ -1,0 +1,1 @@
+lib/locking/structured_eq.mli: Ll_netlist

@@ -1,0 +1,1 @@
+lib/locking/xor_lock.ml: Array Compose_key Hashtbl List Ll_netlist Ll_util Locked Printf Rework

@@ -1,0 +1,1 @@
+lib/locking/xor_lock.mli: Ll_netlist Ll_util Locked

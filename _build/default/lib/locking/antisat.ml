@@ -1,0 +1,39 @@
+module Circuit = Ll_netlist.Circuit
+module Builder = Ll_netlist.Builder
+module Bitvec = Ll_util.Bitvec
+module Prng = Ll_util.Prng
+
+let lock ?(prng = Prng.create 1) ?base_key ?tap_inputs ?(flip_output = 0) ~width c =
+  let base = Compose_key.base_of ?base_key c in
+  let n_in = Circuit.num_inputs c in
+  if width <= 0 || width > n_in then invalid_arg "Antisat.lock: bad width";
+  let taps =
+    match tap_inputs with Some a -> a | None -> Array.init width (fun i -> i)
+  in
+  if Array.length taps <> width then
+    invalid_arg "Antisat.lock: tap_inputs length must equal width";
+  Array.iter
+    (fun p -> if p < 0 || p >= n_in then invalid_arg "Antisat.lock: tap out of range")
+    taps;
+  if flip_output < 0 || flip_output >= Circuit.num_outputs c then
+    invalid_arg "Antisat.lock: flip_output out of range";
+  let v = Bitvec.random prng width in
+  let rewrite_outputs ctx outs =
+    let b = ctx.Rework.builder in
+    let keys = ctx.Rework.new_keys in
+    let xs = Array.map (fun p -> ctx.Rework.inputs.(p)) taps in
+    let k1 = Array.sub keys 0 width and k2 = Array.sub keys width width in
+    let g_in = Array.map2 (fun x k -> Builder.xor2 b x k) xs k1 in
+    let gbar_in = Array.map2 (fun x k -> Builder.xor2 b x k) xs k2 in
+    let g = Builder.and_reduce b g_in in
+    let gbar = Builder.not_ b (Builder.and_reduce b gbar_in) in
+    let block = Builder.and2 b g gbar in
+    Array.mapi
+      (fun i (name, s) ->
+        if i = flip_output then (name, Builder.xor2 b s block) else (name, s))
+      outs
+  in
+  let circuit = Rework.apply c ~num_new_keys:(2 * width) ~rewrite_outputs () in
+  Locked.make ~circuit
+    ~correct_key:(Bitvec.append base (Bitvec.append v v))
+    ~scheme:(Printf.sprintf "antisat(m=%d)" width)

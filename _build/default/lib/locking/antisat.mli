@@ -1,0 +1,21 @@
+(** Anti-SAT locking [Xie & Srivastava, CHES'16] — an extension beyond the
+    paper's benchmarked schemes, included because it is the other canonical
+    SAT-resilient point-function defense.
+
+    The block computes [g(x ⊕ k1) ∧ ¬g(x ⊕ k2)] with [g] an AND tree over
+    [m] selected inputs, and XORs it into one output.  The block is the
+    constant 0 — i.e. the design is correct — exactly when [k1 = k2], so
+    there are [2^m] correct keys out of [2^(2m)]; the SAT attack needs
+    exponentially many DIPs to prune the rest. *)
+
+val lock :
+  ?prng:Ll_util.Prng.t ->
+  ?base_key:Ll_util.Bitvec.t ->
+  ?tap_inputs:int array ->
+  ?flip_output:int ->
+  width:int ->
+  Ll_netlist.Circuit.t ->
+  Locked.t
+(** [width] is [m]; the resulting key has [2m] bits ([k1] then [k2]).
+    [tap_inputs] selects the [m] compared input positions (default: first
+    [m]).  The recorded correct key is [v ++ v] for a random [v]. *)

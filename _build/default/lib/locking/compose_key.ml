@@ -1,0 +1,20 @@
+module Circuit = Ll_netlist.Circuit
+module Bitvec = Ll_util.Bitvec
+
+let base_of ?base_key c =
+  match base_key with
+  | Some k ->
+      if Bitvec.length k <> Circuit.num_keys c then
+        invalid_arg "Compose_key.base_of: base key length mismatch";
+      k
+  | None ->
+      if Circuit.num_keys c > 0 then
+        invalid_arg "Compose_key.base_of: circuit already has keys; pass ~base_key";
+      Bitvec.create 0
+
+let relock locked ~scheme:(scheme : ?base_key:Bitvec.t -> Circuit.t -> Locked.t) =
+  let next = scheme ~base_key:locked.Locked.correct_key locked.Locked.circuit in
+  {
+    next with
+    Locked.scheme = locked.Locked.scheme ^ "+" ^ next.Locked.scheme;
+  }

@@ -1,0 +1,18 @@
+(** Helpers for layering several locking schemes on one design.
+
+    Every scheme appends its key ports after the existing ones, so the
+    correct key of a composed design is the concatenation of each layer's
+    bits in application order. *)
+
+val base_of : ?base_key:Ll_util.Bitvec.t -> Ll_netlist.Circuit.t -> Ll_util.Bitvec.t
+(** Validation shared by the locking schemes: returns the correct bits of
+    the existing key ports — [base_key] when given (length-checked), the
+    empty vector when the circuit is key-free.  Raises [Invalid_argument]
+    when the circuit carries keys but no [base_key] was supplied. *)
+
+val relock :
+  Locked.t ->
+  scheme:(?base_key:Ll_util.Bitvec.t -> Ll_netlist.Circuit.t -> Locked.t) ->
+  Locked.t
+(** [relock locked ~scheme] applies a further scheme to an already-locked
+    design, combining the correct keys and scheme labels. *)

@@ -1,0 +1,15 @@
+module Circuit = Ll_netlist.Circuit
+module Bitvec = Ll_util.Bitvec
+
+type t = { circuit : Circuit.t; correct_key : Bitvec.t; scheme : string }
+
+let make ~circuit ~correct_key ~scheme =
+  if Bitvec.length correct_key <> Circuit.num_keys circuit then
+    invalid_arg "Locked.make: key length mismatch";
+  { circuit; correct_key; scheme }
+
+let unlock t key = Ll_netlist.Instantiate.bind_keys t.circuit key
+
+let unlock_correct t = unlock t t.correct_key
+
+let key_size t = Circuit.num_keys t.circuit

@@ -1,0 +1,23 @@
+(** A locked design: the key-carrying netlist together with its known
+    correct key and provenance metadata.
+
+    All locking schemes in this library produce this record.  Schemes
+    compose: a locked circuit can be locked again, in which case the new
+    key bits are appended after the existing ones. *)
+
+type t = {
+  circuit : Ll_netlist.Circuit.t;  (** carries the key ports *)
+  correct_key : Ll_util.Bitvec.t;  (** in [circuit.keys] port order *)
+  scheme : string;  (** human-readable description, e.g. ["sarlock(k=8)"] *)
+}
+
+val make : circuit:Ll_netlist.Circuit.t -> correct_key:Ll_util.Bitvec.t -> scheme:string -> t
+(** Raises [Invalid_argument] when the key length does not match the
+    circuit's key port count. *)
+
+val unlock : t -> Ll_util.Bitvec.t -> Ll_netlist.Circuit.t
+(** Bind a key (correct or not) to constants, yielding a key-free netlist. *)
+
+val unlock_correct : t -> Ll_netlist.Circuit.t
+
+val key_size : t -> int

@@ -1,0 +1,113 @@
+module Circuit = Ll_netlist.Circuit
+module Builder = Ll_netlist.Builder
+module Bitvec = Ll_util.Bitvec
+module Prng = Ll_util.Prng
+
+let key_size ~stage1_luts ~stage1_inputs =
+  (stage1_luts * (1 lsl stage1_inputs)) + (1 lsl stage1_luts)
+
+let lock ?(prng = Prng.create 1) ?base_key ?(stage1_luts = 3) ?(stage1_inputs = 3)
+    ?(aux_levels = Some 2) ?victim c =
+  let base = Compose_key.base_of ?base_key c in
+  if stage1_luts < 1 || stage1_luts > 6 then invalid_arg "Lut_lock.lock: bad stage1_luts";
+  if stage1_inputs < 1 || stage1_inputs > 6 then
+    invalid_arg "Lut_lock.lock: bad stage1_inputs";
+  let gates =
+    Array.to_list c.Circuit.nodes
+    |> List.mapi (fun i nd -> (i, nd))
+    |> List.filter_map (fun (i, nd) ->
+           match nd with
+           | Circuit.Gate _ -> Some i
+           | Circuit.Input | Circuit.Key_input | Circuit.Const _ -> None)
+    |> Array.of_list
+  in
+  if Array.length gates = 0 then invalid_arg "Lut_lock.lock: circuit has no gates";
+  let victim =
+    match victim with
+    | Some v ->
+        (match Circuit.node c v with
+        | Circuit.Gate _ -> ()
+        | Circuit.Input | Circuit.Key_input | Circuit.Const _ ->
+            invalid_arg "Lut_lock.lock: victim is not a gate");
+        v
+    | None ->
+        (* Middle half of the netlist (so the module sits deep in the
+           logic), preferring a high-fanout wire — cutting an influential
+           signal is what gives the scheme its output corruption. *)
+        let n = Array.length gates in
+        let lo = n / 4 and len = max 1 (n / 2) in
+        let fanouts = Circuit.fanouts c in
+        let candidates =
+          Array.init len (fun i -> gates.(lo + ((i + Prng.int prng len) mod len)))
+        in
+        let best = ref candidates.(0) in
+        Array.iter
+          (fun g -> if Array.length fanouts.(g) > Array.length fanouts.(!best) then best := g)
+          candidates;
+        !best
+  in
+  (* Auxiliary signals: original nodes strictly before the victim (no
+     combinational cycle is possible through them).  By default they are
+     drawn near the primary inputs ([aux_levels]), mirroring the original
+     scheme's local-wire selection — and making the module collapsible when
+     the split attack pins the inputs that feed it. *)
+  let levels = Circuit.levels c in
+  let pool_at limit =
+    List.init victim (fun i -> i)
+    |> List.filter (fun i ->
+           (match limit with Some l -> levels.(i) <= l | None -> true)
+           &&
+           match Circuit.node c i with
+           | Circuit.Gate _ | Circuit.Input -> true
+           | Circuit.Key_input | Circuit.Const _ -> false)
+    |> Array.of_list
+  in
+  let aux_pool =
+    let shallow = pool_at aux_levels in
+    if Array.length shallow > 0 then shallow else pool_at None
+  in
+  let need_aux = (stage1_inputs - 1) + ((stage1_luts - 1) * stage1_inputs) in
+  if Array.length aux_pool = 0 && need_aux > 0 then
+    invalid_arg "Lut_lock.lock: no auxiliary signals available before the victim";
+  let pick_aux () = aux_pool.(Prng.int prng (Array.length aux_pool)) in
+  let aux = Array.init need_aux (fun _ -> pick_aux ()) in
+  let m = stage1_luts and a = stage1_inputs in
+  let stage1_bits = 1 lsl a and stage2_bits = 1 lsl m in
+  let total_keys = key_size ~stage1_luts:m ~stage1_inputs:a in
+  (* Correct key: LUT0 and the stage-2 LUT pass their input 0 through; the
+     other stage-1 tables are don't-cares and get random bits. *)
+  let correct =
+    Bitvec.init total_keys (fun pos ->
+        if pos < stage1_bits then (pos lsr 0) land 1 = 1 (* LUT0: select bit 0 = w *)
+        else if pos < m * stage1_bits then Prng.bool prng
+        else
+          let idx = pos - (m * stage1_bits) in
+          idx land 1 = 1 (* stage 2: select bit 0 = LUT0 output *))
+  in
+  let wrap ctx i w =
+    if i <> victim then None
+    else begin
+      let b = ctx.Rework.builder in
+      let keys = ctx.Rework.new_keys in
+      let stage1_out =
+        Array.init m (fun j ->
+            let selects =
+              Array.init a (fun p ->
+                  if j = 0 && p = 0 then w
+                  else
+                    let aux_idx = if j = 0 then p - 1 else (a - 1) + ((j - 1) * a) + p in
+                    ctx.Rework.resolve aux.(aux_idx))
+            in
+            let data =
+              Array.init stage1_bits (fun t -> keys.((j * stage1_bits) + t))
+            in
+            Builder.mux_tree b ~selects ~data)
+      in
+      let data2 = Array.init stage2_bits (fun t -> keys.((m * stage1_bits) + t)) in
+      Some (Builder.mux_tree b ~selects:stage1_out ~data:data2)
+    end
+  in
+  let circuit = Rework.apply c ~num_new_keys:total_keys ~wrap () in
+  Locked.make ~circuit
+    ~correct_key:(Bitvec.append base correct)
+    ~scheme:(Printf.sprintf "lut(m=%d,a=%d,k=%d)" m a total_keys)

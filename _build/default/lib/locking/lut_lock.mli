@@ -1,0 +1,39 @@
+(** Multi-stage LUT insertion [Chowdhury et al., ISCAS'21] — the
+    miter-hardening scheme of the paper's Table 2.
+
+    A two-stage LUT module is spliced into a randomly chosen internal wire
+    [w]: the first stage holds [stage1_luts] LUTs of [stage1_inputs] inputs
+    each (the first one reads [w] plus auxiliary signals; the others read
+    auxiliary signals only), and the second stage is one LUT over the
+    stage-1 outputs.  Every truth-table bit is a key input, realised as a
+    key-fed MUX tree, so the key size is
+    [stage1_luts * 2^stage1_inputs + 2^stage1_luts].
+
+    The recorded correct key routes [w] through both stages unchanged;
+    because most table bits are don't-cares for that behaviour, {e many}
+    keys are functionally correct — attacks must be verified by
+    equivalence, not key comparison.  The paper's configuration (14 inputs,
+    two stages, key size 156) corresponds to larger [stage1_luts] /
+    [stage1_inputs]; defaults here are scaled for laptop runtimes (see
+    DESIGN.md, substitution 4). *)
+
+val lock :
+  ?prng:Ll_util.Prng.t ->
+  ?base_key:Ll_util.Bitvec.t ->
+  ?stage1_luts:int ->
+  ?stage1_inputs:int ->
+  ?aux_levels:int option ->
+  ?victim:int ->
+  Ll_netlist.Circuit.t ->
+  Locked.t
+(** Defaults: [stage1_luts = 3], [stage1_inputs = 3] (key size 32).
+    [aux_levels] bounds the logic level of the auxiliary select signals
+    (default [Some 2]: wires at most two gates away from the inputs, as in
+    the original scheme's local-wire selection; [None] draws from the whole
+    fanin-feasible region).  [victim] picks the wire to cut (a [Gate] node
+    index); default: a deterministic pseudo-random gate in the middle of
+    the netlist.  Raises [Invalid_argument] when the circuit has no gates
+    or parameters are out of range (each stage width must be between 1 and
+    6). *)
+
+val key_size : stage1_luts:int -> stage1_inputs:int -> int

@@ -1,0 +1,67 @@
+module Circuit = Ll_netlist.Circuit
+module Builder = Ll_netlist.Builder
+module Bitvec = Ll_util.Bitvec
+module Prng = Ll_util.Prng
+
+let lock ?(prng = Prng.create 1) ?base_key ?mix_width ?(flip_output = 0) ?key ~key_size c =
+  let base = Compose_key.base_of ?base_key c in
+  let n_in = Circuit.num_inputs c in
+  if key_size <= 0 then invalid_arg "Mixed_sarlock.lock: bad key size";
+  let mix_width =
+    match mix_width with Some w -> w | None -> max 2 (n_in / 2)
+  in
+  if mix_width < 1 || mix_width > n_in then
+    invalid_arg "Mixed_sarlock.lock: bad mix width";
+  if flip_output < 0 || flip_output >= Circuit.num_outputs c then
+    invalid_arg "Mixed_sarlock.lock: flip_output out of range";
+  let correct =
+    match key with
+    | Some k ->
+        if Bitvec.length k <> key_size then
+          invalid_arg "Mixed_sarlock.lock: key length mismatch";
+        k
+    | None -> Bitvec.random prng key_size
+  in
+  if key_size > n_in then
+    invalid_arg "Mixed_sarlock.lock: key size exceeds input count";
+  (* Each parity subset gets a private anchor input appearing in no other
+     subset: the mix map then stays surjective under any cofactor that
+     leaves the anchors free, so splitting cannot thin out the wrong-key
+     population. *)
+  let anchors = Array.of_list (Prng.sample prng ~k:key_size ~n:n_in) in
+  let anchor_set = Array.to_list anchors in
+  let others =
+    Array.init n_in (fun i -> i)
+    |> Array.to_list
+    |> List.filter (fun i -> not (List.mem i anchor_set))
+    |> Array.of_list
+  in
+  let subsets =
+    Array.map
+      (fun anchor ->
+        let extra = min (mix_width - 1) (Array.length others) in
+        let chosen = Prng.sample prng ~k:extra ~n:(Array.length others) in
+        Array.of_list (anchor :: List.map (fun i -> others.(i)) chosen))
+      anchors
+  in
+  let rewrite_outputs ctx outs =
+    let b = ctx.Rework.builder in
+    let keys = ctx.Rework.new_keys in
+    let mixes =
+      Array.map
+        (fun subset ->
+          Builder.xor_reduce b (Array.map (fun p -> ctx.Rework.inputs.(p)) subset))
+        subsets
+    in
+    let match_mix = Structured_eq.equal_signals b mixes keys in
+    let match_correct = Structured_eq.equal_consts b keys (Bitvec.to_bool_array correct) in
+    let flip = Builder.and2 b match_mix (Builder.not_ b match_correct) in
+    Array.mapi
+      (fun i (name, s) ->
+        if i = flip_output then (name, Builder.xor2 b s flip) else (name, s))
+      outs
+  in
+  let circuit = Rework.apply c ~num_new_keys:key_size ~rewrite_outputs () in
+  Locked.make ~circuit
+    ~correct_key:(Bitvec.append base correct)
+    ~scheme:(Printf.sprintf "mixed-sarlock(k=%d,w=%d)" key_size mix_width)

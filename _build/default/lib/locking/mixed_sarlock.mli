@@ -1,0 +1,28 @@
+(** Input-mixing SARLock — a candidate defense against the multi-key
+    attack (the paper's future-work direction).
+
+    Classic SARLock compares the key against [|K|] {e individual} primary
+    inputs, so pinning those inputs (cofactoring) collapses the comparator
+    and hands each sub-attack an easier problem with many acceptable keys.
+    This variant compares the key against [|K|] {e parity mixes} of the
+    primary inputs: every mix XORs a wide, random subset of inputs.
+    Pinning any few inputs merely toggles constants inside each parity
+    tree — the comparator survives every cofactor, so the per-task [#DIP]
+    stays at [2^K - 1] instead of halving per split bit.
+
+    The [bench/main.exe ablation] section measures this behaviour against
+    classic SARLock. *)
+
+val lock :
+  ?prng:Ll_util.Prng.t ->
+  ?base_key:Ll_util.Bitvec.t ->
+  ?mix_width:int ->
+  ?flip_output:int ->
+  ?key:Ll_util.Bitvec.t ->
+  key_size:int ->
+  Ll_netlist.Circuit.t ->
+  Locked.t
+(** [mix_width] is the number of primary inputs XOR-ed into each compared
+    bit (default: half of the inputs, at least 2).  Other parameters as in
+    {!Sarlock.lock}.  Raises [Invalid_argument] on out-of-range
+    parameters. *)

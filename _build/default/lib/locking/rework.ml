@@ -1,0 +1,66 @@
+module Circuit = Ll_netlist.Circuit
+module Builder = Ll_netlist.Builder
+
+type ctx = {
+  builder : Builder.t;
+  new_keys : Builder.signal array;
+  inputs : Builder.signal array;
+  resolve : int -> Builder.signal;
+}
+
+let next_key_index c =
+  let best = ref 0 in
+  Array.iter
+    (fun j ->
+      let name = Circuit.node_name c j in
+      if String.length name > 8 && String.sub name 0 8 = "keyinput" then
+        match int_of_string_opt (String.sub name 8 (String.length name - 8)) with
+        | Some i -> best := max !best (i + 1)
+        | None -> ())
+    c.Circuit.keys;
+  !best
+
+let apply c ~num_new_keys ?(wrap = fun _ _ _ -> None) ?(rewrite_outputs = fun _ outs -> outs)
+    () =
+  let b = Builder.create ~name:c.Circuit.name () in
+  let map = Array.make (Circuit.num_nodes c) None in
+  let inputs =
+    Array.map
+      (fun j ->
+        let s = Builder.input b (Circuit.node_name c j) in
+        s)
+      c.Circuit.inputs
+  in
+  Array.iteri (fun pos j -> map.(j) <- Some inputs.(pos)) c.Circuit.inputs;
+  Array.iter
+    (fun j -> map.(j) <- Some (Builder.key_input b (Circuit.node_name c j)))
+    c.Circuit.keys;
+  let key_base = next_key_index c in
+  let new_keys =
+    Array.init num_new_keys (fun i ->
+        Builder.key_input b (Printf.sprintf "keyinput%d" (key_base + i)))
+  in
+  let get j = match map.(j) with Some s -> s | None -> assert false in
+  let ctx = { builder = b; new_keys; inputs; resolve = get } in
+  Array.iteri
+    (fun i nd ->
+      let original =
+        match nd with
+        | Circuit.Input | Circuit.Key_input -> None
+        | Circuit.Const v -> Some (Builder.const b v)
+        | Circuit.Gate (g, fanins) ->
+            Some (Builder.gate ~name:(Circuit.node_name c i) b g (Array.map get fanins))
+      in
+      match original with
+      | None -> (
+          (* Ports may still be wrapped (e.g. locking an input wire). *)
+          match wrap ctx i (get i) with Some s' -> map.(i) <- Some s' | None -> ())
+      | Some s -> (
+          match wrap ctx i s with
+          | Some s' -> map.(i) <- Some s'
+          | None -> map.(i) <- Some s))
+    c.Circuit.nodes;
+  let outs = Array.map (fun (name, j) -> (name, get j)) c.Circuit.outputs in
+  let outs = rewrite_outputs ctx outs in
+  Array.iter (fun (name, s) -> Builder.output b name s) outs;
+  Builder.finish b

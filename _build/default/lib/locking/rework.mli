@@ -1,0 +1,39 @@
+(** Shared machinery for locking transformations.
+
+    Rebuilds a circuit with (a) fresh key ports appended after any existing
+    ones, (b) a per-node wrapping hook that may splice key-dependent logic
+    into a node's fanout, and (c) an output hook that may rewrite output
+    drivers (for point-function schemes like SARLock and Anti-SAT).
+
+    Port layout of the result: original primary inputs (same order), then
+    original key ports, then the new key ports — so an existing correct key
+    extends by appending the new scheme's bits. *)
+
+type ctx = {
+  builder : Ll_netlist.Builder.t;
+  new_keys : Ll_netlist.Builder.signal array;  (** the freshly added key ports *)
+  inputs : Ll_netlist.Builder.signal array;  (** original primary inputs *)
+  resolve : int -> Ll_netlist.Builder.signal;
+      (** rebuilt signal of an original node; only valid for nodes already
+          processed (topologically earlier than the current hook point) *)
+}
+
+val next_key_index : Ll_netlist.Circuit.t -> int
+(** First free [keyinput<i>] name suffix (existing key ports considered). *)
+
+val apply :
+  Ll_netlist.Circuit.t ->
+  num_new_keys:int ->
+  ?wrap:(ctx -> int -> Ll_netlist.Builder.signal -> Ll_netlist.Builder.signal option) ->
+  ?rewrite_outputs:
+    (ctx ->
+    (string * Ll_netlist.Builder.signal) array ->
+    (string * Ll_netlist.Builder.signal) array) ->
+  unit ->
+  Ll_netlist.Circuit.t
+(** [apply c ~num_new_keys ~wrap ~rewrite_outputs ()]:
+
+    [wrap ctx i s] runs right after original node [i] is recreated as
+    signal [s]; returning [Some s'] makes every fanout (and output) of [i]
+    read [s'] instead.  [rewrite_outputs ctx outs] may replace output
+    drivers before they are declared. *)

@@ -1,0 +1,52 @@
+module Circuit = Ll_netlist.Circuit
+module Builder = Ll_netlist.Builder
+module Bitvec = Ll_util.Bitvec
+module Prng = Ll_util.Prng
+
+let lock ?(prng = Prng.create 1) ?base_key ?compare_inputs ?(flip_output = 0) ?key ~key_size c
+    =
+  let base = Compose_key.base_of ?base_key c in
+  let n_in = Circuit.num_inputs c in
+  if key_size <= 0 || key_size > n_in then invalid_arg "Sarlock.lock: bad key size";
+  let compare_inputs =
+    match compare_inputs with
+    | Some a -> a
+    | None -> Array.init key_size (fun i -> i)
+  in
+  if Array.length compare_inputs <> key_size then
+    invalid_arg "Sarlock.lock: compare_inputs length must equal key_size";
+  let seen = Hashtbl.create 16 in
+  Array.iter
+    (fun p ->
+      if p < 0 || p >= n_in then invalid_arg "Sarlock.lock: input position out of range";
+      if Hashtbl.mem seen p then invalid_arg "Sarlock.lock: duplicate input position";
+      Hashtbl.add seen p ())
+    compare_inputs;
+  if flip_output < 0 || flip_output >= Circuit.num_outputs c then
+    invalid_arg "Sarlock.lock: flip_output out of range";
+  let correct =
+    match key with
+    | Some k ->
+        if Bitvec.length k <> key_size then invalid_arg "Sarlock.lock: key length mismatch";
+        k
+    | None -> Bitvec.random prng key_size
+  in
+  let rewrite_outputs ctx outs =
+    let b = ctx.Rework.builder in
+    let keys = ctx.Rework.new_keys in
+    let xs = Array.map (fun p -> ctx.Rework.inputs.(p)) compare_inputs in
+    (* flip = (x equals k) and (k differs from the correct key) *)
+    let match_input = Structured_eq.equal_signals b xs keys in
+    let match_correct =
+      Structured_eq.equal_consts b keys (Bitvec.to_bool_array correct)
+    in
+    let flip = Builder.and2 b match_input (Builder.not_ b match_correct) in
+    Array.mapi
+      (fun i (name, s) ->
+        if i = flip_output then (name, Builder.xor2 b s flip) else (name, s))
+      outs
+  in
+  let circuit = Rework.apply c ~num_new_keys:key_size ~rewrite_outputs () in
+  Locked.make ~circuit
+    ~correct_key:(Bitvec.append base correct)
+    ~scheme:(Printf.sprintf "sarlock(k=%d)" key_size)

@@ -1,0 +1,26 @@
+(** SARLock point-function locking [Yasin et al., HOST'16].
+
+    A comparator raises a flip signal when the selected primary inputs
+    equal the key value {e and} the key differs from the correct key, and
+    the flip is XOR-ed into one output.  Each wrong key therefore corrupts
+    exactly the input patterns whose selected bits equal that key, forcing
+    the SAT attack to eliminate wrong keys one DIP at a time:
+    [#DIP = 2^|K| - 1].
+
+    This is the scheme of the paper's Fig. 1(a) and Table 1. *)
+
+val lock :
+  ?prng:Ll_util.Prng.t ->
+  ?base_key:Ll_util.Bitvec.t ->
+  ?compare_inputs:int array ->
+  ?flip_output:int ->
+  ?key:Ll_util.Bitvec.t ->
+  key_size:int ->
+  Ll_netlist.Circuit.t ->
+  Locked.t
+(** [compare_inputs] gives the positions (in [c.inputs]) of the primary
+    inputs compared against the key; default: the first [key_size] inputs.
+    [flip_output] is the output-port index to corrupt (default 0).  [key]
+    fixes the correct key (default: random from [prng]).  Raises
+    [Invalid_argument] when [key_size] exceeds the input count, positions
+    repeat, or lengths mismatch. *)

@@ -1,0 +1,13 @@
+module Builder = Ll_netlist.Builder
+
+let equal_signals b xs ys =
+  if Array.length xs <> Array.length ys then
+    invalid_arg "Structured_eq.equal_signals: width mismatch";
+  let bits = Array.map2 (fun x y -> Builder.xnor2 b x y) xs ys in
+  Builder.and_reduce b bits
+
+let equal_consts b xs vs =
+  if Array.length xs <> Array.length vs then
+    invalid_arg "Structured_eq.equal_consts: width mismatch";
+  let bits = Array.map2 (fun x v -> if v then x else Builder.not_ b x) xs vs in
+  Builder.and_reduce b bits

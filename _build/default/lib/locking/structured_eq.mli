@@ -1,0 +1,15 @@
+(** Tiny comparator builders shared by the point-function schemes. *)
+
+val equal_signals :
+  Ll_netlist.Builder.t ->
+  Ll_netlist.Builder.signal array ->
+  Ll_netlist.Builder.signal array ->
+  Ll_netlist.Builder.signal
+(** 1 iff the two equal-length signal words match bitwise. *)
+
+val equal_consts :
+  Ll_netlist.Builder.t ->
+  Ll_netlist.Builder.signal array ->
+  bool array ->
+  Ll_netlist.Builder.signal
+(** 1 iff the signal word equals the constant word. *)

@@ -1,0 +1,1 @@
+lib/netlist/bench_io.ml: Array Buffer Builder Circuit Filename Format Gate Hashtbl List Ll_util Option Printf String

@@ -1,0 +1,1 @@
+lib/netlist/eval.ml: Array Circuit Gate Ll_util Seq

@@ -1,0 +1,1 @@
+lib/netlist/eval.mli: Circuit Ll_util Seq

@@ -1,0 +1,1 @@
+lib/netlist/gate.ml: Array Format Int64 Ll_util String

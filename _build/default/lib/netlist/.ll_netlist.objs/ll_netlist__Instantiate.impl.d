@@ -1,0 +1,1 @@
+lib/netlist/instantiate.ml: Array Builder Circuit Ll_util Option

@@ -1,0 +1,1 @@
+lib/netlist/instantiate.mli: Builder Circuit Ll_util

@@ -1,0 +1,1 @@
+lib/netlist/testbench.ml: Array Buffer Circuit Eval List Ll_util Printf String Verilog_out

@@ -1,0 +1,1 @@
+lib/netlist/testbench.mli: Circuit Ll_util

@@ -1,0 +1,1 @@
+lib/netlist/verilog_out.ml: Array Buffer Circuit Gate Hashtbl List Ll_util Printf String

@@ -1,0 +1,161 @@
+type signal = { builder_id : int; index : int }
+
+type t = {
+  id : int;
+  name : string;
+  mutable nodes : Circuit.node list;  (* reversed *)
+  mutable names : string list;  (* reversed *)
+  mutable count : int;
+  mutable outputs : (string * int) list;  (* reversed *)
+  mutable const_false : int option;
+  mutable const_true : int option;
+  used_names : (string, unit) Hashtbl.t;
+  mutable fresh_counter : int;
+  mutable finished : bool;
+}
+
+let next_id = ref 0
+
+let create ?(name = "circuit") () =
+  incr next_id;
+  {
+    id = !next_id;
+    name;
+    nodes = [];
+    names = [];
+    count = 0;
+    outputs = [];
+    const_false = None;
+    const_true = None;
+    used_names = Hashtbl.create 64;
+    fresh_counter = 0;
+    finished = false;
+  }
+
+let check_alive b = if b.finished then invalid_arg "Builder: already finished"
+
+let rec fresh_name b =
+  (* The '$' prefix keeps generated names out of the namespace users
+     typically employ in .bench files. *)
+  let name = Printf.sprintf "$%d" b.fresh_counter in
+  b.fresh_counter <- b.fresh_counter + 1;
+  if Hashtbl.mem b.used_names name then fresh_name b else name
+
+let register_name b = function
+  | None ->
+      let name = fresh_name b in
+      Hashtbl.add b.used_names name ();
+      name
+  | Some name ->
+      (* Collisions are uniquified rather than rejected: rebuilding passes
+         freely mix caller-supplied and generated names. *)
+      let rec uniquify candidate n =
+        if Hashtbl.mem b.used_names candidate then
+          uniquify (Printf.sprintf "%s$%d" name n) (n + 1)
+        else candidate
+      in
+      let name = uniquify name 0 in
+      Hashtbl.add b.used_names name ();
+      name
+
+let append b ?name node =
+  check_alive b;
+  let name = register_name b name in
+  b.nodes <- node :: b.nodes;
+  b.names <- name :: b.names;
+  let index = b.count in
+  b.count <- b.count + 1;
+  { builder_id = b.id; index }
+
+let input b name = append b ~name Circuit.Input
+let key_input b name = append b ~name Circuit.Key_input
+
+let const b v =
+  check_alive b;
+  let cached = if v then b.const_true else b.const_false in
+  match cached with
+  | Some index -> { builder_id = b.id; index }
+  | None ->
+      let s = append b (Circuit.Const v) in
+      if v then b.const_true <- Some s.index else b.const_false <- Some s.index;
+      s
+
+let own b s =
+  if s.builder_id <> b.id then invalid_arg "Builder: signal from another builder";
+  s.index
+
+let gate ?name b g fanins =
+  check_alive b;
+  if not (Gate.arity_ok g (Array.length fanins)) then
+    invalid_arg (Printf.sprintf "Builder.gate: bad arity for %s" (Gate.name g));
+  let fanins = Array.map (own b) fanins in
+  append b ?name (Circuit.Gate (g, fanins))
+
+let and2 b x y = gate b Gate.And [| x; y |]
+let or2 b x y = gate b Gate.Or [| x; y |]
+let nand2 b x y = gate b Gate.Nand [| x; y |]
+let nor2 b x y = gate b Gate.Nor [| x; y |]
+let xor2 b x y = gate b Gate.Xor [| x; y |]
+let xnor2 b x y = gate b Gate.Xnor [| x; y |]
+let not_ b x = gate b Gate.Not [| x |]
+let buf b x = gate b Gate.Buf [| x |]
+let mux b ~select ~low ~high = gate b Gate.Mux [| select; low; high |]
+
+(* Balanced reduction keeps depth logarithmic, which keeps CNF shallow. *)
+let rec reduce b g signals lo hi =
+  if hi - lo = 1 then signals.(lo)
+  else
+    let mid = lo + ((hi - lo) / 2) in
+    let left = reduce b g signals lo mid in
+    let right = reduce b g signals mid hi in
+    gate b g [| left; right |]
+
+let check_nonempty signals =
+  if Array.length signals = 0 then invalid_arg "Builder: empty reduction"
+
+let and_reduce b signals =
+  check_nonempty signals;
+  reduce b Gate.And signals 0 (Array.length signals)
+
+let or_reduce b signals =
+  check_nonempty signals;
+  reduce b Gate.Or signals 0 (Array.length signals)
+
+let xor_reduce b signals =
+  check_nonempty signals;
+  reduce b Gate.Xor signals 0 (Array.length signals)
+
+let mux_tree b ~selects ~data =
+  let k = Array.length selects in
+  if Array.length data <> 1 lsl k then invalid_arg "Builder.mux_tree: size mismatch";
+  (* Recurse on the most-significant select so that data index bit j follows
+     selects.(j). *)
+  let rec build lo len sel_hi =
+    if len = 1 then data.(lo)
+    else
+      let half = len / 2 in
+      let low = build lo half (sel_hi - 1) in
+      let high = build (lo + half) half (sel_hi - 1) in
+      mux b ~select:selects.(sel_hi) ~low ~high
+  in
+  build 0 (1 lsl k) (k - 1)
+
+let output b name s =
+  check_alive b;
+  b.outputs <- (name, own b s) :: b.outputs
+
+let signal_of_index b i =
+  if i < 0 || i >= b.count then invalid_arg "Builder.signal_of_index: out of range";
+  { builder_id = b.id; index = i }
+
+let index_of_signal s = s.index
+
+let num_nodes b = b.count
+
+let finish b =
+  check_alive b;
+  b.finished <- true;
+  Circuit.create ~name:b.name
+    ~nodes:(Array.of_list (List.rev b.nodes))
+    ~node_names:(Array.of_list (List.rev b.names))
+    ~outputs:(Array.of_list (List.rev b.outputs))

@@ -1,0 +1,72 @@
+(** Mutable circuit construction.
+
+    A builder appends nodes one at a time and guarantees the topological
+    invariant of {!Circuit.t} by construction: a signal can only reference an
+    already-created node.  Names are optional; anonymous nodes receive stable
+    generated names ([n123]). *)
+
+type t
+
+type signal
+(** Handle to a node under construction.  Valid only for the builder that
+    created it. *)
+
+(** Names: anonymous nodes receive generated ["$<n>"] names; a
+    caller-supplied name that collides with an existing one is uniquified
+    with a ["$<n>"] suffix rather than rejected. *)
+
+val create : ?name:string -> unit -> t
+(** [create ~name ()] starts an empty circuit called [name] (default
+    ["circuit"]). *)
+
+val input : t -> string -> signal
+(** Declare a primary input port. *)
+
+val key_input : t -> string -> signal
+(** Declare a key input port. *)
+
+val const : t -> bool -> signal
+(** Constant node (deduplicated per builder). *)
+
+val gate : ?name:string -> t -> Gate.t -> signal array -> signal
+(** Append a gate.  Raises [Invalid_argument] on arity mismatch or foreign
+    signals. *)
+
+val and2 : t -> signal -> signal -> signal
+val or2 : t -> signal -> signal -> signal
+val nand2 : t -> signal -> signal -> signal
+val nor2 : t -> signal -> signal -> signal
+val xor2 : t -> signal -> signal -> signal
+val xnor2 : t -> signal -> signal -> signal
+val not_ : t -> signal -> signal
+val buf : t -> signal -> signal
+
+val mux : t -> select:signal -> low:signal -> high:signal -> signal
+(** [mux b ~select ~low ~high] returns [low] when [select] is false. *)
+
+val and_reduce : t -> signal array -> signal
+(** Balanced tree of [And] gates ([signal] itself for a 1-element array).
+    Raises [Invalid_argument] on an empty array. *)
+
+val or_reduce : t -> signal array -> signal
+val xor_reduce : t -> signal array -> signal
+
+val mux_tree : t -> selects:signal array -> data:signal array -> signal
+(** [mux_tree b ~selects ~data] selects [data.(i)] where [i] is the integer
+    with bit [j] equal to [selects.(j)].  Requires
+    [Array.length data = 2^(Array.length selects)]. *)
+
+val output : t -> string -> signal -> unit
+(** Declare an output port driven by [signal]. *)
+
+val signal_of_index : t -> int -> signal
+(** Re-wrap an existing node index (for passes that rebuild circuits).
+    Raises [Invalid_argument] if out of range. *)
+
+val index_of_signal : signal -> int
+(** The node index this signal will have in the finished circuit. *)
+
+val num_nodes : t -> int
+
+val finish : t -> Circuit.t
+(** Validate and freeze.  The builder must not be reused afterwards. *)

@@ -1,0 +1,149 @@
+type node = Input | Key_input | Const of bool | Gate of Gate.t * int array
+
+type t = {
+  name : string;
+  nodes : node array;
+  node_names : string array;
+  inputs : int array;
+  keys : int array;
+  outputs : (string * int) array;
+}
+
+exception Ill_formed of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Ill_formed s)) fmt
+
+let validate ~nodes ~node_names ~outputs =
+  let n = Array.length nodes in
+  if Array.length node_names <> n then fail "node_names length mismatch";
+  let seen = Hashtbl.create (2 * n) in
+  Array.iteri
+    (fun i name ->
+      if name = "" then fail "empty node name at index %d" i;
+      if Hashtbl.mem seen name then fail "duplicate node name %S" name;
+      Hashtbl.add seen name i)
+    node_names;
+  Array.iteri
+    (fun i nd ->
+      match nd with
+      | Input | Key_input | Const _ -> ()
+      | Gate (g, fanins) ->
+          if not (Gate.arity_ok g (Array.length fanins)) then
+            fail "gate %S: bad arity %d for %s" node_names.(i) (Array.length fanins)
+              (Gate.name g);
+          Array.iter
+            (fun j ->
+              if j < 0 || j >= n then fail "gate %S: dangling fanin %d" node_names.(i) j;
+              if j >= i then fail "gate %S: fanin %d violates topological order" node_names.(i) j)
+            fanins)
+    nodes;
+  if Array.length outputs = 0 then fail "circuit has no outputs";
+  let out_seen = Hashtbl.create 16 in
+  Array.iter
+    (fun (name, j) ->
+      if name = "" then fail "empty output name";
+      if Hashtbl.mem out_seen name then fail "duplicate output name %S" name;
+      Hashtbl.add out_seen name ();
+      if j < 0 || j >= n then fail "output %S: dangling node %d" name j)
+    outputs
+
+let create ~name ~nodes ~node_names ~outputs =
+  validate ~nodes ~node_names ~outputs;
+  let collect p =
+    let acc = ref [] in
+    Array.iteri (fun i nd -> if p nd then acc := i :: !acc) nodes;
+    Array.of_list (List.rev !acc)
+  in
+  {
+    name;
+    nodes;
+    node_names;
+    inputs = collect (function Input -> true | Key_input | Const _ | Gate _ -> false);
+    keys = collect (function Key_input -> true | Input | Const _ | Gate _ -> false);
+    outputs;
+  }
+
+let num_nodes c = Array.length c.nodes
+let num_inputs c = Array.length c.inputs
+let num_keys c = Array.length c.keys
+let num_outputs c = Array.length c.outputs
+
+let gate_count c =
+  Array.fold_left
+    (fun acc nd -> match nd with Gate _ -> acc + 1 | Input | Key_input | Const _ -> acc)
+    0 c.nodes
+
+let node c i = c.nodes.(i)
+let node_name c i = c.node_names.(i)
+
+let input_index c name =
+  let rec search i =
+    if i >= Array.length c.inputs then raise Not_found
+    else if c.node_names.(c.inputs.(i)) = name then i
+    else search (i + 1)
+  in
+  search 0
+
+let is_port c i =
+  match c.nodes.(i) with Input | Key_input -> true | Const _ | Gate _ -> false
+
+let fanouts c =
+  let n = num_nodes c in
+  let counts = Array.make n 0 in
+  Array.iter
+    (fun nd ->
+      match nd with
+      | Gate (_, fanins) -> Array.iter (fun j -> counts.(j) <- counts.(j) + 1) fanins
+      | Input | Key_input | Const _ -> ())
+    c.nodes;
+  let result = Array.init n (fun i -> Array.make counts.(i) 0) in
+  let fill = Array.make n 0 in
+  Array.iteri
+    (fun i nd ->
+      match nd with
+      | Gate (_, fanins) ->
+          Array.iter
+            (fun j ->
+              result.(j).(fill.(j)) <- i;
+              fill.(j) <- fill.(j) + 1)
+            fanins
+      | Input | Key_input | Const _ -> ())
+    c.nodes;
+  result
+
+let output_nodes c = Array.map snd c.outputs
+
+let levels c =
+  let lv = Array.make (num_nodes c) 0 in
+  Array.iteri
+    (fun i nd ->
+      match nd with
+      | Input | Key_input | Const _ -> ()
+      | Gate (_, fanins) ->
+          let deepest = Array.fold_left (fun acc j -> max acc lv.(j)) 0 fanins in
+          lv.(i) <- deepest + 1)
+    c.nodes;
+  lv
+
+let depth c =
+  let lv = levels c in
+  Array.fold_left (fun acc (_, j) -> max acc lv.(j)) 0 c.outputs
+
+let gate_histogram c =
+  let table = Hashtbl.create 16 in
+  Array.iter
+    (fun nd ->
+      match nd with
+      | Gate (g, _) ->
+          let key = match g with Gate.Lut _ -> "LUT" | _ -> Gate.name g in
+          Hashtbl.replace table key (1 + Option.value ~default:0 (Hashtbl.find_opt table key))
+      | Input | Key_input | Const _ -> ())
+    c.nodes;
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) table []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let with_name c name = { c with name }
+
+let pp_stats fmt c =
+  Format.fprintf fmt "%s: %d inputs, %d keys, %d outputs, %d gates, depth %d" c.name
+    (num_inputs c) (num_keys c) (num_outputs c) (gate_count c) (depth c)

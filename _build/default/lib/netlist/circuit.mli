@@ -1,0 +1,79 @@
+(** Immutable gate-level combinational circuits.
+
+    A circuit is an array of nodes in topological order: every gate's fanin
+    indices are strictly smaller than the gate's own index.  Primary inputs
+    and key inputs are nodes too; outputs are named references to nodes.
+
+    Key inputs model the extra ports introduced by logic locking; an
+    unlocked design simply has none.  All functions in the library treat the
+    primary-input order of [inputs] and the key order of [keys] as the
+    canonical bit order for pattern and key vectors. *)
+
+type node =
+  | Input  (** primary input port *)
+  | Key_input  (** key port introduced by a locking scheme *)
+  | Const of bool
+  | Gate of Gate.t * int array  (** function and fanin node indices *)
+
+type t = private {
+  name : string;
+  nodes : node array;
+  node_names : string array;  (** unique, non-empty; same length as [nodes] *)
+  inputs : int array;  (** indices of [Input] nodes, in port order *)
+  keys : int array;  (** indices of [Key_input] nodes, in port order *)
+  outputs : (string * int) array;  (** output port name and driving node *)
+}
+
+exception Ill_formed of string
+(** Raised by [create] on malformed circuits (bad topological order, arity
+    violations, duplicate names, dangling indices, ...). *)
+
+val create :
+  name:string ->
+  nodes:node array ->
+  node_names:string array ->
+  outputs:(string * int) array ->
+  t
+(** Validates and builds a circuit.  [inputs] and [keys] are derived from
+    [nodes] (in index order).  Raises {!Ill_formed} when invalid. *)
+
+val num_nodes : t -> int
+val num_inputs : t -> int
+val num_keys : t -> int
+val num_outputs : t -> int
+
+val gate_count : t -> int
+(** Number of [Gate] nodes. *)
+
+val node : t -> int -> node
+val node_name : t -> int -> string
+
+val input_index : t -> string -> int
+(** Position in [inputs] of the primary input with the given port name.
+    Raises [Not_found]. *)
+
+val is_port : t -> int -> bool
+(** Whether the node is an [Input] or [Key_input]. *)
+
+val fanouts : t -> int array array
+(** [fanouts c] lists, for every node, the indices of gates reading it.
+    Computed on demand (O(nodes + edges)). *)
+
+val output_nodes : t -> int array
+(** Driving node of every output, in port order. *)
+
+val depth : t -> int
+(** Longest input-to-output path, counted in gates.  0 for gate-free
+    circuits. *)
+
+val levels : t -> int array
+(** Per-node logic level: ports and constants are level 0; a gate is one
+    more than its deepest fanin. *)
+
+val gate_histogram : t -> (string * int) list
+(** Gate mnemonic -> count, sorted by mnemonic. *)
+
+val with_name : t -> string -> t
+
+val pp_stats : Format.formatter -> t -> unit
+(** One-line summary: name, #in, #key, #out, #gates, depth. *)

@@ -1,0 +1,46 @@
+let fanin_cone c ~roots =
+  let mark = Array.make (Circuit.num_nodes c) false in
+  List.iter (fun r -> mark.(r) <- true) roots;
+  (* One reverse topological sweep suffices thanks to the index order. *)
+  for i = Circuit.num_nodes c - 1 downto 0 do
+    if mark.(i) then
+      match Circuit.node c i with
+      | Circuit.Gate (_, fanins) -> Array.iter (fun j -> mark.(j) <- true) fanins
+      | Circuit.Input | Circuit.Key_input | Circuit.Const _ -> ()
+  done;
+  mark
+
+let fanout_cone c ~roots =
+  let mark = Array.make (Circuit.num_nodes c) false in
+  List.iter (fun r -> mark.(r) <- true) roots;
+  for i = 0 to Circuit.num_nodes c - 1 do
+    if not mark.(i) then
+      match Circuit.node c i with
+      | Circuit.Gate (_, fanins) -> mark.(i) <- Array.exists (fun j -> mark.(j)) fanins
+      | Circuit.Input | Circuit.Key_input | Circuit.Const _ -> ()
+  done;
+  mark
+
+let key_controlled c = fanout_cone c ~roots:(Array.to_list c.Circuit.keys)
+
+let output_cone c =
+  fanin_cone c ~roots:(Array.to_list (Array.map snd c.Circuit.outputs))
+
+let input_fanout_counts c ~within =
+  if Array.length within <> Circuit.num_nodes c then
+    invalid_arg "Cone.input_fanout_counts: mark array length mismatch";
+  let counts = Array.make (Circuit.num_inputs c) 0 in
+  Array.iteri
+    (fun port root ->
+      let cone = fanout_cone c ~roots:[ root ] in
+      let n = ref 0 in
+      Array.iteri
+        (fun i in_cone ->
+          if in_cone && within.(i) then
+            match Circuit.node c i with
+            | Circuit.Gate _ -> incr n
+            | Circuit.Input | Circuit.Key_input | Circuit.Const _ -> ())
+        cone;
+      counts.(port) <- !n)
+    c.Circuit.inputs;
+  counts

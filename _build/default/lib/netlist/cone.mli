@@ -1,0 +1,25 @@
+(** Transitive fanin / fanout cone computations.
+
+    These underpin the paper's fan-out cone analysis (Section 4: split
+    inputs are chosen to maximise key-controlled gates in their fanout
+    cones) and dead-logic sweeping. *)
+
+val fanin_cone : Circuit.t -> roots:int list -> bool array
+(** Per-node membership of the transitive fanin of [roots] (roots
+    included). *)
+
+val fanout_cone : Circuit.t -> roots:int list -> bool array
+(** Per-node membership of the transitive fanout of [roots] (roots
+    included). *)
+
+val key_controlled : Circuit.t -> bool array
+(** Nodes in the transitive fanout of any key input.  A locking-free circuit
+    yields an all-false array. *)
+
+val output_cone : Circuit.t -> bool array
+(** Nodes that reach at least one output (the live part of the circuit). *)
+
+val input_fanout_counts : Circuit.t -> within:bool array -> int array
+(** For each primary input (in port order): the number of [Gate] nodes in
+    its transitive fanout that are also marked in [within].  Pass
+    [key_controlled c] to get the paper's ranking metric. *)

@@ -1,0 +1,63 @@
+module Bitvec = Ll_util.Bitvec
+
+let check_lengths c ~inputs ~keys =
+  if Array.length inputs <> Circuit.num_inputs c then
+    invalid_arg "Eval: input vector length mismatch";
+  if Array.length keys <> Circuit.num_keys c then
+    invalid_arg "Eval: key vector length mismatch"
+
+let eval_all_nodes c ~inputs ~keys =
+  check_lengths c ~inputs ~keys;
+  let values = Array.make (Circuit.num_nodes c) false in
+  let next_input = ref 0 and next_key = ref 0 in
+  Array.iteri
+    (fun i nd ->
+      match nd with
+      | Circuit.Input ->
+          values.(i) <- inputs.(!next_input);
+          incr next_input
+      | Circuit.Key_input ->
+          values.(i) <- keys.(!next_key);
+          incr next_key
+      | Circuit.Const v -> values.(i) <- v
+      | Circuit.Gate (g, fanins) ->
+          values.(i) <- Gate.eval g (Array.map (fun j -> values.(j)) fanins))
+    c.Circuit.nodes;
+  values
+
+let eval c ~inputs ~keys =
+  let values = eval_all_nodes c ~inputs ~keys in
+  Array.map (fun (_, j) -> values.(j)) c.Circuit.outputs
+
+let eval_bv c ~inputs ~keys =
+  let out =
+    eval c ~inputs:(Bitvec.to_bool_array inputs) ~keys:(Bitvec.to_bool_array keys)
+  in
+  Bitvec.of_bool_array out
+
+let eval_lanes c ~inputs ~keys =
+  if Array.length inputs <> Circuit.num_inputs c then
+    invalid_arg "Eval.eval_lanes: input vector length mismatch";
+  if Array.length keys <> Circuit.num_keys c then
+    invalid_arg "Eval.eval_lanes: key vector length mismatch";
+  let values = Array.make (Circuit.num_nodes c) 0L in
+  let next_input = ref 0 and next_key = ref 0 in
+  Array.iteri
+    (fun i nd ->
+      match nd with
+      | Circuit.Input ->
+          values.(i) <- inputs.(!next_input);
+          incr next_input
+      | Circuit.Key_input ->
+          values.(i) <- keys.(!next_key);
+          incr next_key
+      | Circuit.Const v -> values.(i) <- (if v then -1L else 0L)
+      | Circuit.Gate (g, fanins) ->
+          values.(i) <- Gate.eval_lanes g (Array.map (fun j -> values.(j)) fanins))
+    c.Circuit.nodes;
+  Array.map (fun (_, j) -> values.(j)) c.Circuit.outputs
+
+let exhaustive_inputs c =
+  let n = Circuit.num_inputs c in
+  if n > 24 then invalid_arg "Eval.exhaustive_inputs: too many inputs";
+  Seq.init (1 lsl n) (fun v -> Bitvec.of_int ~width:n v)

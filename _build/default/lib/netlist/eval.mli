@@ -1,0 +1,24 @@
+(** Circuit simulation.
+
+    Single-pattern evaluation plus a 64-lane word-parallel variant used by
+    random-simulation equivalence filtering and the exhaustive error-matrix
+    analysis.  Input and key vectors follow the port order of
+    [Circuit.inputs] / [Circuit.keys]. *)
+
+val eval : Circuit.t -> inputs:bool array -> keys:bool array -> bool array
+(** Output values in output-port order.  Raises [Invalid_argument] on a
+    length mismatch. *)
+
+val eval_bv :
+  Circuit.t -> inputs:Ll_util.Bitvec.t -> keys:Ll_util.Bitvec.t -> Ll_util.Bitvec.t
+(** Same, over bit vectors. *)
+
+val eval_lanes : Circuit.t -> inputs:int64 array -> keys:int64 array -> int64 array
+(** 64 patterns at once: bit [j] of each input word is pattern [j]. *)
+
+val eval_all_nodes : Circuit.t -> inputs:bool array -> keys:bool array -> bool array
+(** Value of every node (used by tests and analyses). *)
+
+val exhaustive_inputs : Circuit.t -> Ll_util.Bitvec.t Seq.t
+(** All [2^num_inputs] input patterns, in increasing integer order (bit 0 of
+    the pattern is input port 0).  Requires at most 24 inputs. *)

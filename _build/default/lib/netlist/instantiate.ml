@@ -1,0 +1,57 @@
+module Bitvec = Ll_util.Bitvec
+
+let append ?prefix b c ~inputs ~keys =
+  if Array.length inputs <> Circuit.num_inputs c then
+    invalid_arg "Instantiate.append: input count mismatch";
+  if Array.length keys <> Circuit.num_keys c then
+    invalid_arg "Instantiate.append: key count mismatch";
+  let map = Array.make (Circuit.num_nodes c) None in
+  let next_input = ref 0 and next_key = ref 0 in
+  let signal_of j =
+    match map.(j) with
+    | Some s -> s
+    | None -> invalid_arg "Instantiate.append: fanin before definition"
+  in
+  Array.iteri
+    (fun i nd ->
+      let s =
+        match nd with
+        | Circuit.Input ->
+            let s = inputs.(!next_input) in
+            incr next_input;
+            s
+        | Circuit.Key_input ->
+            let s = keys.(!next_key) in
+            incr next_key;
+            s
+        | Circuit.Const v -> Builder.const b v
+        | Circuit.Gate (g, fanins) ->
+            let name =
+              Option.map (fun p -> p ^ Circuit.node_name c i) prefix
+            in
+            Builder.gate ?name b g (Array.map signal_of fanins)
+      in
+      map.(i) <- Some s)
+    c.Circuit.nodes;
+  Array.map (fun (_, j) -> signal_of j) c.Circuit.outputs
+
+let bind_keys c k =
+  if Bitvec.length k <> Circuit.num_keys c then
+    invalid_arg "Instantiate.bind_keys: key length mismatch";
+  let b = Builder.create ~name:(c.Circuit.name ^ "_unlocked") () in
+  let inputs =
+    Array.map (fun j -> Builder.input b (Circuit.node_name c j)) c.Circuit.inputs
+  in
+  let keys = Array.mapi (fun i _ -> Builder.const b (Bitvec.get k i)) c.Circuit.keys in
+  let outs = append b c ~inputs ~keys in
+  Array.iteri (fun i (name, _) -> Builder.output b name outs.(i)) c.Circuit.outputs;
+  Builder.finish b
+
+let copy_ports b c =
+  let inputs =
+    Array.map (fun j -> Builder.input b (Circuit.node_name c j)) c.Circuit.inputs
+  in
+  let keys =
+    Array.map (fun j -> Builder.key_input b (Circuit.node_name c j)) c.Circuit.keys
+  in
+  (inputs, keys)

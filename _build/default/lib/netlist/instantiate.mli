@@ -1,0 +1,30 @@
+(** Structural instantiation of one circuit inside another under
+    construction.
+
+    This is the workhorse behind miters (two key-sharing copies of a locked
+    netlist), conditional DIP constraints, SARLock wrappers and the Fig. 1(b)
+    multi-key MUX composition. *)
+
+val append :
+  ?prefix:string ->
+  Builder.t ->
+  Circuit.t ->
+  inputs:Builder.signal array ->
+  keys:Builder.signal array ->
+  Builder.signal array
+(** [append b c ~inputs ~keys] copies every gate of [c] into [b], connecting
+    [c]'s primary inputs to [inputs] (port order) and its key inputs to
+    [keys].  Returns the signals driving [c]'s outputs, in output-port
+    order.  [prefix] namespaces the copied gate names (default: fresh
+    anonymous names).  Raises [Invalid_argument] on length mismatches. *)
+
+val bind_keys : Circuit.t -> Ll_util.Bitvec.t -> Circuit.t
+(** [bind_keys c k] substitutes constant [k] for the key ports, yielding a
+    key-free circuit with the same primary inputs and outputs (no
+    optimization is applied).  Raises [Invalid_argument] when [k]'s length
+    differs from [Circuit.num_keys c]. *)
+
+val copy_ports :
+  Builder.t -> Circuit.t -> Builder.signal array * Builder.signal array
+(** [copy_ports b c] declares fresh input and key ports in [b] named after
+    [c]'s ports, returning them in [c]'s port order. *)

@@ -1,0 +1,23 @@
+(** Self-checking Verilog testbench generation.
+
+    Produces a testbench module that instantiates the design exported by
+    {!Verilog_out}, drives a set of (input, expected output) vectors and
+    reports PASS/FAIL — letting exported netlists be validated in any
+    external Verilog simulator.  Vectors are computed here with
+    {!Eval}, so the testbench doubles as a golden-model cross-check of
+    this library's simulator. *)
+
+val generate :
+  ?vectors:int ->
+  ?seed:int ->
+  ?key:Ll_util.Bitvec.t ->
+  Circuit.t ->
+  string
+(** [generate c] builds a testbench for [c] (module names as produced by
+    {!Verilog_out}).  [vectors] random stimuli are generated from [seed]
+    (defaults 32 and 1).  For locked circuits a [key] must be supplied; it
+    is driven on the key ports throughout.  Raises [Invalid_argument] when
+    the key is missing or of the wrong width. *)
+
+val write_file :
+  ?vectors:int -> ?seed:int -> ?key:Ll_util.Bitvec.t -> string -> Circuit.t -> unit

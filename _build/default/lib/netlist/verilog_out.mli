@@ -1,0 +1,20 @@
+(** Structural Verilog export.
+
+    Writes a synthesizable gate-level module using primitive gate
+    instantiations ([and], [or], [nand], [nor], [xor], [xnor], [not],
+    [buf]) and continuous assignments for MUX and LUT nodes.  Key ports are
+    emitted as ordinary inputs (grouped last, like the [.bench]
+    convention), so locked netlists can be handed to standard EDA flows.
+
+    Identifiers are mangled to Verilog-legal names ([\[A-Za-z_\]\[A-Za-z0-9_$\]*]);
+    a comment next to each port records the original name when mangling
+    changed it.  This is a writer only — re-import goes through the
+    [.bench] format. *)
+
+val mangle_name : string -> string
+(** The identifier mangling applied to module and signal names (exposed so
+    testbenches can reference generated modules). *)
+
+val to_string : Circuit.t -> string
+
+val write_file : string -> Circuit.t -> unit

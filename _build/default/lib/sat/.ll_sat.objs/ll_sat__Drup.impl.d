@@ -1,0 +1,1 @@
+lib/sat/drup.ml: Array Hashtbl List Lit Option Solver

@@ -1,0 +1,1 @@
+lib/sat/drup.mli: Lit Solver

@@ -1,0 +1,1 @@
+lib/sat/solver.ml: Array Heap Int List Lit Ll_util Option Set Vec

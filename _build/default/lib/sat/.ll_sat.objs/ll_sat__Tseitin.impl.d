@@ -1,0 +1,1 @@
+lib/sat/tseitin.ml: Array Hashtbl List Lit Ll_netlist Ll_util Solver

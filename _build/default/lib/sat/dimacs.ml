@@ -1,0 +1,72 @@
+type cnf = { num_vars : int; clauses : Lit.t list list }
+
+exception Parse_error of string
+
+let parse_string text =
+  let tokens =
+    String.split_on_char '\n' text
+    |> List.concat_map (fun line ->
+           let line = String.trim line in
+           if line = "" || line.[0] = 'c' then []
+           else if line.[0] = 'p' then [ `Header line ]
+           else
+             String.split_on_char ' ' line
+             |> List.filter (fun t -> t <> "")
+             |> List.map (fun t ->
+                    match int_of_string_opt t with
+                    | Some v -> `Int v
+                    | None -> raise (Parse_error (Printf.sprintf "bad token %S" t))))
+  in
+  let num_vars = ref (-1) in
+  let clauses = ref [] in
+  let current = ref [] in
+  List.iter
+    (fun tok ->
+      match tok with
+      | `Header line -> (
+          match String.split_on_char ' ' line |> List.filter (fun t -> t <> "") with
+          | [ "p"; "cnf"; v; _c ] -> (
+              match int_of_string_opt v with
+              | Some v -> num_vars := v
+              | None -> raise (Parse_error "bad p-line"))
+          | _ -> raise (Parse_error (Printf.sprintf "bad header %S" line)))
+      | `Int 0 ->
+          clauses := List.rev !current :: !clauses;
+          current := []
+      | `Int d ->
+          let l = Lit.of_dimacs d in
+          if Lit.var l >= !num_vars then
+            raise (Parse_error (Printf.sprintf "literal %d out of range" d));
+          current := l :: !current)
+    tokens;
+  if !current <> [] then raise (Parse_error "unterminated clause");
+  if !num_vars < 0 then raise (Parse_error "missing p-line");
+  { num_vars = !num_vars; clauses = List.rev !clauses }
+
+let parse_file path =
+  let ic = open_in path in
+  let text = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  parse_string text
+
+let to_string { num_vars; clauses } =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf (Printf.sprintf "p cnf %d %d\n" num_vars (List.length clauses));
+  List.iter
+    (fun clause ->
+      List.iter (fun l -> Buffer.add_string buf (Printf.sprintf "%d " (Lit.to_dimacs l))) clause;
+      Buffer.add_string buf "0\n")
+    clauses;
+  Buffer.contents buf
+
+let write_file path cnf =
+  let oc = open_out path in
+  output_string oc (to_string cnf);
+  close_out oc
+
+let load_into solver { num_vars; clauses } =
+  if Solver.num_vars solver <> 0 then invalid_arg "Dimacs.load_into: solver not fresh";
+  for _ = 1 to num_vars do
+    ignore (Solver.new_var solver)
+  done;
+  List.iter (Solver.add_clause solver) clauses

@@ -1,0 +1,20 @@
+(** DIMACS CNF reading and writing, for interoperability with external
+    solvers and for debugging attack instances. *)
+
+type cnf = { num_vars : int; clauses : Lit.t list list }
+
+exception Parse_error of string
+
+val parse_string : string -> cnf
+(** Accepts comments ([c ...]), a [p cnf <vars> <clauses>] header and
+    zero-terminated clauses (possibly spanning lines). *)
+
+val parse_file : string -> cnf
+
+val to_string : cnf -> string
+
+val write_file : string -> cnf -> unit
+
+val load_into : Solver.t -> cnf -> unit
+(** Allocate [num_vars] fresh variables (the solver must be fresh) and add
+    every clause. *)

@@ -1,0 +1,95 @@
+type verdict = Verified | Failed of { step : int; reason : string }
+
+(* Naive but self-contained unit propagation: assignment array per var
+   (-1/0/1), repeated scans until fixpoint.  Fine for the proof sizes the
+   tests exercise; this is a checker, not a solver. *)
+
+let propagate_to_conflict ~num_vars ~clauses ~assumed_false =
+  let assigns = Array.make num_vars (-1) in
+  let assign l value =
+    (* value: is literal l true? *)
+    let v = Lit.var l in
+    let bit = if Lit.is_pos l = value then 1 else 0 in
+    if assigns.(v) >= 0 && assigns.(v) <> bit then `Conflict
+    else begin
+      assigns.(v) <- bit;
+      `Ok
+    end
+  in
+  let lit_value l =
+    let v = assigns.(Lit.var l) in
+    if v < 0 then -1 else v lxor (l land 1)
+  in
+  (* Assume the negation of the candidate clause. *)
+  let conflict = ref false in
+  List.iter
+    (fun l -> if (not !conflict) && assign l false = `Conflict then conflict := true)
+    assumed_false;
+  let changed = ref true in
+  while (not !conflict) && !changed do
+    changed := false;
+    List.iter
+      (fun clause ->
+        if not !conflict then begin
+          let unassigned = ref [] in
+          let satisfied = ref false in
+          List.iter
+            (fun l ->
+              match lit_value l with
+              | 1 -> satisfied := true
+              | 0 -> ()
+              | _ -> unassigned := l :: !unassigned)
+            clause;
+          if not !satisfied then
+            match !unassigned with
+            | [] -> conflict := true
+            | [ unit_lit ] ->
+                if assign unit_lit true = `Conflict then conflict := true
+                else changed := true
+            | _ -> ()
+        end)
+      clauses
+  done;
+  !conflict
+
+let rup ~num_vars ~clauses c =
+  propagate_to_conflict ~num_vars ~clauses ~assumed_false:c
+
+(* Multiset of active clauses keyed by their sorted literal list. *)
+module Key = struct
+  let of_lits lits = List.sort_uniq compare lits
+end
+
+let check_refutation ~num_vars ~cnf ~proof =
+  let active = Hashtbl.create 256 in
+  let add_active lits =
+    let key = Key.of_lits lits in
+    let n = Option.value ~default:0 (Hashtbl.find_opt active key) in
+    Hashtbl.replace active key (n + 1)
+  in
+  let remove_active lits =
+    let key = Key.of_lits lits in
+    match Hashtbl.find_opt active key with
+    | Some n when n > 1 -> Hashtbl.replace active key (n - 1)
+    | Some _ -> Hashtbl.remove active key
+    | None -> () (* deletion of an unknown clause: ignore *)
+  in
+  List.iter add_active cnf;
+  let current_clauses () = Hashtbl.fold (fun key _ acc -> key :: acc) active [] in
+  let rec go step events =
+    match events with
+    | [] -> Failed { step; reason = "proof ended without the empty clause" }
+    | Solver.P_delete lits :: rest ->
+        remove_active (Array.to_list lits);
+        go (step + 1) rest
+    | Solver.P_add lits :: rest ->
+        let clause = Array.to_list lits in
+        if rup ~num_vars ~clauses:(current_clauses ()) clause then
+          if clause = [] then Verified
+          else begin
+            add_active clause;
+            go (step + 1) rest
+          end
+        else Failed { step; reason = "clause is not a RUP consequence" }
+  in
+  go 0 proof

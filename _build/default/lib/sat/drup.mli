@@ -1,0 +1,27 @@
+(** Independent DRUP proof checker.
+
+    Verifies a refutation recorded by {!Solver.enable_proof}: every added
+    clause must be a reverse-unit-propagation (RUP) consequence of the
+    original formula plus the previously added (and not yet deleted)
+    clauses, and the derivation must end in the empty clause.
+
+    The checker shares no code with the solver's search; it is the
+    trust anchor for the UNSAT answers the SAT attack relies on (an UNSAT
+    miter is precisely the attack's success criterion). *)
+
+type verdict =
+  | Verified
+  | Failed of { step : int; reason : string }
+      (** [step] indexes the offending proof event. *)
+
+val check_refutation :
+  num_vars:int -> cnf:Lit.t list list -> proof:Solver.proof_event list -> verdict
+(** [check_refutation ~num_vars ~cnf ~proof] — [cnf] is the original
+    formula (as handed to the solver).  Deletions of unknown clauses are
+    ignored (the solver may delete learnt clauses it simplified).  The
+    proof must contain an empty-clause addition. *)
+
+val rup :
+  num_vars:int -> clauses:Lit.t list list -> Lit.t list -> bool
+(** [rup ~num_vars ~clauses c] — is [c] a one-step reverse-unit-propagation
+    consequence of [clauses]?  (Exposed for tests.) *)

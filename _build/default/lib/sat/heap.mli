@@ -1,0 +1,29 @@
+(** Indexed binary max-heap over variable indices, ordered by an external
+    score function (VSIDS activities).
+
+    The heap stores each variable at most once and supports
+    decrease/increase-key via {!update} in O(log n). *)
+
+type t
+
+val create : score:(int -> float) -> t
+(** [score] is consulted on every comparison, so bumping an activity then
+    calling {!update} reorders correctly. *)
+
+val mem : t -> int -> bool
+val is_empty : t -> bool
+val size : t -> int
+
+val insert : t -> int -> unit
+(** No-op when the variable is already present. *)
+
+val remove_max : t -> int
+(** Raises [Not_found] when empty. *)
+
+val update : t -> int -> unit
+(** Restore heap order after the variable's score changed.  No-op when the
+    variable is absent. *)
+
+val rebuild : t -> int list -> unit
+(** Replace the contents with the given variables (used after a full
+    rescale). *)

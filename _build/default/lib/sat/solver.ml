@@ -1,0 +1,551 @@
+(* CDCL with two-literal watching, VSIDS + phase saving, 1UIP learning with
+   one-step self-subsumption minimization, Luby restarts and learnt-clause
+   deletion.  Structure follows MiniSAT 2.2. *)
+
+type clause = {
+  mutable lits : Lit.t array;
+  learnt : bool;
+  mutable activity : float;
+  mutable lbd : int;
+  mutable deleted : bool;
+}
+
+let dummy_clause = { lits = [||]; learnt = false; activity = 0.0; lbd = 0; deleted = false }
+
+type result = Sat | Unsat
+
+type stats = {
+  conflicts : int;
+  decisions : int;
+  propagations : int;
+  restarts : int;
+  learnt_literals : int;
+  deleted_clauses : int;
+}
+
+exception Conflict_limit
+
+type proof_event = P_add of Lit.t array | P_delete of Lit.t array
+
+type t = {
+  clauses : clause Vec.t;
+  learnts : clause Vec.t;
+  mutable watches : clause Vec.t array;  (* watches.(l): clauses watching ¬l *)
+  mutable assigns : int array;  (* per var: -1 unassigned / 0 false / 1 true *)
+  mutable level : int array;
+  mutable reason : clause array;  (* dummy_clause when none *)
+  mutable activity : float array;
+  mutable polarity : bool array;  (* saved phase *)
+  mutable seen : bool array;  (* scratch for analyze *)
+  mutable order : Heap.t;
+  trail : Lit.t Vec.t;
+  trail_lim : int Vec.t;
+  mutable qhead : int;
+  mutable var_inc : float;
+  mutable cla_inc : float;
+  mutable nvars : int;
+  mutable ok : bool;
+  prng : Ll_util.Prng.t;
+  mutable n_conflicts : int;
+  mutable n_decisions : int;
+  mutable n_propagations : int;
+  mutable n_restarts : int;
+  mutable n_learnt_literals : int;
+  mutable n_deleted : int;
+  mutable proof_enabled : bool;
+  proof_log : proof_event Vec.t;
+}
+
+let var_decay = 1.0 /. 0.95
+let clause_decay = 1.0 /. 0.999
+let random_decision_freq = 0.02
+let restart_first = 100
+
+let create ?(seed = 0) () =
+  let s =
+    {
+      clauses = Vec.create ~dummy:dummy_clause;
+      learnts = Vec.create ~dummy:dummy_clause;
+      watches = Array.init 128 (fun _ -> Vec.create ~dummy:dummy_clause);
+      assigns = Array.make 64 (-1);
+      level = Array.make 64 0;
+      reason = Array.make 64 dummy_clause;
+      activity = Array.make 64 0.0;
+      polarity = Array.make 64 false;
+      seen = Array.make 64 false;
+      order = Heap.create ~score:(fun _ -> 0.0);
+      trail = Vec.create ~dummy:0;
+      trail_lim = Vec.create ~dummy:0;
+      qhead = 0;
+      var_inc = 1.0;
+      cla_inc = 1.0;
+      nvars = 0;
+      ok = true;
+      prng = Ll_util.Prng.create seed;
+      n_conflicts = 0;
+      n_decisions = 0;
+      n_propagations = 0;
+      n_restarts = 0;
+      n_learnt_literals = 0;
+      n_deleted = 0;
+      proof_enabled = false;
+      proof_log = Vec.create ~dummy:(P_add [||]);
+    }
+  in
+  (* The heap scores through the record so activity-array reallocation in
+     [grow_arrays] stays visible. *)
+  s.order <- Heap.create ~score:(fun v -> s.activity.(v));
+  s
+
+let num_vars s = s.nvars
+
+let num_clauses s = Vec.length s.clauses
+
+let num_learnts s = Vec.length s.learnts
+
+let grow_arrays s needed =
+  let old = Array.length s.assigns in
+  if needed > old then begin
+    let n = max needed (2 * old) in
+    let grown (type a) (a : a array) (fill : a) =
+      let fresh = Array.make n fill in
+      Array.blit a 0 fresh 0 old;
+      fresh
+    in
+    s.assigns <- grown s.assigns (-1);
+    s.level <- grown s.level 0;
+    s.reason <- grown s.reason dummy_clause;
+    s.activity <- grown s.activity 0.0;
+    s.polarity <- grown s.polarity false;
+    s.seen <- grown s.seen false
+  end;
+  let old_w = Array.length s.watches in
+  if 2 * needed > old_w then begin
+    let n = max (2 * needed) (2 * old_w) in
+    s.watches <-
+      Array.init n (fun i -> if i < old_w then s.watches.(i) else Vec.create ~dummy:dummy_clause)
+  end
+
+let new_var s =
+  let v = s.nvars in
+  s.nvars <- v + 1;
+  grow_arrays s s.nvars;
+  Heap.insert s.order v;
+  v
+
+(* Value of a literal: -1 unassigned, 0 false, 1 true. *)
+let lit_value s l =
+  let v = s.assigns.(Lit.var l) in
+  if v < 0 then -1 else v lxor (l land 1)
+
+let decision_level s = Vec.length s.trail_lim
+
+let log_proof s event = if s.proof_enabled then Vec.push s.proof_log event
+
+let enqueue s l reason =
+  s.assigns.(Lit.var l) <- 1 lxor (l land 1);
+  s.level.(Lit.var l) <- decision_level s;
+  s.reason.(Lit.var l) <- reason;
+  Vec.push s.trail l
+
+(* --- Activity --- *)
+
+let bump_var s v =
+  s.activity.(v) <- s.activity.(v) +. s.var_inc;
+  if s.activity.(v) > 1e100 then begin
+    for i = 0 to s.nvars - 1 do
+      s.activity.(i) <- s.activity.(i) *. 1e-100
+    done;
+    s.var_inc <- s.var_inc *. 1e-100
+  end;
+  Heap.update s.order v
+
+let decay_var_activity s = s.var_inc <- s.var_inc *. var_decay
+
+let bump_clause s (c : clause) =
+  c.activity <- c.activity +. s.cla_inc;
+  if c.activity > 1e20 then begin
+    Vec.iter (fun (c : clause) -> c.activity <- c.activity *. 1e-20) s.learnts;
+    s.cla_inc <- s.cla_inc *. 1e-20
+  end
+
+let decay_clause_activity s = s.cla_inc <- s.cla_inc *. clause_decay
+
+(* --- Clause attachment --- *)
+
+let watch s l c = Vec.push s.watches.(l) c
+
+let attach_clause s c =
+  assert (Array.length c.lits >= 2);
+  watch s (Lit.negate c.lits.(0)) c;
+  watch s (Lit.negate c.lits.(1)) c
+
+(* --- Propagation --- *)
+
+let propagate s =
+  let conflict = ref dummy_clause in
+  while !conflict == dummy_clause && s.qhead < Vec.length s.trail do
+    let p = Vec.get s.trail s.qhead in
+    s.qhead <- s.qhead + 1;
+    s.n_propagations <- s.n_propagations + 1;
+    (* p just became true; clauses in watches.(p) watch ¬p, now false. *)
+    let ws = s.watches.(p) in
+    let n = Vec.length ws in
+    let j = ref 0 in
+    let i = ref 0 in
+    while !i < n do
+      let c = Vec.get ws !i in
+      incr i;
+      if not c.deleted then begin
+        let false_lit = Lit.negate p in
+        if c.lits.(0) = false_lit then begin
+          c.lits.(0) <- c.lits.(1);
+          c.lits.(1) <- false_lit
+        end;
+        if lit_value s c.lits.(0) = 1 then begin
+          Vec.set ws !j c;
+          incr j
+        end
+        else begin
+          let len = Array.length c.lits in
+          let found = ref false in
+          let k = ref 2 in
+          while (not !found) && !k < len do
+            if lit_value s c.lits.(!k) <> 0 then begin
+              c.lits.(1) <- c.lits.(!k);
+              c.lits.(!k) <- false_lit;
+              watch s (Lit.negate c.lits.(1)) c;
+              found := true
+            end
+            else incr k
+          done;
+          if not !found then begin
+            (* Unit or conflicting: keep watching ¬p. *)
+            Vec.set ws !j c;
+            incr j;
+            if lit_value s c.lits.(0) = 0 then begin
+              conflict := c;
+              s.qhead <- Vec.length s.trail;
+              while !i < n do
+                Vec.set ws !j (Vec.get ws !i);
+                incr j;
+                incr i
+              done
+            end
+            else enqueue s c.lits.(0) c
+          end
+        end
+      end
+    done;
+    Vec.shrink ws !j
+  done;
+  if !conflict == dummy_clause then None else Some !conflict
+
+(* --- Backtracking --- *)
+
+let cancel_until s target =
+  if decision_level s > target then begin
+    let bound = Vec.get s.trail_lim target in
+    for i = Vec.length s.trail - 1 downto bound do
+      let l = Vec.get s.trail i in
+      let v = Lit.var l in
+      s.polarity.(v) <- s.assigns.(v) = 1;
+      s.assigns.(v) <- -1;
+      s.reason.(v) <- dummy_clause;
+      Heap.insert s.order v
+    done;
+    Vec.shrink s.trail bound;
+    Vec.shrink s.trail_lim target;
+    s.qhead <- Vec.length s.trail
+  end
+
+let new_decision_level s = Vec.push s.trail_lim (Vec.length s.trail)
+
+(* --- Conflict analysis (first UIP) --- *)
+
+(* One-step redundancy: a learnt literal is droppable when every other
+   literal of its reason is already in the learnt clause (seen) or fixed at
+   level 0. *)
+let lit_redundant s l =
+  let r = s.reason.(Lit.var l) in
+  r != dummy_clause
+  && Array.for_all
+       (fun q -> Lit.var q = Lit.var l || s.seen.(Lit.var q) || s.level.(Lit.var q) = 0)
+       r.lits
+
+let analyze s confl =
+  let learnt = Vec.create ~dummy:0 in
+  Vec.push learnt 0 (* placeholder for the asserting literal *);
+  let counter = ref 0 in
+  let p = ref (-1) in
+  let index = ref (Vec.length s.trail - 1) in
+  let c = ref confl in
+  let continue = ref true in
+  while !continue do
+    if !c.learnt then bump_clause s !c;
+    Array.iter
+      (fun q ->
+        (* Skip the literal this reason clause propagated. *)
+        if !p >= 0 && Lit.var q = Lit.var !p then ()
+        else begin
+          let v = Lit.var q in
+          if (not s.seen.(v)) && s.level.(v) > 0 then begin
+            s.seen.(v) <- true;
+            bump_var s v;
+            if s.level.(v) >= decision_level s then incr counter else Vec.push learnt q
+          end
+        end)
+      !c.lits;
+    let rec next_marked i =
+      let l = Vec.get s.trail i in
+      if s.seen.(Lit.var l) then (l, i) else next_marked (i - 1)
+    in
+    let l, i = next_marked !index in
+    index := i - 1;
+    p := l;
+    s.seen.(Lit.var l) <- false;
+    decr counter;
+    if !counter > 0 then c := s.reason.(Lit.var l) else continue := false
+  done;
+  Vec.set learnt 0 (Lit.negate !p);
+  s.seen.(Lit.var !p) <- true;
+  (* keep the UIP marked during minimization *)
+  let lits = Array.init (Vec.length learnt) (Vec.get learnt) in
+  let keep = Array.mapi (fun i l -> i = 0 || not (lit_redundant s l)) lits in
+  let minimized =
+    Array.to_list lits |> List.filteri (fun i _ -> keep.(i)) |> Array.of_list
+  in
+  Array.iter (fun l -> s.seen.(Lit.var l) <- false) lits;
+  s.seen.(Lit.var !p) <- false;
+  let n = Array.length minimized in
+  let bt_level =
+    if n = 1 then 0
+    else begin
+      let max_i = ref 1 in
+      for i = 2 to n - 1 do
+        if s.level.(Lit.var minimized.(i)) > s.level.(Lit.var minimized.(!max_i)) then
+          max_i := i
+      done;
+      let tmp = minimized.(1) in
+      minimized.(1) <- minimized.(!max_i);
+      minimized.(!max_i) <- tmp;
+      s.level.(Lit.var minimized.(1))
+    end
+  in
+  let module IS = Set.Make (Int) in
+  let lbd =
+    Array.fold_left (fun acc l -> IS.add s.level.(Lit.var l) acc) IS.empty minimized
+    |> IS.cardinal
+  in
+  (minimized, bt_level, lbd)
+
+(* --- Learnt clause database reduction --- *)
+
+let locked s c =
+  Array.length c.lits > 0
+  && s.reason.(Lit.var c.lits.(0)) == c
+  && lit_value s c.lits.(0) = 1
+
+let reduce_db s =
+  (* Ascending quality; the first half gets deleted. *)
+  let quality (c : clause) = (Array.length c.lits <= 2, -c.lbd, c.activity) in
+  Vec.sort_in_place (fun a b -> compare (quality a) (quality b)) s.learnts;
+  let limit = Vec.length s.learnts / 2 in
+  for i = 0 to limit - 1 do
+    let c = Vec.get s.learnts i in
+    if Array.length c.lits > 2 && not (locked s c) then begin
+      c.deleted <- true;
+      s.n_deleted <- s.n_deleted + 1;
+      log_proof s (P_delete (Array.copy c.lits))
+    end
+  done;
+  Vec.filter_in_place (fun c -> not c.deleted) s.learnts
+
+(* --- Adding clauses (root level) --- *)
+
+let add_clause_a s lits =
+  if s.ok then begin
+    (* Incremental use: callers add clauses right after a Sat answer, while
+       the trail still holds the model.  Return to the root first. *)
+    cancel_until s 0;
+    let module IS = Set.Make (Int) in
+    let tautology = ref false in
+    let satisfied = ref false in
+    let kept = ref IS.empty in
+    Array.iter
+      (fun l ->
+        if Lit.var l >= s.nvars then invalid_arg "Solver.add_clause: unknown variable";
+        if IS.mem (Lit.negate l) !kept then tautology := true;
+        match lit_value s l with
+        | 1 -> satisfied := true
+        | 0 -> ()
+        | _ -> kept := IS.add l !kept)
+      lits;
+    if not (!tautology || !satisfied) then begin
+      let lits = Array.of_list (IS.elements !kept) in
+      match Array.length lits with
+      | 0 ->
+          s.ok <- false;
+          log_proof s (P_add [||])
+      | 1 ->
+          enqueue s lits.(0) dummy_clause;
+          if propagate s <> None then begin
+            s.ok <- false;
+            log_proof s (P_add [||])
+          end
+      | _ ->
+          let c = { lits; learnt = false; activity = 0.0; lbd = 0; deleted = false } in
+          Vec.push s.clauses c;
+          attach_clause s c
+    end
+  end
+
+let add_clause s lits = add_clause_a s (Array.of_list lits)
+
+(* --- Luby restart sequence --- *)
+
+let rec luby y x =
+  let rec find size seq = if size >= x + 1 then (size, seq) else find ((2 * size) + 1) (seq + 1) in
+  let size, seq = find 1 0 in
+  if size - 1 = x then y ** float_of_int seq else luby y (x - ((size - 1) / 2))
+
+(* --- Decisions --- *)
+
+let pick_branch_var s =
+  let random_pick =
+    if s.nvars > 0 && Ll_util.Prng.float s.prng 1.0 < random_decision_freq then begin
+      let v = Ll_util.Prng.int s.prng s.nvars in
+      if s.assigns.(v) < 0 then Some v else None
+    end
+    else None
+  in
+  match random_pick with
+  | Some v -> Some v
+  | None ->
+      let rec next () =
+        if Heap.is_empty s.order then None
+        else
+          let v = Heap.remove_max s.order in
+          if s.assigns.(v) < 0 then Some v else next ()
+      in
+      next ()
+
+(* --- Search --- *)
+
+type search_outcome = O_sat | O_unsat | O_restart
+
+let record_learnt s lits lbd =
+  log_proof s (P_add (Array.copy lits));
+  s.n_learnt_literals <- s.n_learnt_literals + Array.length lits;
+  match Array.length lits with
+  | 1 -> enqueue s lits.(0) dummy_clause
+  | _ ->
+      let c = { lits; learnt = true; activity = 0.0; lbd; deleted = false } in
+      Vec.push s.learnts c;
+      attach_clause s c;
+      bump_clause s c;
+      enqueue s lits.(0) c
+
+let search s ~assumptions ~conflict_budget ~max_learnts ~conflict_limit =
+  let conflicts_here = ref 0 in
+  let outcome = ref None in
+  while !outcome = None do
+    match propagate s with
+    | Some confl ->
+        s.n_conflicts <- s.n_conflicts + 1;
+        incr conflicts_here;
+        if conflict_limit > 0 && s.n_conflicts >= conflict_limit then raise Conflict_limit;
+        if decision_level s = 0 then begin
+          s.ok <- false;
+          log_proof s (P_add [||]);
+          outcome := Some O_unsat
+        end
+        else begin
+          let learnt, bt_level, lbd = analyze s confl in
+          cancel_until s bt_level;
+          record_learnt s learnt lbd;
+          decay_var_activity s;
+          decay_clause_activity s
+        end
+    | None ->
+        if !conflicts_here >= conflict_budget then begin
+          cancel_until s 0;
+          outcome := Some O_restart
+        end
+        else begin
+          if float_of_int (Vec.length s.learnts) >= max_learnts then reduce_db s;
+          let level = decision_level s in
+          if level < Array.length assumptions then begin
+            (* Re-decide pending assumptions before free decisions. *)
+            let a = assumptions.(level) in
+            match lit_value s a with
+            | 1 -> new_decision_level s (* dummy level; already true *)
+            | 0 -> outcome := Some O_unsat (* unsat under assumptions *)
+            | _ ->
+                new_decision_level s;
+                enqueue s a dummy_clause
+          end
+          else begin
+            match pick_branch_var s with
+            | None -> outcome := Some O_sat
+            | Some v ->
+                s.n_decisions <- s.n_decisions + 1;
+                new_decision_level s;
+                enqueue s (Lit.make v s.polarity.(v)) dummy_clause
+          end
+        end
+  done;
+  Option.get !outcome
+
+let solve ?(assumptions = []) ?(conflict_limit = 0) s =
+  if not s.ok then Unsat
+  else begin
+    cancel_until s 0;
+    let assumptions = Array.of_list assumptions in
+    Array.iter
+      (fun l ->
+        if Lit.var l >= s.nvars then invalid_arg "Solver.solve: unknown assumption variable")
+      assumptions;
+    let max_learnts = ref (max 1000.0 (0.3 *. float_of_int (Vec.length s.clauses))) in
+    let rec run attempt =
+      let budget = int_of_float (luby 2.0 attempt *. float_of_int restart_first) in
+      match
+        search s ~assumptions ~conflict_budget:budget ~max_learnts:!max_learnts ~conflict_limit
+      with
+      | O_sat -> Sat
+      | O_unsat ->
+          cancel_until s 0;
+          Unsat
+      | O_restart ->
+          s.n_restarts <- s.n_restarts + 1;
+          max_learnts := !max_learnts *. 1.05;
+          run (attempt + 1)
+    in
+    let result = run 0 in
+    (* On Sat the trail is kept as the model until the next mutation. *)
+    result
+  end
+
+let value s l =
+  match lit_value s l with
+  | 1 -> true
+  | 0 -> false
+  | _ -> invalid_arg "Solver.value: literal unassigned in model"
+
+let model_var s v = value s (Lit.pos v)
+
+let ok s = s.ok
+
+let stats s =
+  {
+    conflicts = s.n_conflicts;
+    decisions = s.n_decisions;
+    propagations = s.n_propagations;
+    restarts = s.n_restarts;
+    learnt_literals = s.n_learnt_literals;
+    deleted_clauses = s.n_deleted;
+  }
+
+let enable_proof s = s.proof_enabled <- true
+
+let proof s = Vec.to_list s.proof_log

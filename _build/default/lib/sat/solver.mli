@@ -1,0 +1,80 @@
+(** Conflict-driven clause-learning SAT solver.
+
+    A from-scratch implementation of the MiniSAT-era algorithm: two-literal
+    watching, VSIDS decision heuristic with phase saving, first-UIP conflict
+    analysis with clause minimization, Luby restarts and activity/LBD-guided
+    deletion of learnt clauses.  It replaces the MiniSAT dependency of the
+    original SAT attack [Subramanyan et al., HOST'15].
+
+    The solver is incremental: clauses and variables may be added between
+    {!solve} calls, and {!solve} accepts assumption literals.  A solver
+    instance is not thread-safe; use one instance per domain. *)
+
+type t
+
+type result = Sat | Unsat
+
+type stats = {
+  conflicts : int;
+  decisions : int;
+  propagations : int;
+  restarts : int;
+  learnt_literals : int;
+  deleted_clauses : int;
+}
+
+(** DRUP proof events, in derivation order.  Each added clause is a
+    reverse-unit-propagation (RUP) consequence of the original formula and
+    the previously added clauses; a final empty addition refutes the
+    formula.  Verify with {!Drup.check_refutation}. *)
+type proof_event = P_add of Lit.t array | P_delete of Lit.t array
+
+val create : ?seed:int -> unit -> t
+(** [seed] randomises variable tie-breaking very slightly (2% random
+    decisions), matching common solver defaults.  The default seed gives
+    deterministic behaviour. *)
+
+val new_var : t -> int
+(** Allocate a fresh variable and return its index. *)
+
+val num_vars : t -> int
+
+val num_clauses : t -> int
+(** Problem clauses currently attached (learnt clauses excluded; unit
+    clauses absorbed at the root are not counted). *)
+
+val num_learnts : t -> int
+(** Learnt clauses currently retained. *)
+
+val add_clause : t -> Lit.t list -> unit
+(** Add a clause over existing variables.  May be called between [solve]
+    calls.  Adding an empty (or root-falsified) clause makes the instance
+    permanently unsatisfiable. *)
+
+val add_clause_a : t -> Lit.t array -> unit
+
+val solve : ?assumptions:Lit.t list -> ?conflict_limit:int -> t -> result
+(** Decide satisfiability under the given assumptions.  [conflict_limit]
+    bounds the search ([Unsat] is then only reported when proven; hitting
+    the limit raises {!Conflict_limit}). *)
+
+exception Conflict_limit
+
+val value : t -> Lit.t -> bool
+(** Model value of a literal.  Only meaningful after a [Sat] answer, for
+    variables that existed during that solve. *)
+
+val model_var : t -> int -> bool
+
+val ok : t -> bool
+(** False once the clause set is known unsatisfiable at the root. *)
+
+val stats : t -> stats
+
+val enable_proof : t -> unit
+(** Start recording DRUP events (call before solving; recording covers
+    clauses learnt afterwards). *)
+
+val proof : t -> proof_event list
+(** Recorded events, oldest first.  Empty when recording was never
+    enabled. *)

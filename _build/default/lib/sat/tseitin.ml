@@ -1,0 +1,147 @@
+module Circuit = Ll_netlist.Circuit
+module Gate = Ll_netlist.Gate
+module Bitvec = Ll_util.Bitvec
+
+(* The env memoizes every encoded gate by (operator, fanin literals): a
+   subcircuit appearing in several [encode] calls (e.g. the key cone shared
+   by all DIP constraints of a SAT attack) is encoded once and reused. *)
+type env = {
+  solver : Solver.t;
+  mutable true_lit : Lit.t option;
+  cache : (string * int list, Lit.t) Hashtbl.t;
+}
+
+let create solver = { solver; true_lit = None; cache = Hashtbl.create 4096 }
+
+let solver env = env.solver
+
+let fresh_lits env n = Array.init n (fun _ -> Lit.pos (Solver.new_var env.solver))
+
+let lit_true env =
+  match env.true_lit with
+  | Some l -> l
+  | None ->
+      let l = Lit.pos (Solver.new_var env.solver) in
+      Solver.add_clause env.solver [ l ];
+      env.true_lit <- Some l;
+      l
+
+let force env l v = Solver.add_clause env.solver [ (if v then l else Lit.negate l) ]
+
+let force_equal env a b =
+  Solver.add_clause env.solver [ Lit.negate a; b ];
+  Solver.add_clause env.solver [ a; Lit.negate b ]
+
+let add = Solver.add_clause
+
+let cached env key build =
+  match Hashtbl.find_opt env.cache key with
+  | Some l -> l
+  | None ->
+      let out = Lit.pos (Solver.new_var env.solver) in
+      build out;
+      Hashtbl.replace env.cache key out;
+      out
+
+(* out <-> AND(xs) *)
+let mk_and env xs =
+  let key = ("AND", List.sort_uniq compare (Array.to_list xs)) in
+  cached env key (fun out ->
+      let s = env.solver in
+      Array.iter (fun x -> add s [ Lit.negate out; x ]) xs;
+      add s (out :: Array.to_list (Array.map Lit.negate xs)))
+
+(* out <-> OR(xs) *)
+let mk_or env xs =
+  let key = ("OR", List.sort_uniq compare (Array.to_list xs)) in
+  cached env key (fun out ->
+      let s = env.solver in
+      Array.iter (fun x -> add s [ out; Lit.negate x ]) xs;
+      add s (Lit.negate out :: Array.to_list xs))
+
+(* out <-> a XOR b *)
+let encode_xor2 s out a b =
+  add s [ Lit.negate out; a; b ];
+  add s [ Lit.negate out; Lit.negate a; Lit.negate b ];
+  add s [ out; Lit.negate a; b ];
+  add s [ out; a; Lit.negate b ]
+
+let mk_xor2 env a b =
+  let lo = min a b and hi = max a b in
+  cached env ("XOR", [ lo; hi ]) (fun out -> encode_xor2 env.solver out lo hi)
+
+let mk_xor env xs =
+  let n = Array.length xs in
+  if n = 1 then xs.(0)
+  else begin
+    let acc = ref xs.(0) in
+    for i = 1 to n - 1 do
+      acc := mk_xor2 env !acc xs.(i)
+    done;
+    !acc
+  end
+
+(* out <-> if s then hi else lo *)
+let mk_mux env sel lo hi =
+  cached env ("MUX", [ sel; lo; hi ]) (fun out ->
+      let s = env.solver in
+      add s [ Lit.negate sel; Lit.negate hi; out ];
+      add s [ Lit.negate sel; hi; Lit.negate out ];
+      add s [ sel; Lit.negate lo; out ];
+      add s [ sel; lo; Lit.negate out ];
+      (* Redundant but propagation-strengthening clauses. *)
+      add s [ Lit.negate lo; Lit.negate hi; out ];
+      add s [ lo; hi; Lit.negate out ])
+
+let mk_lut env table fanin_lits =
+  let k = Array.length fanin_lits in
+  if k > 16 then invalid_arg "Tseitin: LUT wider than 16 inputs";
+  let key = ("LUT_" ^ Bitvec.to_string table, Array.to_list fanin_lits) in
+  cached env key (fun out ->
+      (* One clause per minterm: (fanins = pattern) -> out = table bit. *)
+      for idx = 0 to (1 lsl k) - 1 do
+        let guard =
+          List.init k (fun i ->
+              if (idx lsr i) land 1 = 1 then Lit.negate fanin_lits.(i) else fanin_lits.(i))
+        in
+        let rhs = if Bitvec.get table idx then out else Lit.negate out in
+        add env.solver (rhs :: guard)
+      done)
+
+let encode env c ~input_lits ~key_lits =
+  if Array.length input_lits <> Circuit.num_inputs c then
+    invalid_arg "Tseitin.encode: input literal count mismatch";
+  if Array.length key_lits <> Circuit.num_keys c then
+    invalid_arg "Tseitin.encode: key literal count mismatch";
+  let lit_of_node = Array.make (Circuit.num_nodes c) 0 in
+  let next_input = ref 0 and next_key = ref 0 in
+  Array.iteri
+    (fun i nd ->
+      let l =
+        match nd with
+        | Circuit.Input ->
+            let l = input_lits.(!next_input) in
+            incr next_input;
+            l
+        | Circuit.Key_input ->
+            let l = key_lits.(!next_key) in
+            incr next_key;
+            l
+        | Circuit.Const v -> if v then lit_true env else Lit.negate (lit_true env)
+        | Circuit.Gate (g, fanins) -> (
+            let fl = Array.map (fun j -> lit_of_node.(j)) fanins in
+            match g with
+            | Gate.Buf -> fl.(0)
+            | Gate.Not -> Lit.negate fl.(0)
+            | Gate.And -> mk_and env fl
+            | Gate.Nand -> Lit.negate (mk_and env fl)
+            | Gate.Or -> mk_or env fl
+            | Gate.Nor -> Lit.negate (mk_or env fl)
+            | Gate.Xor -> mk_xor env fl
+            | Gate.Xnor -> Lit.negate (mk_xor env fl)
+            | Gate.Mux -> mk_mux env fl.(0) fl.(1) fl.(2)
+            | Gate.Lut table -> mk_lut env table fl)
+      in
+      lit_of_node.(i) <- l)
+    c.Circuit.nodes;
+  Array.map (fun (_, j) -> lit_of_node.(j)) c.Circuit.outputs

@@ -1,0 +1,37 @@
+(** Tseitin transformation of circuits into solver clauses.
+
+    An {!env} is bound to one solver and can encode several circuits into
+    it, sharing port literals — exactly what miter construction and
+    incremental DIP constraints need.  [Buf] and [Not] gates reuse (and
+    negate) their fanin literal instead of allocating variables, so the
+    encoding stays compact. *)
+
+type env
+
+val create : Solver.t -> env
+
+val solver : env -> Solver.t
+
+val fresh_lits : env -> int -> Lit.t array
+(** Allocate fresh variables, returned as positive literals. *)
+
+val lit_true : env -> Lit.t
+(** A literal forced true at the root (allocated once per env). *)
+
+val encode :
+  env ->
+  Ll_netlist.Circuit.t ->
+  input_lits:Lit.t array ->
+  key_lits:Lit.t array ->
+  Lit.t array
+(** [encode env c ~input_lits ~key_lits] adds clauses constraining fresh
+    gate variables to compute [c], with the circuit's primary inputs bound
+    to [input_lits] and key ports to [key_lits] (port order).  Returns the
+    output literals in output-port order.  Raises [Invalid_argument] on
+    port-count mismatches or LUT gates wider than 16 inputs. *)
+
+val force : env -> Lit.t -> bool -> unit
+(** Unit-clause a literal to a constant. *)
+
+val force_equal : env -> Lit.t -> Lit.t -> unit
+(** Add clauses making two literals equal. *)

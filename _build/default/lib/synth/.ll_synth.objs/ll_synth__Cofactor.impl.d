@@ -1,0 +1,1 @@
+lib/synth/cofactor.ml: Array List Optimize

@@ -1,0 +1,1 @@
+lib/synth/cofactor.mli: Ll_netlist

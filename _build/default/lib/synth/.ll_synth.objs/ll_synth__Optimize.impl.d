@@ -1,0 +1,1 @@
+lib/synth/optimize.ml: Ll_netlist Simplify Sweep

@@ -1,0 +1,1 @@
+lib/synth/optimize.mli: Ll_netlist

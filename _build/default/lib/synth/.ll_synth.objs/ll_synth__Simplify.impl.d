@@ -1,0 +1,1 @@
+lib/synth/simplify.ml: Array Hashtbl List Ll_netlist Ll_util Option

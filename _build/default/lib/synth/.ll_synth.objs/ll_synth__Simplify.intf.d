@@ -1,0 +1,1 @@
+lib/synth/simplify.mli: Ll_netlist

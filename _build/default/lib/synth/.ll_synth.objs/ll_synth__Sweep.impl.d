@@ -1,0 +1,1 @@
+lib/synth/sweep.ml: Array Ll_netlist

@@ -1,0 +1,8 @@
+let apply c condition = Optimize.run ~bind:condition c
+
+let conditions ~split_inputs n =
+  if n < 0 || n > Array.length split_inputs then
+    invalid_arg "Cofactor.conditions: n out of range";
+  if n > 20 then invalid_arg "Cofactor.conditions: n too large";
+  Array.init (1 lsl n) (fun i ->
+      List.init n (fun j -> (split_inputs.(j), (i lsr j) land 1 = 1)))

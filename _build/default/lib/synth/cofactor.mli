@@ -1,0 +1,16 @@
+(** Input-space cofactoring: the [generate_conditional_netlist] step of the
+    paper's Algorithm 1 (line 4).
+
+    [apply c condition] pins the primary inputs named by [condition]
+    — pairs of (position in [c.inputs], value) — to constants, removes them
+    from the port list and synthesizes the remaining logic
+    ({!Optimize.run}).  Key ports are always preserved. *)
+
+val apply : Ll_netlist.Circuit.t -> (int * bool) list -> Ll_netlist.Circuit.t
+
+val conditions : split_inputs:int array -> int -> (int * bool) list array
+(** [conditions ~split_inputs n] enumerates the [2^n] binary conditions of
+    Algorithm 1 over the first [n] entries of [split_inputs]: element [i]
+    assigns bit [j] of [i] to input position [split_inputs.(j)].  Raises
+    [Invalid_argument] when [n < 0] or [n] exceeds the available inputs, or
+    when [n > 20]. *)

@@ -1,0 +1,13 @@
+module Circuit = Ll_netlist.Circuit
+
+let run ?(bind = []) ?(max_rounds = 4) c =
+  let rec loop round c =
+    if round >= max_rounds then c
+    else
+      let before = (Circuit.gate_count c, Circuit.num_nodes c) in
+      let c = Sweep.run (Simplify.run c) in
+      let after = (Circuit.gate_count c, Circuit.num_nodes c) in
+      if after = before then c else loop (round + 1) c
+  in
+  let first = Sweep.run (Simplify.run ~bind c) in
+  loop 1 first

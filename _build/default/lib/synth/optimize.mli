@@ -1,0 +1,7 @@
+(** The standard optimization pipeline: {!Simplify} and {!Sweep} iterated to
+    a fixpoint (bounded).  This is what the attack uses as its stand-in for
+    the paper's Design Compiler synthesis of conditional netlists. *)
+
+val run : ?bind:(int * bool) list -> ?max_rounds:int -> Ll_netlist.Circuit.t -> Ll_netlist.Circuit.t
+(** [bind] is applied on the first round (see {!Simplify.run}).
+    [max_rounds] defaults to 4. *)

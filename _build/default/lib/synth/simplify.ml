@@ -1,0 +1,260 @@
+module Circuit = Ll_netlist.Circuit
+module Builder = Ll_netlist.Builder
+module Gate = Ll_netlist.Gate
+module Bitvec = Ll_util.Bitvec
+
+(* Rewriting context around a Builder: constant values, negation links and a
+   structural-hash table over the nodes created so far. *)
+type ctx = {
+  b : Builder.t;
+  value : (int, bool) Hashtbl.t;  (* new-node index -> constant value *)
+  negation : (int, Builder.signal) Hashtbl.t;  (* new-node index -> ¬node *)
+  strash : (string * int list, Builder.signal) Hashtbl.t;
+}
+
+let idx = Builder.index_of_signal
+
+let const_of ctx s = Hashtbl.find_opt ctx.value (idx s)
+
+let mk_const ctx v =
+  let s = Builder.const ctx.b v in
+  if not (Hashtbl.mem ctx.value (idx s)) then Hashtbl.replace ctx.value (idx s) v;
+  s
+
+let mk_not ctx s =
+  match const_of ctx s with
+  | Some v -> mk_const ctx (not v)
+  | None -> (
+      match Hashtbl.find_opt ctx.negation (idx s) with
+      | Some n -> n
+      | None ->
+          let n = Builder.not_ ctx.b s in
+          Hashtbl.replace ctx.negation (idx s) n;
+          Hashtbl.replace ctx.negation (idx n) s;
+          n)
+
+let is_negation ctx a b =
+  match Hashtbl.find_opt ctx.negation (idx a) with
+  | Some n -> idx n = idx b
+  | None -> false
+
+let hashed ctx key mk =
+  match Hashtbl.find_opt ctx.strash key with
+  | Some s -> s
+  | None ->
+      let s = mk () in
+      Hashtbl.replace ctx.strash key s;
+      s
+
+let sorted_idx signals = List.sort_uniq compare (List.map idx signals)
+
+(* --- n-ary AND / OR over non-constant, deduplicated fanins --- *)
+
+let mk_and ctx signals =
+  if List.exists (fun s -> const_of ctx s = Some false) signals then mk_const ctx false
+  else
+    let rest = List.filter (fun s -> const_of ctx s = None) signals in
+    let rest = List.sort_uniq (fun a b -> compare (idx a) (idx b)) rest in
+    if List.exists (fun a -> List.exists (fun b -> is_negation ctx a b) rest) rest then
+      mk_const ctx false
+    else
+      match rest with
+      | [] -> mk_const ctx true
+      | [ s ] -> s
+      | _ ->
+          hashed ctx ("AND", sorted_idx rest) (fun () ->
+              Builder.gate ctx.b Gate.And (Array.of_list rest))
+
+let mk_or ctx signals =
+  if List.exists (fun s -> const_of ctx s = Some true) signals then mk_const ctx true
+  else
+    let rest = List.filter (fun s -> const_of ctx s = None) signals in
+    let rest = List.sort_uniq (fun a b -> compare (idx a) (idx b)) rest in
+    if List.exists (fun a -> List.exists (fun b -> is_negation ctx a b) rest) rest then
+      mk_const ctx true
+    else
+      match rest with
+      | [] -> mk_const ctx false
+      | [ s ] -> s
+      | _ ->
+          hashed ctx ("OR", sorted_idx rest) (fun () ->
+              Builder.gate ctx.b Gate.Or (Array.of_list rest))
+
+let mk_xor ctx signals =
+  (* Constants flip the output parity; duplicate fanins cancel pairwise;
+     x together with ¬x contributes a single parity flip. *)
+  let parity = ref false in
+  let occur = Hashtbl.create 8 in
+  List.iter
+    (fun s ->
+      match const_of ctx s with
+      | Some v -> if v then parity := not !parity
+      | None ->
+          let i = idx s in
+          let prev = Option.value ~default:(0, s) (Hashtbl.find_opt occur i) in
+          Hashtbl.replace occur i (fst prev + 1, s))
+    signals;
+  (* Reduce multiplicity mod 2. *)
+  let live = Hashtbl.fold (fun _ (n, s) acc -> if n mod 2 = 1 then s :: acc else acc) occur [] in
+  (* Cancel complement pairs: each (x, ¬x) pair is the constant 1. *)
+  let rec cancel acc = function
+    | [] -> acc
+    | s :: rest ->
+        if List.exists (fun t -> is_negation ctx s t) rest then begin
+          parity := not !parity;
+          let rest = ref rest and removed = ref false in
+          let rest' =
+            List.filter
+              (fun t ->
+                if (not !removed) && is_negation ctx s t then begin
+                  removed := true;
+                  false
+                end
+                else true)
+              !rest
+          in
+          cancel acc rest'
+        end
+        else cancel (s :: acc) rest
+  in
+  let live = cancel [] live in
+  let live = List.sort (fun a b -> compare (idx a) (idx b)) live in
+  let base =
+    match live with
+    | [] -> mk_const ctx false
+    | [ s ] -> s
+    | _ ->
+        hashed ctx ("XOR", sorted_idx live) (fun () ->
+            Builder.gate ctx.b Gate.Xor (Array.of_list live))
+  in
+  if !parity then mk_not ctx base else base
+
+let mk_mux ctx sel lo hi =
+  match const_of ctx sel with
+  | Some false -> lo
+  | Some true -> hi
+  | None -> (
+      if idx lo = idx hi then lo
+      else if is_negation ctx lo hi then
+        (* sel ? ¬lo : lo  =  sel XOR lo *)
+        mk_xor ctx [ sel; lo ]
+      else
+        match (const_of ctx lo, const_of ctx hi) with
+        | Some false, Some true -> sel
+        | Some true, Some false -> mk_not ctx sel
+        | Some false, None -> mk_and ctx [ sel; hi ]
+        | Some true, None -> mk_or ctx [ mk_not ctx sel; hi ]
+        | None, Some false -> mk_and ctx [ mk_not ctx sel; lo ]
+        | None, Some true -> mk_or ctx [ sel; lo ]
+        | Some true, Some true | Some false, Some false ->
+            (* both-const-equal handled by idx equality of the const node *)
+            lo
+        | None, None ->
+            hashed ctx ("MUX", [ idx sel; idx lo; idx hi ]) (fun () ->
+                Builder.mux ctx.b ~select:sel ~low:lo ~high:hi))
+
+let rec mk_lut ctx table fanins =
+  (* Peel constant inputs off by halving the table. *)
+  let k = List.length fanins in
+  assert (Bitvec.length table = 1 lsl k);
+  let const_pos =
+    List.find_index (fun s -> const_of ctx s <> None) fanins
+  in
+  match const_pos with
+  | Some pos ->
+      let v =
+        match const_of ctx (List.nth fanins pos) with
+        | Some v -> v
+        | None -> assert false
+      in
+      let fanins' = List.filteri (fun i _ -> i <> pos) fanins in
+      let table' =
+        Bitvec.init (1 lsl (k - 1)) (fun i ->
+            (* Re-insert bit [v] at position [pos] of the index. *)
+            let low = i land ((1 lsl pos) - 1) in
+            let high = i lsr pos in
+            let full = (high lsl (pos + 1)) lor ((if v then 1 else 0) lsl pos) lor low in
+            Bitvec.get table full)
+      in
+      mk_lut ctx table' fanins'
+  | None -> (
+      let size = Bitvec.length table in
+      let all_equal v =
+        let ok = ref true in
+        for i = 0 to size - 1 do
+          if Bitvec.get table i <> v then ok := false
+        done;
+        !ok
+      in
+      if all_equal true then mk_const ctx true
+      else if all_equal false then mk_const ctx false
+      else
+        match fanins with
+        | [ s ] ->
+            if Bitvec.get table 0 = false && Bitvec.get table 1 = true then s
+            else mk_not ctx s
+        | _ ->
+            let key = ("LUT_" ^ Bitvec.to_string table, List.map idx fanins) in
+            hashed ctx key (fun () ->
+                Builder.gate ctx.b (Gate.Lut table) (Array.of_list fanins)))
+
+let rewrite_gate ctx g fanins =
+  let fl = Array.to_list fanins in
+  match g with
+  | Gate.And -> mk_and ctx fl
+  | Gate.Nand -> mk_not ctx (mk_and ctx fl)
+  | Gate.Or -> mk_or ctx fl
+  | Gate.Nor -> mk_not ctx (mk_or ctx fl)
+  | Gate.Xor -> mk_xor ctx fl
+  | Gate.Xnor -> mk_not ctx (mk_xor ctx fl)
+  | Gate.Not -> mk_not ctx (List.hd fl)
+  | Gate.Buf -> List.hd fl
+  | Gate.Mux -> (
+      match fl with
+      | [ sel; lo; hi ] -> mk_mux ctx sel lo hi
+      | _ -> assert false)
+  | Gate.Lut table -> mk_lut ctx table fl
+
+let run ?(bind = []) c =
+  let n_inputs = Circuit.num_inputs c in
+  let binding = Array.make n_inputs None in
+  List.iter
+    (fun (pos, v) ->
+      if pos < 0 || pos >= n_inputs then invalid_arg "Simplify.run: bind position out of range";
+      if binding.(pos) <> None then invalid_arg "Simplify.run: duplicate bind position";
+      binding.(pos) <- Some v)
+    bind;
+  let ctx =
+    {
+      b = Builder.create ~name:c.Circuit.name ();
+      value = Hashtbl.create 64;
+      negation = Hashtbl.create 256;
+      strash = Hashtbl.create 1024;
+    }
+  in
+  let map = Array.make (Circuit.num_nodes c) None in
+  (* Ports first, in original port order, so the signature is stable. *)
+  Array.iteri
+    (fun pos j ->
+      match binding.(pos) with
+      | Some v -> map.(j) <- Some (mk_const ctx v)
+      | None -> map.(j) <- Some (Builder.input ctx.b (Circuit.node_name c j)))
+    c.Circuit.inputs;
+  Array.iter
+    (fun j -> map.(j) <- Some (Builder.key_input ctx.b (Circuit.node_name c j)))
+    c.Circuit.keys;
+  let get j =
+    match map.(j) with Some s -> s | None -> assert false
+  in
+  Array.iteri
+    (fun i nd ->
+      match nd with
+      | Circuit.Input | Circuit.Key_input -> ()
+      | Circuit.Const v -> map.(i) <- Some (mk_const ctx v)
+      | Circuit.Gate (g, fanins) ->
+          map.(i) <- Some (rewrite_gate ctx g (Array.map get fanins)))
+    c.Circuit.nodes;
+  Array.iter
+    (fun (name, j) -> Builder.output ctx.b name (get j))
+    c.Circuit.outputs;
+  Builder.finish ctx.b

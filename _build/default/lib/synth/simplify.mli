@@ -1,0 +1,19 @@
+(** Constant propagation + local rewriting + structural hashing.
+
+    One topological rebuild of the circuit that:
+    - folds gates whose fanins are constants (fully or partially);
+    - normalises [Nand]/[Nor]/[Xnor]/[Buf] away (the result uses
+      {b And, Or, Xor, Not, Mux, Lut} and constants);
+    - collapses double negations, duplicate fanins and [x op ¬x] patterns;
+    - shares structurally identical gates (structural hashing).
+
+    Primary-input and key ports are always preserved (even when dead), so
+    the result keeps the same input/key/output signature — unless [bind]
+    removes inputs.  This pass plays the role of the paper's "synthesized to
+    remove any redundant logic" step (Algorithm 1, line 4). *)
+
+val run : ?bind:(int * bool) list -> Ll_netlist.Circuit.t -> Ll_netlist.Circuit.t
+(** [run ~bind c] additionally substitutes constants for the primary inputs
+    named by [bind] — pairs of (position in [c.inputs], value) — and removes
+    them from the port list.  Raises [Invalid_argument] on duplicate or
+    out-of-range positions. *)

@@ -1,0 +1,27 @@
+module Circuit = Ll_netlist.Circuit
+module Builder = Ll_netlist.Builder
+module Cone = Ll_netlist.Cone
+
+let run c =
+  let live = Cone.output_cone c in
+  let b = Builder.create ~name:c.Circuit.name () in
+  let map = Array.make (Circuit.num_nodes c) None in
+  Array.iter
+    (fun j -> map.(j) <- Some (Builder.input b (Circuit.node_name c j)))
+    c.Circuit.inputs;
+  Array.iter
+    (fun j -> map.(j) <- Some (Builder.key_input b (Circuit.node_name c j)))
+    c.Circuit.keys;
+  let get j = match map.(j) with Some s -> s | None -> assert false in
+  Array.iteri
+    (fun i nd ->
+      if live.(i) && map.(i) = None then
+        match nd with
+        | Circuit.Input | Circuit.Key_input -> ()
+        | Circuit.Const v -> map.(i) <- Some (Builder.const b v)
+        | Circuit.Gate (g, fanins) ->
+            map.(i) <-
+              Some (Builder.gate ~name:(Circuit.node_name c i) b g (Array.map get fanins)))
+    c.Circuit.nodes;
+  Array.iter (fun (name, j) -> Builder.output b name (get j)) c.Circuit.outputs;
+  Builder.finish b

@@ -1,0 +1,7 @@
+(** Dead-logic removal.
+
+    Rebuilds the circuit keeping only nodes that reach an output, plus all
+    primary-input and key ports (which are part of the signature even when
+    dead).  Gate functions and names are preserved. *)
+
+val run : Ll_netlist.Circuit.t -> Ll_netlist.Circuit.t

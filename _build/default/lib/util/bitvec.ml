@@ -1,0 +1,108 @@
+type t = { len : int; data : Bytes.t }
+
+let bytes_for len = (len + 7) / 8
+
+let create len =
+  if len < 0 then invalid_arg "Bitvec.create: negative length";
+  { len; data = Bytes.make (bytes_for len) '\000' }
+
+let length v = v.len
+
+let check v i =
+  if i < 0 || i >= v.len then invalid_arg "Bitvec: index out of range"
+
+let unsafe_get v i =
+  Char.code (Bytes.unsafe_get v.data (i lsr 3)) land (1 lsl (i land 7)) <> 0
+
+let get v i =
+  check v i;
+  unsafe_get v i
+
+let set v i b =
+  check v i;
+  let byte = Char.code (Bytes.unsafe_get v.data (i lsr 3)) in
+  let mask = 1 lsl (i land 7) in
+  let byte = if b then byte lor mask else byte land lnot mask in
+  Bytes.unsafe_set v.data (i lsr 3) (Char.chr byte)
+
+let init len f =
+  let v = create len in
+  for i = 0 to len - 1 do
+    set v i (f i)
+  done;
+  v
+
+let copy v = { len = v.len; data = Bytes.copy v.data }
+
+let equal a b = a.len = b.len && Bytes.equal a.data b.data
+
+let compare a b =
+  let c = Stdlib.compare a.len b.len in
+  if c <> 0 then c else Bytes.compare a.data b.data
+
+let popcount v =
+  let n = ref 0 in
+  for i = 0 to v.len - 1 do
+    if unsafe_get v i then incr n
+  done;
+  !n
+
+let of_bool_array a = init (Array.length a) (fun i -> a.(i))
+
+let to_bool_array v = Array.init v.len (unsafe_get v)
+
+let of_bool_list l = of_bool_array (Array.of_list l)
+
+let of_int ~width x =
+  if width < 0 then invalid_arg "Bitvec.of_int: negative width";
+  init width (fun i -> (x lsr i) land 1 = 1)
+
+let to_int v =
+  if v.len > 62 then invalid_arg "Bitvec.to_int: length exceeds 62";
+  let x = ref 0 in
+  for i = v.len - 1 downto 0 do
+    x := (!x lsl 1) lor (if unsafe_get v i then 1 else 0)
+  done;
+  !x
+
+let of_string s =
+  init (String.length s) (fun i ->
+      match s.[i] with
+      | '0' -> false
+      | '1' -> true
+      | c -> invalid_arg (Printf.sprintf "Bitvec.of_string: bad character %C" c))
+
+let to_string v = String.init v.len (fun i -> if unsafe_get v i then '1' else '0')
+
+let random g n = init n (fun _ -> Prng.bool g)
+
+let append a b =
+  init (a.len + b.len) (fun i -> if i < a.len then unsafe_get a i else unsafe_get b (i - a.len))
+
+let sub v ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > v.len then invalid_arg "Bitvec.sub";
+  init len (fun i -> unsafe_get v (pos + i))
+
+let mapi f v = init v.len (fun i -> f i (unsafe_get v i))
+
+let fold f acc v =
+  let acc = ref acc in
+  for i = 0 to v.len - 1 do
+    acc := f !acc (unsafe_get v i)
+  done;
+  !acc
+
+let iteri f v =
+  for i = 0 to v.len - 1 do
+    f i (unsafe_get v i)
+  done
+
+let hamming a b =
+  if a.len <> b.len then invalid_arg "Bitvec.hamming: length mismatch";
+  let n = ref 0 in
+  for i = 0 to a.len - 1 do
+    if unsafe_get a i <> unsafe_get b i then incr n
+  done;
+  !n
+
+let pp fmt v = Format.pp_print_string fmt (to_string v)

@@ -1,0 +1,68 @@
+(** Fixed-length boolean vectors.
+
+    Used throughout the library for keys, input patterns and LUT truth
+    tables.  Bit 0 is the least-significant / first bit; [to_string] prints
+    bit 0 leftmost unless stated otherwise. *)
+
+type t
+
+val create : int -> t
+(** [create n] is an all-zero vector of length [n]. *)
+
+val init : int -> (int -> bool) -> t
+(** [init n f] sets bit [i] to [f i]. *)
+
+val length : t -> int
+
+val get : t -> int -> bool
+(** Raises [Invalid_argument] when out of range. *)
+
+val set : t -> int -> bool -> unit
+
+val copy : t -> t
+
+val equal : t -> t -> bool
+(** Equal lengths and equal bits. *)
+
+val compare : t -> t -> int
+(** Total order: by length, then lexicographically from bit 0. *)
+
+val popcount : t -> int
+(** Number of set bits. *)
+
+val of_bool_array : bool array -> t
+val to_bool_array : t -> bool array
+val of_bool_list : bool list -> t
+
+val of_int : width:int -> int -> t
+(** [of_int ~width v] takes the low [width] bits of [v]; bit 0 of the result
+    is the least-significant bit of [v]. *)
+
+val to_int : t -> int
+(** Inverse of [of_int]; requires [length <= 62]. *)
+
+val of_string : string -> t
+(** [of_string "0110"] — character [i] gives bit [i].  Raises
+    [Invalid_argument] on characters other than '0'/'1'. *)
+
+val to_string : t -> string
+
+val random : Prng.t -> int -> t
+(** [random g n] draws a uniform vector of length [n]. *)
+
+val append : t -> t -> t
+(** [append a b]: bits of [a] first. *)
+
+val sub : t -> pos:int -> len:int -> t
+
+val mapi : (int -> bool -> bool) -> t -> t
+
+val fold : ('a -> bool -> 'a) -> 'a -> t -> 'a
+(** Fold from bit 0 upward. *)
+
+val iteri : (int -> bool -> unit) -> t -> unit
+
+val hamming : t -> t -> int
+(** Hamming distance of two equal-length vectors. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,63 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = Int64.of_int seed }
+
+let copy g = { state = g.state }
+
+(* SplitMix64 finalizer (Steele et al., "Fast splittable pseudorandom number
+   generators"). *)
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let bits64 g =
+  g.state <- Int64.add g.state golden_gamma;
+  mix g.state
+
+let split g =
+  let seed = bits64 g in
+  { state = mix seed }
+
+let bool g = Int64.compare (Int64.logand (bits64 g) 1L) 0L <> 0
+
+let int g bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
+  (* Rejection sampling on the top bits to avoid modulo bias. *)
+  let rec draw () =
+    let r = Int64.to_int (Int64.shift_right_logical (bits64 g) 1) in
+    let v = r mod bound in
+    if r - v + (bound - 1) < 0 then draw () else v
+  in
+  draw ()
+
+let float g bound =
+  let r = Int64.to_float (Int64.shift_right_logical (bits64 g) 11) in
+  bound *. (r /. 9007199254740992.0)
+
+let shuffle g a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int g (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let choose g a =
+  if Array.length a = 0 then invalid_arg "Prng.choose: empty array";
+  a.(int g (Array.length a))
+
+let sample g ~k ~n =
+  if k < 0 || k > n then invalid_arg "Prng.sample: need 0 <= k <= n";
+  (* Floyd's algorithm: k iterations, set-based. *)
+  let module IS = Set.Make (Int) in
+  let rec loop j acc =
+    if j > n then acc
+    else
+      let r = int g j in
+      let acc = if IS.mem r acc then IS.add (j - 1) acc else IS.add r acc in
+      loop (j + 1) acc
+  in
+  if k = 0 then [] else IS.elements (loop (n - k + 1) IS.empty)

@@ -1,0 +1,22 @@
+let now () = Unix.gettimeofday ()
+
+let time f =
+  let t0 = now () in
+  let result = f () in
+  (result, now () -. t0)
+
+type stopwatch = { mutable accum : float; mutable started_at : float option }
+
+let stopwatch () = { accum = 0.0; started_at = None }
+
+let start w = match w.started_at with Some _ -> () | None -> w.started_at <- Some (now ())
+
+let stop w =
+  match w.started_at with
+  | None -> ()
+  | Some t0 ->
+      w.accum <- w.accum +. (now () -. t0);
+      w.started_at <- None
+
+let elapsed w =
+  match w.started_at with None -> w.accum | Some t0 -> w.accum +. (now () -. t0)

@@ -1,0 +1,19 @@
+(** Wall-clock timing helpers for attack statistics and benchmarks. *)
+
+val now : unit -> float
+(** Wall-clock seconds since the Unix epoch. *)
+
+val time : (unit -> 'a) -> 'a * float
+(** [time f] runs [f ()] and returns its result with the elapsed wall-clock
+    seconds. *)
+
+type stopwatch
+(** An accumulating stopwatch that can be paused and resumed. *)
+
+val stopwatch : unit -> stopwatch
+(** A fresh, stopped stopwatch with zero accumulated time. *)
+
+val start : stopwatch -> unit
+val stop : stopwatch -> unit
+val elapsed : stopwatch -> float
+(** Accumulated running time (includes the current lap when running). *)

@@ -1,0 +1,11 @@
+  $ logiclock gen c17 -o c17.bench
+  $ logiclock stats c17.bench
+  $ logiclock verilog c17.bench | head -n 6
+  $ logiclock sim c17.bench --inputs 10110
+  $ logiclock lock c17.bench --scheme sarlock --keys 3 --seed 5 -o locked.bench 2> key.txt
+  $ cat key.txt
+  $ logiclock ec locked.bench c17.bench --key 000
+  $ logiclock ec locked.bench c17.bench --key 001
+  $ logiclock fanout locked.bench --top 3
+  $ logiclock attack locked.bench c17.bench | grep -v time
+  $ logiclock attack locked.bench c17.bench --split 1 | grep result

@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Array Format Logiclock QCheck2 QCheck_alcotest

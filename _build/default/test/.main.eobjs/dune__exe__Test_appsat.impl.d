@@ -1,0 +1,1 @@
+test/test_appsat.ml: Alcotest Helpers LL Printf

@@ -1,0 +1,1 @@
+test/test_attack_extras.ml: Alcotest Bitvec Helpers LL Prng

@@ -1,0 +1,1 @@
+test/test_attack_infra.ml: Alcotest Array Bitvec Builder Circuit Eval Helpers LL List Printf Prng

@@ -1,0 +1,1 @@
+test/test_bdd.ml: Alcotest Array Bitvec Eval Helpers LL List Prng QCheck2

@@ -1,0 +1,1 @@
+test/test_bdd_laws.ml: Array Float Helpers LL Prng QCheck2

@@ -1,0 +1,1 @@
+test/test_bench_io.ml: Alcotest Array Bitvec Builder Circuit Eval Filename Gate Helpers LL Prng QCheck2 Sys

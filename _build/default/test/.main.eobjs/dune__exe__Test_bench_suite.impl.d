@@ -1,0 +1,1 @@
+test/test_bench_suite.ml: Alcotest Array Builder Circuit Eval Helpers LL List Printf Prng

@@ -1,0 +1,1 @@
+test/test_builder.ml: Alcotest Array Builder Circuit Eval Fun Gate Helpers Printf

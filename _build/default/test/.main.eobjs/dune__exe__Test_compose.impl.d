@@ -1,0 +1,1 @@
+test/test_compose.ml: Alcotest Array Bitvec Circuit Fun Helpers LL List Prng QCheck2

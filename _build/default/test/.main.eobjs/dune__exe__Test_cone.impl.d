@@ -1,0 +1,1 @@
+test/test_cone.ml: Alcotest Array Builder Circuit Helpers LL

@@ -1,0 +1,1 @@
+test/test_dimacs.ml: Alcotest Filename List Ll_sat Sys

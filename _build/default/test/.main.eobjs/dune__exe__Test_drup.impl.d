@@ -1,0 +1,1 @@
+test/test_drup.ml: Alcotest Array Helpers List Ll_sat Printf

@@ -1,0 +1,1 @@
+test/test_equiv_bounded.ml: Alcotest Array Builder Helpers LL Printf

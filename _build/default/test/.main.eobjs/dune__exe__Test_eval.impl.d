@@ -1,0 +1,1 @@
+test/test_eval.ml: Alcotest Array Bitvec Builder Circuit Eval Helpers Int64 List Prng QCheck2

@@ -1,0 +1,1 @@
+test/test_gate.ml: Alcotest Array Bitvec Gate Helpers Int64 List Prng QCheck2

@@ -1,0 +1,1 @@
+test/test_heap.ml: Alcotest Array List Ll_sat Ll_util

@@ -1,0 +1,1 @@
+test/test_instantiate.ml: Alcotest Array Bitvec Builder Circuit Eval Helpers LL Printf

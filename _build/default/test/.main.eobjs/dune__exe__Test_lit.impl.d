@@ -1,0 +1,1 @@
+test/test_lit.ml: Alcotest Ll_sat

@@ -1,0 +1,1 @@
+test/test_locking.ml: Alcotest Array Bitvec Circuit Helpers LL List Ll_benchsuite Printf Prng String

@@ -1,0 +1,1 @@
+test/test_properties.ml: Alcotest Bitvec Circuit Helpers LL List Ll_sat Option Prng QCheck2

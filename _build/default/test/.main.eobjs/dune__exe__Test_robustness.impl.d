@@ -1,0 +1,1 @@
+test/test_robustness.ml: Alcotest Array Eval Helpers LL Ll_sat QCheck2

@@ -1,0 +1,1 @@
+test/test_sat_attack.ml: Alcotest Bitvec Helpers LL List Printf Prng

@@ -1,0 +1,1 @@
+test/test_sensitization.ml: Alcotest Array Bitvec Builder Gate Helpers LL Printf Prng

@@ -1,0 +1,1 @@
+test/test_simplify.ml: Alcotest Array Bitvec Builder Circuit Eval Gate Helpers LL List QCheck2

@@ -1,0 +1,1 @@
+test/test_solver.ml: Alcotest Array Helpers List Ll_sat Ll_util QCheck2

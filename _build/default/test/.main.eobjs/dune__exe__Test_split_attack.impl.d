@@ -1,0 +1,1 @@
+test/test_split_attack.ml: Alcotest Array Helpers LL List Printf

@@ -1,0 +1,1 @@
+test/test_structured.ml: Alcotest Array Builder Eval Helpers LL Printf

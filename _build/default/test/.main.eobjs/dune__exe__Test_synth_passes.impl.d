@@ -1,0 +1,1 @@
+test/test_synth_passes.ml: Alcotest Array Builder Circuit Eval Helpers LL

@@ -1,0 +1,1 @@
+test/test_testbench.ml: Alcotest Array Bitvec Eval Filename Helpers LL Prng String Sys

@@ -1,0 +1,1 @@
+test/test_tseitin.ml: Alcotest Array Bitvec Builder Circuit Eval Fun Gate Helpers Ll_sat Printf Prng QCheck2

@@ -1,0 +1,1 @@
+test/test_verilog_out.ml: Alcotest Bitvec Builder Filename Gate Helpers LL String Sys

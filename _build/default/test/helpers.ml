@@ -1,0 +1,70 @@
+(* Shared fixtures and generators for the test suite. *)
+
+module LL = Logiclock
+module Circuit = LL.Netlist.Circuit
+module Builder = LL.Netlist.Builder
+module Gate = LL.Netlist.Gate
+module Eval = LL.Netlist.Eval
+module Bitvec = LL.Util.Bitvec
+module Prng = LL.Util.Prng
+
+let bitvec_testable =
+  Alcotest.testable (fun fmt v -> Format.pp_print_string fmt (Bitvec.to_string v)) Bitvec.equal
+
+(* A tiny 1-bit full adder: 3 inputs, 2 outputs. *)
+let full_adder_circuit () =
+  let b = Builder.create ~name:"fa" () in
+  let a = Builder.input b "a" in
+  let bb = Builder.input b "b" in
+  let cin = Builder.input b "cin" in
+  let axb = Builder.xor2 b a bb in
+  let sum = Builder.xor2 b axb cin in
+  let carry = Builder.or2 b (Builder.and2 b a bb) (Builder.and2 b axb cin) in
+  Builder.output b "sum" sum;
+  Builder.output b "cout" carry;
+  Builder.finish b
+
+(* A 2-output circuit with redundancy for the synthesis passes. *)
+let redundant_circuit () =
+  let b = Builder.create ~name:"red" () in
+  let x = Builder.input b "x" in
+  let y = Builder.input b "y" in
+  let t = Builder.const b true in
+  let a1 = Builder.and2 b x y in
+  let a2 = Builder.and2 b x y in
+  (* duplicate of a1 *)
+  let nn = Builder.not_ b (Builder.not_ b x) in
+  (* double negation *)
+  let with_const = Builder.and2 b a1 t in
+  (* AND with true *)
+  Builder.output b "o1" (Builder.or2 b a2 with_const);
+  Builder.output b "o2" nn;
+  Builder.finish b
+
+let random_circuit ?(seed = 7) ?(num_inputs = 5) ?(num_outputs = 3) ?(gates = 30) () =
+  LL.Bench_suite.Generator.random_circuit ~seed ~num_inputs ~num_outputs ~gates ()
+
+(* Exhaustive functional equality for small key-free circuits. *)
+let exhaustively_equal c1 c2 =
+  let n = Circuit.num_inputs c1 in
+  assert (n <= 16);
+  let equal = ref true in
+  for v = 0 to (1 lsl n) - 1 do
+    let inputs = Bitvec.to_bool_array (Bitvec.of_int ~width:n v) in
+    if Eval.eval c1 ~inputs ~keys:[||] <> Eval.eval c2 ~inputs ~keys:[||] then equal := false
+  done;
+  !equal
+
+(* Functional equality on [trials] random patterns (for larger circuits). *)
+let randomly_equal ?(trials = 128) ?(seed = 11) c1 c2 =
+  let g = Prng.create seed in
+  let n = Circuit.num_inputs c1 in
+  let equal = ref true in
+  for _ = 1 to trials do
+    let inputs = Array.init n (fun _ -> Prng.bool g) in
+    if Eval.eval c1 ~inputs ~keys:[||] <> Eval.eval c2 ~inputs ~keys:[||] then equal := false
+  done;
+  !equal
+
+let qcheck_case ?(count = 100) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)

@@ -1,0 +1,99 @@
+(* Random_guess baseline and sampled error analysis. *)
+open Helpers
+module Oracle = LL.Attack.Oracle
+module Random_guess = LL.Attack.Random_guess
+module Analysis = LL.Attack.Analysis
+
+let test_random_guess_fails_on_large_keyspace () =
+  (* c432 is fully live, so all 24 key bits matter. *)
+  let c = LL.Bench_suite.Iscas.get "c432" in
+  let locked = LL.Locking.Xor_lock.lock ~num_keys:24 c in
+  let oracle = Oracle.of_circuit c in
+  let r = Random_guess.run ~max_guesses:100 locked.circuit ~oracle in
+  Alcotest.(check bool) "no key found" true (r.Random_guess.key = None);
+  Alcotest.(check int) "used the budget" 100 r.guesses
+
+let test_random_guess_succeeds_on_tiny_keyspace () =
+  let c = random_circuit ~seed:161 ~num_inputs:6 () in
+  let locked = LL.Locking.Xor_lock.lock ~num_keys:2 c in
+  let oracle = Oracle.of_circuit c in
+  let r =
+    Random_guess.run ~prng:(Prng.create 4) ~max_guesses:200 locked.circuit ~oracle
+  in
+  match r.Random_guess.key with
+  | None -> Alcotest.fail "2-bit keyspace should fall to random guessing"
+  | Some key ->
+      (* Must be verified functionally: a survivor might still be wrong, but
+         with 64 samples per guess on this design it is the real key. *)
+      Alcotest.(check bool) "correct" true
+        (exhaustively_equal c (LL.Netlist.Instantiate.bind_keys locked.circuit key))
+
+let test_random_guess_counts_queries () =
+  let c = random_circuit ~seed:162 () in
+  let locked = LL.Locking.Xor_lock.lock ~num_keys:16 c in
+  let oracle = Oracle.of_circuit c in
+  let r = Random_guess.run ~max_guesses:10 locked.circuit ~oracle in
+  Alcotest.(check bool) "queries counted" true (r.Random_guess.oracle_queries > 0)
+
+let test_random_guess_validation () =
+  let c = full_adder_circuit () in
+  let oracle = Oracle.of_circuit c in
+  Alcotest.check_raises "keyless" (Invalid_argument "Random_guess.run: circuit has no keys")
+    (fun () -> ignore (Random_guess.run ~max_guesses:1 c ~oracle))
+
+let test_sampled_error_rate_correct_key () =
+  let c = random_circuit ~seed:163 ~num_inputs:10 () in
+  let locked = LL.Locking.Sarlock.lock ~key_size:6 c in
+  let rate =
+    Analysis.sampled_error_rate ~original:c ~locked:locked.circuit locked.correct_key
+  in
+  Alcotest.(check (float 1e-9)) "zero for correct key" 0.0 rate
+
+let test_sampled_error_rate_wrong_key () =
+  let c = LL.Bench_suite.Iscas.get "c432" in
+  let locked = LL.Locking.Xor_lock.lock ~prng:(Prng.create 9) ~num_keys:8 c in
+  (* Invert the whole key: massive corruption expected on a live design. *)
+  let bad = Bitvec.mapi (fun _ b -> not b) locked.correct_key in
+  let rate = Analysis.sampled_error_rate ~original:c ~locked:locked.circuit bad in
+  Alcotest.(check bool) "high error rate" true (rate > 0.2)
+
+let test_sampled_error_rate_matches_exhaustive () =
+  let c = random_circuit ~seed:165 ~num_inputs:4 ~num_outputs:2 ~gates:12 () in
+  let locked = LL.Locking.Sarlock.lock ~key:(Bitvec.of_string "0011") ~key_size:4 c in
+  let m = Analysis.error_matrix ~original:c ~locked:locked.circuit in
+  (* Wrong key 0: corrupts exactly 1/16 of patterns. *)
+  let exact = Analysis.error_rate m ~key:0 in
+  let sampled =
+    Analysis.sampled_error_rate ~samples:65536 ~original:c ~locked:locked.circuit
+      (Bitvec.of_int ~width:4 0)
+  in
+  Alcotest.(check bool) "within 2 percentage points" true (abs_float (sampled -. exact) < 0.02)
+
+let test_sampled_error_rate_validation () =
+  let c = random_circuit ~seed:166 () in
+  let locked = LL.Locking.Xor_lock.lock ~num_keys:4 c in
+  Alcotest.(check bool) "raises on bad key length" true
+    (try
+       ignore
+         (Analysis.sampled_error_rate ~original:c ~locked:locked.circuit
+            (Bitvec.create 2));
+       false
+     with Invalid_argument _ -> true)
+
+let suite =
+  [
+    Alcotest.test_case "random guess fails on large keyspace" `Quick
+      test_random_guess_fails_on_large_keyspace;
+    Alcotest.test_case "random guess succeeds on tiny keyspace" `Quick
+      test_random_guess_succeeds_on_tiny_keyspace;
+    Alcotest.test_case "random guess counts queries" `Quick test_random_guess_counts_queries;
+    Alcotest.test_case "random guess validation" `Quick test_random_guess_validation;
+    Alcotest.test_case "sampled error rate correct key" `Quick
+      test_sampled_error_rate_correct_key;
+    Alcotest.test_case "sampled error rate wrong key" `Quick
+      test_sampled_error_rate_wrong_key;
+    Alcotest.test_case "sampled error rate matches exhaustive" `Quick
+      test_sampled_error_rate_matches_exhaustive;
+    Alcotest.test_case "sampled error rate validation" `Quick
+      test_sampled_error_rate_validation;
+  ]

@@ -1,0 +1,189 @@
+open Helpers
+module Bdd = LL.Bdd.Bdd
+module Exact = LL.Bdd.Exact
+
+let test_terminals () =
+  let m = Bdd.manager ~num_vars:2 () in
+  Alcotest.(check bool) "bot <> top" true (Bdd.bot <> Bdd.top);
+  Alcotest.(check bool) "bot evals false" false (Bdd.eval m Bdd.bot [| true; false |]);
+  Alcotest.(check bool) "top evals true" true (Bdd.eval m Bdd.top [| true; false |])
+
+let test_var_projection () =
+  let m = Bdd.manager ~num_vars:3 () in
+  let x1 = Bdd.var m 1 in
+  Alcotest.(check bool) "selects its variable" true (Bdd.eval m x1 [| false; true; false |]);
+  Alcotest.(check bool) "ignores others" false (Bdd.eval m x1 [| true; false; true |])
+
+let test_canonicity () =
+  let m = Bdd.manager ~num_vars:4 () in
+  let a = Bdd.var m 0 and b = Bdd.var m 1 in
+  (* Same function built two ways must be the same node. *)
+  let f1 = Bdd.apply_or m a b in
+  let f2 = Bdd.neg m (Bdd.apply_and m (Bdd.neg m a) (Bdd.neg m b)) in
+  Alcotest.(check bool) "de morgan is identical node" true (f1 = f2);
+  (* x xor x = false *)
+  Alcotest.(check bool) "self xor" true (Bdd.apply_xor m a a = Bdd.bot);
+  (* double negation *)
+  Alcotest.(check bool) "double neg" true (Bdd.neg m (Bdd.neg m f1) = f1)
+
+let test_ops_truth_tables () =
+  let m = Bdd.manager ~num_vars:2 () in
+  let a = Bdd.var m 0 and b = Bdd.var m 1 in
+  let cases =
+    [ (Bdd.apply_and m a b, ( && )); (Bdd.apply_or m a b, ( || ));
+      (Bdd.apply_xor m a b, ( <> )) ]
+  in
+  List.iter
+    (fun (f, op) ->
+      for v = 0 to 3 do
+        let x = v land 1 = 1 and y = v lsr 1 = 1 in
+        Alcotest.(check bool) "truth" (op x y) (Bdd.eval m f [| x; y |])
+      done)
+    cases
+
+let test_ite_and_restrict () =
+  let m = Bdd.manager ~num_vars:3 () in
+  let s = Bdd.var m 0 and a = Bdd.var m 1 and b = Bdd.var m 2 in
+  let mux = Bdd.ite m s a b in
+  for v = 0 to 7 do
+    let sv = v land 1 = 1 and av = (v lsr 1) land 1 = 1 and bv = (v lsr 2) land 1 = 1 in
+    Alcotest.(check bool) "ite" (if sv then av else bv) (Bdd.eval m mux [| sv; av; bv |])
+  done;
+  Alcotest.(check bool) "restrict s=1" true (Bdd.restrict m mux 0 true = a);
+  Alcotest.(check bool) "restrict s=0" true (Bdd.restrict m mux 0 false = b)
+
+let test_sat_count () =
+  let m = Bdd.manager ~num_vars:3 () in
+  let a = Bdd.var m 0 and b = Bdd.var m 1 in
+  Alcotest.(check (float 1e-9)) "top" 8.0 (Bdd.sat_count m Bdd.top);
+  Alcotest.(check (float 1e-9)) "bot" 0.0 (Bdd.sat_count m Bdd.bot);
+  Alcotest.(check (float 1e-9)) "var" 4.0 (Bdd.sat_count m a);
+  Alcotest.(check (float 1e-9)) "and" 2.0 (Bdd.sat_count m (Bdd.apply_and m a b));
+  Alcotest.(check (float 1e-9)) "or" 6.0 (Bdd.sat_count m (Bdd.apply_or m a b));
+  (* A variable deep in the order. *)
+  let c = Bdd.var m 2 in
+  Alcotest.(check (float 1e-9)) "last var" 4.0 (Bdd.sat_count m c)
+
+let test_size () =
+  let m = Bdd.manager ~num_vars:8 () in
+  let parity =
+    let acc = ref Bdd.bot in
+    for i = 0 to 7 do
+      acc := Bdd.apply_xor m !acc (Bdd.var m i)
+    done;
+    !acc
+  in
+  (* Parity BDD has exactly 2 nodes per level except the top. *)
+  Alcotest.(check int) "parity size" 15 (Bdd.size m parity);
+  Alcotest.(check (float 1e-9)) "parity count" 128.0 (Bdd.sat_count m parity)
+
+let test_of_circuit_matches_eval () =
+  let c = full_adder_circuit () in
+  let m, inputs, keys = Bdd.circuit_manager c in
+  let outs = Bdd.of_circuit m c ~inputs ~keys in
+  for v = 0 to 7 do
+    let assignment = Array.init 3 (fun i -> (v lsr i) land 1 = 1) in
+    let want = Eval.eval c ~inputs:assignment ~keys:[||] in
+    Array.iteri
+      (fun o f -> Alcotest.(check bool) "matches" want.(o) (Bdd.eval m f assignment))
+      outs
+  done
+
+let prop_of_circuit_random =
+  qcheck_case ~count:40 "random circuits: BDD matches simulation"
+    QCheck2.Gen.(pair (int_bound 100000) (int_bound 40))
+    (fun (seed, gates) ->
+      let c = random_circuit ~seed ~num_inputs:6 ~num_outputs:3 ~gates:(5 + gates) () in
+      let m, inputs, keys = Bdd.circuit_manager c in
+      let outs = Bdd.of_circuit m c ~inputs ~keys in
+      let ok = ref true in
+      for v = 0 to 63 do
+        let assignment = Array.init 6 (fun i -> (v lsr i) land 1 = 1) in
+        let want = Eval.eval c ~inputs:assignment ~keys:[||] in
+        Array.iteri (fun o f -> if Bdd.eval m f assignment <> want.(o) then ok := false) outs
+      done;
+      !ok)
+
+let test_exact_equivalence () =
+  let c = random_circuit ~seed:190 ~gates:40 () in
+  Alcotest.(check bool) "self" true (Exact.equivalent c (random_circuit ~seed:190 ~gates:40 ()));
+  Alcotest.(check bool) "optimized" true (Exact.equivalent c (LL.Synth.Optimize.run c));
+  Alcotest.(check bool) "different" false
+    (Exact.equivalent c (random_circuit ~seed:191 ~gates:40 ()))
+
+let test_exact_agrees_with_sat_equiv () =
+  let c = random_circuit ~seed:192 ~gates:50 () in
+  let locked = LL.Locking.Xor_lock.lock ~num_keys:6 c in
+  let unlocked = LL.Netlist.Instantiate.bind_keys locked.circuit locked.correct_key in
+  let bdd_says = Exact.equivalent c unlocked in
+  let sat_says =
+    match LL.Attack.Equiv.check c unlocked with
+    | LL.Attack.Equiv.Equivalent -> true
+    | LL.Attack.Equiv.Counterexample _ -> false
+  in
+  Alcotest.(check bool) "engines agree" bdd_says sat_says;
+  Alcotest.(check bool) "both say equivalent" true bdd_says
+
+let test_exact_error_count_sarlock () =
+  (* SARLock signature, computed exactly: each wrong key corrupts exactly
+     2^(|I|-K) patterns. *)
+  let c = random_circuit ~seed:193 ~num_inputs:8 ~num_outputs:3 ~gates:30 () in
+  let locked = LL.Locking.Sarlock.lock ~key:(Bitvec.of_string "1010") ~key_size:4 c in
+  let wrong = Bitvec.of_string "0110" in
+  Alcotest.(check (float 1e-9)) "wrong key corrupts 2^4 patterns" 16.0
+    (Exact.error_count ~original:c ~locked:locked.circuit ~key:wrong);
+  Alcotest.(check (float 1e-9)) "correct key corrupts none" 0.0
+    (Exact.error_count ~original:c ~locked:locked.circuit ~key:locked.correct_key);
+  Alcotest.(check (float 1e-9)) "rate" (16.0 /. 256.0)
+    (Exact.error_rate ~original:c ~locked:locked.circuit ~key:wrong)
+
+let test_exact_error_matches_matrix () =
+  let c = random_circuit ~seed:194 ~num_inputs:4 ~num_outputs:2 ~gates:12 () in
+  let locked = LL.Locking.Xor_lock.lock ~prng:(Prng.create 3) ~num_keys:3 c in
+  let m = LL.Attack.Analysis.error_matrix ~original:c ~locked:locked.circuit in
+  for k = 0 to 7 do
+    let exact =
+      Exact.error_count ~original:c ~locked:locked.circuit ~key:(Bitvec.of_int ~width:3 k)
+    in
+    let matrix =
+      Array.fold_left (fun acc e -> if e then acc +. 1.0 else acc) 0.0
+        m.LL.Attack.Analysis.errors.(k)
+    in
+    Alcotest.(check (float 1e-9)) "agree with matrix" matrix exact
+  done
+
+let test_correct_key_count () =
+  (* SARLock has exactly one correct key. *)
+  let c = random_circuit ~seed:195 ~num_inputs:6 ~num_outputs:2 ~gates:20 () in
+  let sar = LL.Locking.Sarlock.lock ~key_size:4 c in
+  Alcotest.(check (float 1e-9)) "sarlock single key" 1.0
+    (Exact.correct_key_count ~original:c ~locked:sar.circuit);
+  (* Anti-SAT has exactly 2^m correct keys (k1 = k2). *)
+  let anti = LL.Locking.Antisat.lock ~width:3 c in
+  Alcotest.(check (float 1e-9)) "antisat 2^m keys" 8.0
+    (Exact.correct_key_count ~original:c ~locked:anti.circuit)
+
+let test_lut_has_many_correct_keys () =
+  let c = random_circuit ~seed:196 ~num_inputs:6 ~num_outputs:2 ~gates:20 () in
+  let locked = LL.Locking.Lut_lock.lock ~stage1_luts:2 ~stage1_inputs:2 c in
+  let n = Exact.correct_key_count ~original:c ~locked:locked.circuit in
+  Alcotest.(check bool) "more than one" true (n > 1.0)
+
+let suite =
+  [
+    Alcotest.test_case "terminals" `Quick test_terminals;
+    Alcotest.test_case "var projection" `Quick test_var_projection;
+    Alcotest.test_case "canonicity" `Quick test_canonicity;
+    Alcotest.test_case "ops truth tables" `Quick test_ops_truth_tables;
+    Alcotest.test_case "ite and restrict" `Quick test_ite_and_restrict;
+    Alcotest.test_case "sat count" `Quick test_sat_count;
+    Alcotest.test_case "size" `Quick test_size;
+    Alcotest.test_case "of_circuit matches eval" `Quick test_of_circuit_matches_eval;
+    prop_of_circuit_random;
+    Alcotest.test_case "exact equivalence" `Quick test_exact_equivalence;
+    Alcotest.test_case "exact agrees with SAT equiv" `Quick test_exact_agrees_with_sat_equiv;
+    Alcotest.test_case "exact error count sarlock" `Quick test_exact_error_count_sarlock;
+    Alcotest.test_case "exact error matches matrix" `Quick test_exact_error_matches_matrix;
+    Alcotest.test_case "correct key count" `Quick test_correct_key_count;
+    Alcotest.test_case "lut has many correct keys" `Quick test_lut_has_many_correct_keys;
+  ]

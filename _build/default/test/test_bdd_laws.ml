@@ -1,0 +1,88 @@
+(* Algebraic laws of the BDD engine, checked on randomly built functions.
+   Canonicity turns every law into plain equality of node handles. *)
+open Helpers
+module Bdd = LL.Bdd.Bdd
+
+let nvars = 6
+
+(* Build a random function over [nvars] variables from a seed. *)
+let random_fn m seed =
+  let g = Prng.create seed in
+  let rec build depth =
+    if depth = 0 || Prng.int g 4 = 0 then Bdd.var m (Prng.int g nvars)
+    else
+      let a = build (depth - 1) and b = build (depth - 1) in
+      match Prng.int g 4 with
+      | 0 -> Bdd.apply_and m a b
+      | 1 -> Bdd.apply_or m a b
+      | 2 -> Bdd.apply_xor m a b
+      | _ -> Bdd.neg m a
+  in
+  build 4
+
+let with_fns seed k =
+  let m = Bdd.manager ~num_vars:nvars () in
+  let f = random_fn m seed and g = random_fn m (seed + 1) and h = random_fn m (seed + 2) in
+  k m f g h
+
+let law name prop =
+  qcheck_case ~count:60 name QCheck2.Gen.(int_bound 1000000) (fun seed ->
+      with_fns seed prop)
+
+let prop_de_morgan =
+  law "de morgan" (fun m f g _ ->
+      Bdd.neg m (Bdd.apply_and m f g)
+      = Bdd.apply_or m (Bdd.neg m f) (Bdd.neg m g))
+
+let prop_distributivity =
+  law "and distributes over or" (fun m f g h ->
+      Bdd.apply_and m f (Bdd.apply_or m g h)
+      = Bdd.apply_or m (Bdd.apply_and m f g) (Bdd.apply_and m f h))
+
+let prop_xor_assoc =
+  law "xor associativity" (fun m f g h ->
+      Bdd.apply_xor m f (Bdd.apply_xor m g h)
+      = Bdd.apply_xor m (Bdd.apply_xor m f g) h)
+
+let prop_ite_definition =
+  law "ite = (i and t) or (~i and e)" (fun m f g h ->
+      Bdd.ite m f g h
+      = Bdd.apply_or m (Bdd.apply_and m f g) (Bdd.apply_and m (Bdd.neg m f) h))
+
+let prop_shannon_expansion =
+  law "shannon expansion on variable 0" (fun m f _ _ ->
+      let x = Bdd.var m 0 in
+      let f0 = Bdd.restrict m f 0 false and f1 = Bdd.restrict m f 0 true in
+      f = Bdd.ite m x f1 f0)
+
+let prop_complement_counts =
+  law "sat counts of f and ~f sum to 2^n" (fun m f _ _ ->
+      Bdd.sat_count m f +. Bdd.sat_count m (Bdd.neg m f)
+      = Float.pow 2.0 (float_of_int nvars))
+
+let prop_restrict_eval =
+  qcheck_case ~count:60 "restrict agrees with pinned evaluation"
+    QCheck2.Gen.(pair (int_bound 1000000) bool)
+    (fun (seed, pin) ->
+      let m = Bdd.manager ~num_vars:nvars () in
+      let f = random_fn m seed in
+      let r = Bdd.restrict m f 2 pin in
+      let ok = ref true in
+      for v = 0 to (1 lsl nvars) - 1 do
+        let a = Array.init nvars (fun i -> (v lsr i) land 1 = 1) in
+        let pinned = Array.copy a in
+        pinned.(2) <- pin;
+        if Bdd.eval m r a <> Bdd.eval m f pinned then ok := false
+      done;
+      !ok)
+
+let suite =
+  [
+    prop_de_morgan;
+    prop_distributivity;
+    prop_xor_assoc;
+    prop_ite_definition;
+    prop_shannon_expansion;
+    prop_complement_counts;
+    prop_restrict_eval;
+  ]

@@ -1,0 +1,130 @@
+(* Generator and Iscas suite tests. *)
+open Helpers
+module Iscas = LL.Bench_suite.Iscas
+module Generator = LL.Bench_suite.Generator
+
+let test_c17_exact () =
+  let c = Iscas.c17 () in
+  Alcotest.(check int) "inputs" 5 (Circuit.num_inputs c);
+  Alcotest.(check int) "outputs" 2 (Circuit.num_outputs c);
+  Alcotest.(check int) "gates" 6 (Circuit.gate_count c);
+  Alcotest.(check (option int)) "all nand" (Some 6)
+    (List.assoc_opt "NAND" (Circuit.gate_histogram c));
+  (* Exhaustive check against the published NAND equations. *)
+  let nand a b = not (a && b) in
+  for v = 0 to 31 do
+    let g1 = v land 1 = 1
+    and g2 = (v lsr 1) land 1 = 1
+    and g3 = (v lsr 2) land 1 = 1
+    and g6 = (v lsr 3) land 1 = 1
+    and g7 = (v lsr 4) land 1 = 1 in
+    let g10 = nand g1 g3 and g11 = nand g3 g6 in
+    let g16 = nand g2 g11 in
+    let g19 = nand g11 g7 in
+    let want = [| nand g10 g16; nand g16 g19 |] in
+    let got = Eval.eval c ~inputs:[| g1; g2; g3; g6; g7 |] ~keys:[||] in
+    Alcotest.(check (array bool)) "truth table" want got
+  done
+
+let test_profiles_match_published_io () =
+  List.iter
+    (fun p ->
+      let c = Iscas.get p.Iscas.name in
+      Alcotest.(check int) (p.Iscas.name ^ " inputs") p.Iscas.num_inputs (Circuit.num_inputs c);
+      Alcotest.(check int) (p.Iscas.name ^ " outputs") p.Iscas.num_outputs (Circuit.num_outputs c);
+      Alcotest.(check int) (p.Iscas.name ^ " keys") 0 (Circuit.num_keys c);
+      (* Gate count within 25% of the published target. *)
+      let g = Circuit.gate_count c and t = p.Iscas.target_gates in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s gates %d near %d" p.Iscas.name g t)
+        true
+        (abs (g - t) * 4 <= t))
+    Iscas.profiles
+
+let test_deterministic () =
+  let a = Iscas.get "c432" and b = Iscas.get "c432" in
+  Alcotest.(check bool) "identical builds" true
+    (a.Circuit.nodes = b.Circuit.nodes && a.Circuit.outputs = b.Circuit.outputs)
+
+let test_unknown_name () =
+  Alcotest.check_raises "unknown" Not_found (fun () -> ignore (Iscas.get "c9999"))
+
+let test_no_dead_logic_dominates () =
+  (* Stand-ins must be mostly live: sweeping keeps at least 80%. *)
+  List.iter
+    (fun name ->
+      let c = Iscas.get name in
+      let swept = LL.Synth.Sweep.run c in
+      Alcotest.(check bool)
+        (name ^ " live")
+        true
+        (Circuit.gate_count swept * 10 >= Circuit.gate_count c * 8))
+    [ "c432"; "c880"; "c1355"; "c3540" ]
+
+let test_c6288_is_multiplier () =
+  (* The first 32 outputs of the c6288 stand-in contain a real 16x16
+     multiplier; check a few products on the output word. *)
+  let c = Iscas.get "c6288" in
+  let check x y =
+    let inputs = Array.init 32 (fun i -> if i < 16 then (x lsr i) land 1 = 1 else (y lsr (i - 16)) land 1 = 1) in
+    let outs = Eval.eval c ~inputs ~keys:[||] in
+    let product = x * y in
+    (* Output O<i> corresponds to product bit i for the multiplier class. *)
+    let ok = ref true in
+    for i = 0 to 31 do
+      if outs.(i) <> ((product lsr i) land 1 = 1) then ok := false
+    done;
+    !ok
+  in
+  Alcotest.(check bool) "3*5" true (check 3 5);
+  Alcotest.(check bool) "255*255" true (check 255 255);
+  Alcotest.(check bool) "65535*65535" true (check 65535 65535);
+  Alcotest.(check bool) "0*x" true (check 0 77)
+
+let test_random_circuit_shapes () =
+  let c = Generator.random_circuit ~seed:5 ~num_inputs:7 ~num_outputs:4 ~gates:50 () in
+  Alcotest.(check int) "inputs" 7 (Circuit.num_inputs c);
+  Alcotest.(check int) "outputs" 4 (Circuit.num_outputs c);
+  Alcotest.(check bool) "gates near target" true (abs (Circuit.gate_count c - 50) <= 10)
+
+let test_random_circuit_deterministic () =
+  let a = Generator.random_circuit ~seed:9 ~num_inputs:4 ~num_outputs:2 ~gates:20 () in
+  let b = Generator.random_circuit ~seed:9 ~num_inputs:4 ~num_outputs:2 ~gates:20 () in
+  Alcotest.(check bool) "same" true (exhaustively_equal a b);
+  let c = Generator.random_circuit ~seed:10 ~num_inputs:4 ~num_outputs:2 ~gates:20 () in
+  Alcotest.(check bool) "different seed differs" false (exhaustively_equal a c)
+
+let test_random_circuit_rejects () =
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Generator.random_circuit ~num_inputs:0 ~num_outputs:1 ~gates:5 ());
+       false
+     with Invalid_argument _ -> true)
+
+let test_random_reduce () =
+  let g = Prng.create 3 in
+  let b = Builder.create () in
+  let xs = Array.init 9 (fun i -> Builder.input b (Printf.sprintf "x%d" i)) in
+  let r = Generator.random_reduce g b xs in
+  Builder.output b "o" r;
+  let c = Builder.finish b in
+  Alcotest.(check int) "n-1 gates" 8 (Circuit.gate_count c);
+  (* Output must depend on the inputs: reachable cone covers all inputs. *)
+  let cone = LL.Netlist.Cone.fanin_cone c ~roots:[ snd c.Circuit.outputs.(0) ] in
+  Array.iter
+    (fun j -> Alcotest.(check bool) "input in cone" true cone.(j))
+    c.Circuit.inputs
+
+let suite =
+  [
+    Alcotest.test_case "c17 exact" `Quick test_c17_exact;
+    Alcotest.test_case "profiles match published IO" `Slow test_profiles_match_published_io;
+    Alcotest.test_case "deterministic" `Quick test_deterministic;
+    Alcotest.test_case "unknown name" `Quick test_unknown_name;
+    Alcotest.test_case "no dead logic dominates" `Slow test_no_dead_logic_dominates;
+    Alcotest.test_case "c6288 is a multiplier" `Quick test_c6288_is_multiplier;
+    Alcotest.test_case "random circuit shapes" `Quick test_random_circuit_shapes;
+    Alcotest.test_case "random circuit deterministic" `Quick test_random_circuit_deterministic;
+    Alcotest.test_case "random circuit rejects" `Quick test_random_circuit_rejects;
+    Alcotest.test_case "random reduce" `Quick test_random_reduce;
+  ]

@@ -1,0 +1,123 @@
+open Helpers
+
+let test_create_zero () =
+  let v = Bitvec.create 10 in
+  Alcotest.(check int) "length" 10 (Bitvec.length v);
+  for i = 0 to 9 do
+    Alcotest.(check bool) "zero" false (Bitvec.get v i)
+  done
+
+let test_set_get () =
+  let v = Bitvec.create 9 in
+  Bitvec.set v 0 true;
+  Bitvec.set v 8 true;
+  Alcotest.(check bool) "bit 0" true (Bitvec.get v 0);
+  Alcotest.(check bool) "bit 1" false (Bitvec.get v 1);
+  Alcotest.(check bool) "bit 8" true (Bitvec.get v 8);
+  Bitvec.set v 8 false;
+  Alcotest.(check bool) "cleared" false (Bitvec.get v 8)
+
+let test_out_of_range () =
+  let v = Bitvec.create 4 in
+  Alcotest.check_raises "get -1" (Invalid_argument "Bitvec: index out of range") (fun () ->
+      ignore (Bitvec.get v (-1)));
+  Alcotest.check_raises "get 4" (Invalid_argument "Bitvec: index out of range") (fun () ->
+      ignore (Bitvec.get v 4))
+
+let test_string_roundtrip () =
+  let s = "0110100111000101" in
+  Alcotest.(check string) "roundtrip" s (Bitvec.to_string (Bitvec.of_string s))
+
+let test_of_string_rejects () =
+  Alcotest.check_raises "bad char" (Invalid_argument "Bitvec.of_string: bad character '2'")
+    (fun () -> ignore (Bitvec.of_string "012"))
+
+let test_int_roundtrip () =
+  for v = 0 to 63 do
+    Alcotest.(check int) "roundtrip" v (Bitvec.to_int (Bitvec.of_int ~width:6 v))
+  done
+
+let test_of_int_bit_order () =
+  (* bit 0 is the LSB *)
+  let v = Bitvec.of_int ~width:4 0b0110 in
+  Alcotest.(check string) "little-endian print" "0110" (Bitvec.to_string v |> fun s ->
+    (* of_int 6 -> bits (lsb first): 0,1,1,0 *)
+    s)
+
+let test_popcount () =
+  Alcotest.(check int) "popcount" 3 (Bitvec.popcount (Bitvec.of_string "101100"));
+  Alcotest.(check int) "empty" 0 (Bitvec.popcount (Bitvec.create 0))
+
+let test_equal_compare () =
+  let a = Bitvec.of_string "101" and b = Bitvec.of_string "101" in
+  let c = Bitvec.of_string "100" in
+  Alcotest.(check bool) "equal" true (Bitvec.equal a b);
+  Alcotest.(check bool) "not equal" false (Bitvec.equal a c);
+  Alcotest.(check bool) "lengths differ" false (Bitvec.equal a (Bitvec.of_string "1010"));
+  Alcotest.(check bool) "compare consistent" true (Bitvec.compare a c <> 0)
+
+let test_append_sub () =
+  let a = Bitvec.of_string "10" and b = Bitvec.of_string "011" in
+  let ab = Bitvec.append a b in
+  Alcotest.(check string) "append" "10011" (Bitvec.to_string ab);
+  Alcotest.(check string) "sub" "001" (Bitvec.to_string (Bitvec.sub ab ~pos:1 ~len:3))
+
+let test_bool_array_roundtrip () =
+  let a = [| true; false; false; true; true |] in
+  Alcotest.(check (array bool)) "roundtrip" a (Bitvec.to_bool_array (Bitvec.of_bool_array a))
+
+let test_hamming () =
+  let a = Bitvec.of_string "1100" and b = Bitvec.of_string "1010" in
+  Alcotest.(check int) "distance" 2 (Bitvec.hamming a b);
+  Alcotest.check_raises "length mismatch" (Invalid_argument "Bitvec.hamming: length mismatch")
+    (fun () -> ignore (Bitvec.hamming a (Bitvec.of_string "11")))
+
+let test_mapi_fold_iteri () =
+  let v = Bitvec.of_string "1010" in
+  let inverted = Bitvec.mapi (fun _ b -> not b) v in
+  Alcotest.(check string) "mapi" "0101" (Bitvec.to_string inverted);
+  let ones = Bitvec.fold (fun acc b -> if b then acc + 1 else acc) 0 v in
+  Alcotest.(check int) "fold" 2 ones;
+  let collected = ref [] in
+  Bitvec.iteri (fun i b -> if b then collected := i :: !collected) v;
+  Alcotest.(check (list int)) "iteri" [ 2; 0 ] !collected
+
+let test_random_deterministic () =
+  let g1 = Prng.create 5 and g2 = Prng.create 5 in
+  Alcotest.check bitvec_testable "same seed same vector" (Bitvec.random g1 64)
+    (Bitvec.random g2 64)
+
+let prop_int_roundtrip =
+  qcheck_case "of_int/to_int roundtrip" QCheck2.Gen.(int_bound 0xFFFF) (fun v ->
+      Bitvec.to_int (Bitvec.of_int ~width:16 v) = v)
+
+let prop_string_roundtrip =
+  qcheck_case "of_string/to_string roundtrip"
+    QCheck2.Gen.(string_size ~gen:(oneofl [ '0'; '1' ]) (int_bound 100))
+    (fun s -> Bitvec.to_string (Bitvec.of_string s) = s)
+
+let prop_append_length =
+  qcheck_case "append length"
+    QCheck2.Gen.(pair (int_bound 50) (int_bound 50))
+    (fun (a, b) -> Bitvec.length (Bitvec.append (Bitvec.create a) (Bitvec.create b)) = a + b)
+
+let suite =
+  [
+    Alcotest.test_case "create zero" `Quick test_create_zero;
+    Alcotest.test_case "set/get" `Quick test_set_get;
+    Alcotest.test_case "out of range" `Quick test_out_of_range;
+    Alcotest.test_case "string roundtrip" `Quick test_string_roundtrip;
+    Alcotest.test_case "of_string rejects" `Quick test_of_string_rejects;
+    Alcotest.test_case "int roundtrip" `Quick test_int_roundtrip;
+    Alcotest.test_case "of_int bit order" `Quick test_of_int_bit_order;
+    Alcotest.test_case "popcount" `Quick test_popcount;
+    Alcotest.test_case "equal/compare" `Quick test_equal_compare;
+    Alcotest.test_case "append/sub" `Quick test_append_sub;
+    Alcotest.test_case "bool array roundtrip" `Quick test_bool_array_roundtrip;
+    Alcotest.test_case "hamming" `Quick test_hamming;
+    Alcotest.test_case "mapi/fold/iteri" `Quick test_mapi_fold_iteri;
+    Alcotest.test_case "random deterministic" `Quick test_random_deterministic;
+    prop_int_roundtrip;
+    prop_string_roundtrip;
+    prop_append_length;
+  ]

@@ -1,0 +1,133 @@
+open Helpers
+
+let test_basic_build () =
+  let b = Builder.create ~name:"t" () in
+  let x = Builder.input b "x" in
+  let y = Builder.key_input b "k" in
+  let g = Builder.and2 b x y in
+  Builder.output b "o" g;
+  let c = Builder.finish b in
+  Alcotest.(check int) "inputs" 1 (Circuit.num_inputs c);
+  Alcotest.(check int) "keys" 1 (Circuit.num_keys c);
+  Alcotest.(check string) "name" "t" c.Circuit.name
+
+let test_const_dedup () =
+  let b = Builder.create () in
+  let x = Builder.input b "x" in
+  let t1 = Builder.const b true in
+  let t2 = Builder.const b true in
+  let f1 = Builder.const b false in
+  Alcotest.(check int) "true deduped" (Builder.index_of_signal t1) (Builder.index_of_signal t2);
+  Alcotest.(check bool) "true/false distinct" true
+    (Builder.index_of_signal t1 <> Builder.index_of_signal f1);
+  Builder.output b "o" (Builder.and2 b x t1);
+  ignore (Builder.finish b)
+
+let test_name_uniquify () =
+  let b = Builder.create () in
+  let x = Builder.input b "x" in
+  let g1 = Builder.gate ~name:"g" b Gate.Not [| x |] in
+  let g2 = Builder.gate ~name:"g" b Gate.Not [| x |] in
+  Builder.output b "o1" g1;
+  Builder.output b "o2" g2;
+  let c = Builder.finish b in
+  (* Both nodes exist with distinct names. *)
+  Alcotest.(check int) "two gates" 2 (Circuit.gate_count c);
+  Alcotest.(check bool) "names differ" true
+    (Circuit.node_name c (Builder.index_of_signal g1)
+    <> Circuit.node_name c (Builder.index_of_signal g2))
+
+let test_foreign_signal_rejected () =
+  let b1 = Builder.create () in
+  let b2 = Builder.create () in
+  let x1 = Builder.input b1 "x" in
+  Alcotest.check_raises "foreign" (Invalid_argument "Builder: signal from another builder")
+    (fun () -> ignore (Builder.not_ b2 x1))
+
+let test_arity_rejected () =
+  let b = Builder.create () in
+  let x = Builder.input b "x" in
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Builder.gate b Gate.Mux [| x; x |]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_reductions () =
+  let b = Builder.create () in
+  let xs = Array.init 5 (fun i -> Builder.input b (Printf.sprintf "x%d" i)) in
+  Builder.output b "and" (Builder.and_reduce b xs);
+  Builder.output b "or" (Builder.or_reduce b xs);
+  Builder.output b "xor" (Builder.xor_reduce b xs);
+  let c = Builder.finish b in
+  for v = 0 to 31 do
+    let inputs = Array.init 5 (fun i -> (v lsr i) land 1 = 1) in
+    let outs = Eval.eval c ~inputs ~keys:[||] in
+    Alcotest.(check bool) "and" (Array.for_all Fun.id inputs) outs.(0);
+    Alcotest.(check bool) "or" (Array.exists Fun.id inputs) outs.(1);
+    Alcotest.(check bool) "xor"
+      (Array.fold_left (fun a x -> a <> x) false inputs)
+      outs.(2)
+  done
+
+let test_single_element_reduce () =
+  let b = Builder.create () in
+  let x = Builder.input b "x" in
+  let r = Builder.and_reduce b [| x |] in
+  Alcotest.(check int) "no gate added" (Builder.index_of_signal x) (Builder.index_of_signal r);
+  Builder.output b "o" r;
+  ignore (Builder.finish b)
+
+let test_empty_reduce_rejected () =
+  let b = Builder.create () in
+  Alcotest.check_raises "empty" (Invalid_argument "Builder: empty reduction") (fun () ->
+      ignore (Builder.and_reduce b [||]))
+
+let test_mux_tree () =
+  let b = Builder.create () in
+  let selects = Array.init 3 (fun i -> Builder.input b (Printf.sprintf "s%d" i)) in
+  let data = Array.init 8 (fun i -> Builder.input b (Printf.sprintf "d%d" i)) in
+  Builder.output b "o" (Builder.mux_tree b ~selects ~data);
+  let c = Builder.finish b in
+  (* For every select value and one-hot data, the tree must pick data[sel]. *)
+  for sel = 0 to 7 do
+    for hot = 0 to 7 do
+      let inputs =
+        Array.append
+          (Array.init 3 (fun i -> (sel lsr i) land 1 = 1))
+          (Array.init 8 (fun i -> i = hot))
+      in
+      let out = (Eval.eval c ~inputs ~keys:[||]).(0) in
+      Alcotest.(check bool) "tree select" (sel = hot) out
+    done
+  done
+
+let test_mux_tree_size_mismatch () =
+  let b = Builder.create () in
+  let selects = [| Builder.input b "s" |] in
+  let data = [| Builder.input b "d" |] in
+  Alcotest.check_raises "mismatch" (Invalid_argument "Builder.mux_tree: size mismatch")
+    (fun () -> ignore (Builder.mux_tree b ~selects ~data))
+
+let test_finish_twice_rejected () =
+  let b = Builder.create () in
+  let x = Builder.input b "x" in
+  Builder.output b "o" x;
+  ignore (Builder.finish b);
+  Alcotest.check_raises "reuse" (Invalid_argument "Builder: already finished") (fun () ->
+      ignore (Builder.input b "y"))
+
+let suite =
+  [
+    Alcotest.test_case "basic build" `Quick test_basic_build;
+    Alcotest.test_case "const dedup" `Quick test_const_dedup;
+    Alcotest.test_case "name uniquify" `Quick test_name_uniquify;
+    Alcotest.test_case "foreign signal rejected" `Quick test_foreign_signal_rejected;
+    Alcotest.test_case "arity rejected" `Quick test_arity_rejected;
+    Alcotest.test_case "reductions" `Quick test_reductions;
+    Alcotest.test_case "single element reduce" `Quick test_single_element_reduce;
+    Alcotest.test_case "empty reduce rejected" `Quick test_empty_reduce_rejected;
+    Alcotest.test_case "mux tree" `Quick test_mux_tree;
+    Alcotest.test_case "mux tree size mismatch" `Quick test_mux_tree_size_mismatch;
+    Alcotest.test_case "finish twice rejected" `Quick test_finish_twice_rejected;
+  ]

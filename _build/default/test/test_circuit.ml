@@ -1,0 +1,118 @@
+open Helpers
+
+let test_counts () =
+  let c = full_adder_circuit () in
+  Alcotest.(check int) "inputs" 3 (Circuit.num_inputs c);
+  Alcotest.(check int) "keys" 0 (Circuit.num_keys c);
+  Alcotest.(check int) "outputs" 2 (Circuit.num_outputs c);
+  Alcotest.(check int) "gates" 5 (Circuit.gate_count c);
+  Alcotest.(check int) "nodes" 8 (Circuit.num_nodes c)
+
+let test_depth_levels () =
+  let c = full_adder_circuit () in
+  Alcotest.(check int) "depth" 3 (Circuit.depth c);
+  let lv = Circuit.levels c in
+  Array.iteri
+    (fun i l ->
+      match Circuit.node c i with
+      | Circuit.Input | Circuit.Key_input | Circuit.Const _ ->
+          Alcotest.(check int) "port level 0" 0 l
+      | Circuit.Gate (_, fanins) ->
+          Array.iter
+            (fun j -> Alcotest.(check bool) "level monotonic" true (lv.(j) < l))
+            fanins)
+    lv
+
+let test_fanouts () =
+  let c = full_adder_circuit () in
+  let fo = Circuit.fanouts c in
+  (* Every gate fanin edge must appear in the fanout table. *)
+  Array.iteri
+    (fun i nd ->
+      match nd with
+      | Circuit.Gate (_, fanins) ->
+          Array.iter
+            (fun j -> Alcotest.(check bool) "edge present" true (Array.mem i fo.(j)))
+            fanins
+      | Circuit.Input | Circuit.Key_input | Circuit.Const _ -> ())
+    c.Circuit.nodes
+
+let test_input_index () =
+  let c = full_adder_circuit () in
+  Alcotest.(check int) "a" 0 (Circuit.input_index c "a");
+  Alcotest.(check int) "cin" 2 (Circuit.input_index c "cin");
+  Alcotest.check_raises "missing" Not_found (fun () -> ignore (Circuit.input_index c "zz"))
+
+let test_rejects_bad_topology () =
+  (* Gate referencing a later node. *)
+  let nodes =
+    [| Circuit.Input; Circuit.Gate (Gate.Not, [| 2 |]); Circuit.Input |]
+  in
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore
+         (Circuit.create ~name:"bad" ~nodes
+            ~node_names:[| "a"; "g"; "b" |]
+            ~outputs:[| ("o", 1) |]);
+       false
+     with Circuit.Ill_formed _ -> true)
+
+let test_rejects_bad_arity () =
+  let nodes = [| Circuit.Input; Circuit.Gate (Gate.Mux, [| 0; 0 |]) |] in
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore
+         (Circuit.create ~name:"bad" ~nodes ~node_names:[| "a"; "g" |]
+            ~outputs:[| ("o", 1) |]);
+       false
+     with Circuit.Ill_formed _ -> true)
+
+let test_rejects_duplicate_names () =
+  let nodes = [| Circuit.Input; Circuit.Input |] in
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore
+         (Circuit.create ~name:"bad" ~nodes ~node_names:[| "a"; "a" |]
+            ~outputs:[| ("o", 0) |]);
+       false
+     with Circuit.Ill_formed _ -> true)
+
+let test_rejects_no_outputs () =
+  let nodes = [| Circuit.Input |] in
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Circuit.create ~name:"bad" ~nodes ~node_names:[| "a" |] ~outputs:[||]);
+       false
+     with Circuit.Ill_formed _ -> true)
+
+let test_gate_histogram () =
+  let c = full_adder_circuit () in
+  let h = Circuit.gate_histogram c in
+  Alcotest.(check (option int)) "xors" (Some 2) (List.assoc_opt "XOR" h);
+  Alcotest.(check (option int)) "ands" (Some 2) (List.assoc_opt "AND" h);
+  Alcotest.(check (option int)) "ors" (Some 1) (List.assoc_opt "OR" h)
+
+let test_with_name () =
+  let c = full_adder_circuit () in
+  Alcotest.(check string) "renamed" "other" (Circuit.with_name c "other").Circuit.name
+
+let test_is_port () =
+  let c = full_adder_circuit () in
+  Alcotest.(check bool) "input is port" true (Circuit.is_port c c.Circuit.inputs.(0));
+  let out0 = snd c.Circuit.outputs.(0) in
+  Alcotest.(check bool) "gate is not port" false (Circuit.is_port c out0)
+
+let suite =
+  [
+    Alcotest.test_case "counts" `Quick test_counts;
+    Alcotest.test_case "depth and levels" `Quick test_depth_levels;
+    Alcotest.test_case "fanouts" `Quick test_fanouts;
+    Alcotest.test_case "input_index" `Quick test_input_index;
+    Alcotest.test_case "rejects bad topology" `Quick test_rejects_bad_topology;
+    Alcotest.test_case "rejects bad arity" `Quick test_rejects_bad_arity;
+    Alcotest.test_case "rejects duplicate names" `Quick test_rejects_duplicate_names;
+    Alcotest.test_case "rejects no outputs" `Quick test_rejects_no_outputs;
+    Alcotest.test_case "gate histogram" `Quick test_gate_histogram;
+    Alcotest.test_case "with_name" `Quick test_with_name;
+    Alcotest.test_case "is_port" `Quick test_is_port;
+  ]

@@ -1,0 +1,113 @@
+(* Direct tests of the Fig. 1(b) MUX composition. *)
+open Helpers
+module Compose = LL.Attack.Compose
+module Analysis = LL.Attack.Analysis
+module Equiv = LL.Attack.Equiv
+
+let fixture () =
+  let c = random_circuit ~seed:170 ~num_inputs:3 ~num_outputs:2 ~gates:8 () in
+  let locked = LL.Locking.Sarlock.lock ~key:(Bitvec.of_string "110") ~key_size:3 c in
+  (c, locked)
+
+let test_composition_with_region_unlocking_keys () =
+  let c, locked = fixture () in
+  let m = Analysis.error_matrix ~original:c ~locked:locked.LL.Locking.Locked.circuit in
+  (* Split on input 0: region x0=0 and x0=1. *)
+  let correct = Bitvec.to_int locked.correct_key in
+  let pick cond =
+    match List.find_opt (fun k -> k <> correct) (Analysis.unlocking_keys m ~condition:cond) with
+    | Some k -> k
+    | None -> correct
+  in
+  let k0 = pick [ (0, false) ] and k1 = pick [ (0, true) ] in
+  let composed =
+    Compose.build locked.circuit ~split_inputs:[| 0 |]
+      ~keys:[| Bitvec.of_int ~width:3 k0; Bitvec.of_int ~width:3 k1 |]
+  in
+  Alcotest.(check int) "key-free" 0 (Circuit.num_keys composed);
+  Alcotest.(check bool) "equivalent" true (exhaustively_equal c composed)
+
+let test_composition_with_wrong_region_key_fails () =
+  let c, locked = fixture () in
+  let m = Analysis.error_matrix ~original:c ~locked:locked.circuit in
+  (* Deliberately use a key that does NOT unlock region x0=0. *)
+  let unlockers = Analysis.unlocking_keys m ~condition:[ (0, false) ] in
+  let bad =
+    match List.find_opt (fun k -> not (List.mem k unlockers)) (List.init 8 Fun.id) with
+    | Some k -> k
+    | None -> Alcotest.fail "fixture broken: every key unlocks the region"
+  in
+  let composed =
+    Compose.build locked.circuit ~split_inputs:[| 0 |]
+      ~keys:[| Bitvec.of_int ~width:3 bad; locked.correct_key |]
+  in
+  Alcotest.(check bool) "not equivalent" false (exhaustively_equal c composed)
+
+let test_composition_respects_condition_order () =
+  (* keys.(i) must serve the region where split input bit j = bit j of i:
+     cross-check against Cofactor.conditions. *)
+  let c, locked = fixture () in
+  let conds = LL.Synth.Cofactor.conditions ~split_inputs:[| 2; 0 |] 2 in
+  let m = Analysis.error_matrix ~original:c ~locked:locked.circuit in
+  let correct = Bitvec.to_int locked.correct_key in
+  let keys =
+    Array.map
+      (fun cond ->
+        match
+          List.find_opt (fun k -> k <> correct) (Analysis.unlocking_keys m ~condition:cond)
+        with
+        | Some k -> Bitvec.of_int ~width:3 k
+        | None -> locked.correct_key)
+      conds
+  in
+  let composed = Compose.build locked.circuit ~split_inputs:[| 2; 0 |] ~keys in
+  Alcotest.(check bool) "equivalent" true (exhaustively_equal c composed)
+
+let test_unoptimized_composition () =
+  let c, locked = fixture () in
+  let keys = Array.make 2 locked.correct_key in
+  let composed = Compose.build ~optimize:false locked.circuit ~split_inputs:[| 1 |] ~keys in
+  Alcotest.(check bool) "equivalent" true (exhaustively_equal c composed);
+  (* Without optimization both instantiated copies remain. *)
+  Alcotest.(check bool) "bigger than locked" true
+    (Circuit.gate_count composed > Circuit.gate_count locked.circuit)
+
+let test_build_validation () =
+  let _, locked = fixture () in
+  Alcotest.(check bool) "key count" true
+    (try
+       ignore
+         (Compose.build locked.circuit ~split_inputs:[| 0 |] ~keys:[| locked.correct_key |]);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "key width" true
+    (try
+       ignore
+         (Compose.build locked.circuit ~split_inputs:[| 0 |]
+            ~keys:[| Bitvec.create 1; Bitvec.create 1 |]);
+       false
+     with Invalid_argument _ -> true)
+
+let prop_split_attack_composition_sound =
+  qcheck_case ~count:10 "split attack composition is always equivalent"
+    QCheck2.Gen.(pair (int_bound 10000) (int_range 1 2))
+    (fun (seed, n) ->
+      let c = random_circuit ~seed:(seed + 1000) ~num_inputs:6 ~num_outputs:2 ~gates:25 () in
+      let locked = LL.Locking.Sarlock.lock ~prng:(Prng.create seed) ~key_size:4 c in
+      let oracle = LL.Attack.Oracle.of_circuit c in
+      let attack = LL.Attack.Split_attack.run ~n locked.circuit ~oracle in
+      match Compose.of_attack locked.circuit attack with
+      | None -> false
+      | Some composed -> exhaustively_equal c composed)
+
+let suite =
+  [
+    Alcotest.test_case "composition with region-unlocking keys" `Quick
+      test_composition_with_region_unlocking_keys;
+    Alcotest.test_case "wrong region key fails" `Quick
+      test_composition_with_wrong_region_key_fails;
+    Alcotest.test_case "condition order" `Quick test_composition_respects_condition_order;
+    Alcotest.test_case "unoptimized composition" `Quick test_unoptimized_composition;
+    Alcotest.test_case "build validation" `Quick test_build_validation;
+    prop_split_attack_composition_sound;
+  ]

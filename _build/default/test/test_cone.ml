@@ -1,0 +1,87 @@
+open Helpers
+module Cone = LL.Netlist.Cone
+
+(* x -> n1 -> n2 -> out1 ; y -> n3 -> out2 (disjoint chains) *)
+let two_chains () =
+  let b = Builder.create () in
+  let x = Builder.input b "x" in
+  let y = Builder.input b "y" in
+  let n1 = Builder.not_ b x in
+  let n2 = Builder.not_ b n1 in
+  let n3 = Builder.not_ b y in
+  Builder.output b "o1" n2;
+  Builder.output b "o2" n3;
+  (Builder.finish b, Builder.index_of_signal n1, Builder.index_of_signal n2,
+   Builder.index_of_signal n3)
+
+let test_fanin_cone () =
+  let c, n1, n2, n3 = two_chains () in
+  let cone = Cone.fanin_cone c ~roots:[ n2 ] in
+  Alcotest.(check bool) "root in" true cone.(n2);
+  Alcotest.(check bool) "n1 in" true cone.(n1);
+  Alcotest.(check bool) "x in" true cone.(c.Circuit.inputs.(0));
+  Alcotest.(check bool) "y out" false cone.(c.Circuit.inputs.(1));
+  Alcotest.(check bool) "n3 out" false cone.(n3)
+
+let test_fanout_cone () =
+  let c, n1, n2, n3 = two_chains () in
+  let cone = Cone.fanout_cone c ~roots:[ c.Circuit.inputs.(0) ] in
+  Alcotest.(check bool) "n1" true cone.(n1);
+  Alcotest.(check bool) "n2" true cone.(n2);
+  Alcotest.(check bool) "n3 not" false cone.(n3)
+
+let test_key_controlled () =
+  let b = Builder.create () in
+  let x = Builder.input b "x" in
+  let k = Builder.key_input b "keyinput0" in
+  let locked_wire = Builder.xor2 b x k in
+  let free_wire = Builder.not_ b x in
+  Builder.output b "o1" locked_wire;
+  Builder.output b "o2" free_wire;
+  let c = Builder.finish b in
+  let kc = Cone.key_controlled c in
+  Alcotest.(check bool) "xor is key controlled" true
+    kc.(Builder.index_of_signal locked_wire);
+  Alcotest.(check bool) "not is free" false kc.(Builder.index_of_signal free_wire)
+
+let test_key_controlled_empty () =
+  let c = full_adder_circuit () in
+  let kc = Cone.key_controlled c in
+  Alcotest.(check bool) "all false" true (Array.for_all not kc)
+
+let test_output_cone_dead_logic () =
+  let b = Builder.create () in
+  let x = Builder.input b "x" in
+  let live = Builder.not_ b x in
+  let dead = Builder.and2 b x x in
+  Builder.output b "o" live;
+  let c = Builder.finish b in
+  let live_marks = Cone.output_cone c in
+  Alcotest.(check bool) "live" true live_marks.(Builder.index_of_signal live);
+  Alcotest.(check bool) "dead" false live_marks.(Builder.index_of_signal dead)
+
+let test_input_fanout_counts () =
+  let b = Builder.create () in
+  let x = Builder.input b "x" in
+  let y = Builder.input b "y" in
+  let k = Builder.key_input b "keyinput0" in
+  (* x feeds two key-controlled gates, y feeds none. *)
+  let g1 = Builder.xor2 b x k in
+  let g2 = Builder.and2 b x g1 in
+  let g3 = Builder.not_ b y in
+  Builder.output b "o1" g2;
+  Builder.output b "o2" g3;
+  let c = Builder.finish b in
+  let counts = Cone.input_fanout_counts c ~within:(Cone.key_controlled c) in
+  Alcotest.(check int) "x count" 2 counts.(0);
+  Alcotest.(check int) "y count" 0 counts.(1)
+
+let suite =
+  [
+    Alcotest.test_case "fanin cone" `Quick test_fanin_cone;
+    Alcotest.test_case "fanout cone" `Quick test_fanout_cone;
+    Alcotest.test_case "key controlled" `Quick test_key_controlled;
+    Alcotest.test_case "key controlled empty" `Quick test_key_controlled_empty;
+    Alcotest.test_case "output cone dead logic" `Quick test_output_cone_dead_logic;
+    Alcotest.test_case "input fanout counts" `Quick test_input_fanout_counts;
+  ]

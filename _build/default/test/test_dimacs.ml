@@ -1,0 +1,68 @@
+module Dimacs = Ll_sat.Dimacs
+module Solver = Ll_sat.Solver
+module Lit = Ll_sat.Lit
+
+let sample = "c sample\np cnf 3 2\n1 -2 0\n2 3 0\n"
+
+let test_parse () =
+  let cnf = Dimacs.parse_string sample in
+  Alcotest.(check int) "vars" 3 cnf.Dimacs.num_vars;
+  Alcotest.(check int) "clauses" 2 (List.length cnf.Dimacs.clauses);
+  Alcotest.(check (list int)) "first clause" [ Lit.pos 0; Lit.neg 1 ]
+    (List.nth cnf.Dimacs.clauses 0)
+
+let test_multiline_clause () =
+  let cnf = Dimacs.parse_string "p cnf 2 1\n1\n2 0\n" in
+  Alcotest.(check int) "one clause" 1 (List.length cnf.Dimacs.clauses);
+  Alcotest.(check int) "two lits" 2 (List.length (List.hd cnf.Dimacs.clauses))
+
+let test_roundtrip () =
+  let cnf = Dimacs.parse_string sample in
+  let cnf2 = Dimacs.parse_string (Dimacs.to_string cnf) in
+  Alcotest.(check bool) "same clauses" true (cnf.Dimacs.clauses = cnf2.Dimacs.clauses);
+  Alcotest.(check int) "same vars" cnf.Dimacs.num_vars cnf2.Dimacs.num_vars
+
+let test_errors () =
+  let raises text =
+    try
+      ignore (Dimacs.parse_string text);
+      false
+    with Dimacs.Parse_error _ -> true
+  in
+  Alcotest.(check bool) "missing header" true (raises "1 2 0\n");
+  Alcotest.(check bool) "unterminated" true (raises "p cnf 2 1\n1 2\n");
+  Alcotest.(check bool) "out of range" true (raises "p cnf 1 1\n2 0\n");
+  Alcotest.(check bool) "bad token" true (raises "p cnf 1 1\nx 0\n")
+
+let test_load_into () =
+  let cnf = Dimacs.parse_string "p cnf 2 2\n1 0\n-1 2 0\n" in
+  let s = Solver.create () in
+  Dimacs.load_into s cnf;
+  Alcotest.(check bool) "sat" true (Solver.solve s = Solver.Sat);
+  Alcotest.(check bool) "v0" true (Solver.model_var s 0);
+  Alcotest.(check bool) "v1" true (Solver.model_var s 1)
+
+let test_load_into_fresh_only () =
+  let s = Solver.create () in
+  ignore (Solver.new_var s);
+  Alcotest.check_raises "not fresh" (Invalid_argument "Dimacs.load_into: solver not fresh")
+    (fun () -> Dimacs.load_into s (Dimacs.parse_string "p cnf 1 0\n"))
+
+let test_file_roundtrip () =
+  let cnf = Dimacs.parse_string sample in
+  let path = Filename.temp_file "lltest" ".cnf" in
+  Dimacs.write_file path cnf;
+  let cnf2 = Dimacs.parse_file path in
+  Sys.remove path;
+  Alcotest.(check bool) "same" true (cnf.Dimacs.clauses = cnf2.Dimacs.clauses)
+
+let suite =
+  [
+    Alcotest.test_case "parse" `Quick test_parse;
+    Alcotest.test_case "multiline clause" `Quick test_multiline_clause;
+    Alcotest.test_case "roundtrip" `Quick test_roundtrip;
+    Alcotest.test_case "errors" `Quick test_errors;
+    Alcotest.test_case "load_into" `Quick test_load_into;
+    Alcotest.test_case "load_into fresh only" `Quick test_load_into_fresh_only;
+    Alcotest.test_case "file roundtrip" `Quick test_file_roundtrip;
+  ]

@@ -1,0 +1,47 @@
+open Helpers
+module Equiv = LL.Attack.Equiv
+
+let test_bounded_proves_small () =
+  let c = random_circuit ~seed:230 ~gates:40 () in
+  match Equiv.check_bounded ~conflict_limit:100000 c (LL.Synth.Optimize.run c) with
+  | Equiv.Proved_equivalent -> ()
+  | Equiv.Refuted _ -> Alcotest.fail "optimizer broke the function"
+  | Equiv.Unknown -> Alcotest.fail "tiny instance should not hit the limit"
+
+let test_bounded_refutes () =
+  let a = random_circuit ~seed:231 ~gates:30 () in
+  let b = random_circuit ~seed:232 ~gates:30 () in
+  match Equiv.check_bounded ~conflict_limit:100000 a b with
+  | Equiv.Refuted cex ->
+      Alcotest.(check bool) "counterexample is real" false
+        (Equiv.equal_outputs a b ~inputs:cex)
+  | Equiv.Proved_equivalent -> Alcotest.fail "distinct random circuits equal?"
+  | Equiv.Unknown -> Alcotest.fail "should decide easily"
+
+let test_bounded_gives_up () =
+  (* Two structurally different multipliers: equivalence is SAT-hard, so a
+     tiny conflict budget must yield Unknown rather than hang.  We compare
+     an 8x8 multiplier against itself with operands swapped (commutativity
+     is semantically true but structurally hard to prove). *)
+  let build swap =
+    let b = Builder.create ~name:(if swap then "mul_ba" else "mul_ab") () in
+    let xs = Array.init 16 (fun i -> Builder.input b (Printf.sprintf "i%d" i)) in
+    let a = Array.sub xs 0 8 and bb = Array.sub xs 8 8 in
+    let prod =
+      if swap then LL.Bench_suite.Structured.array_multiplier b ~a:bb ~b:a
+      else LL.Bench_suite.Structured.array_multiplier b ~a ~b:bb
+    in
+    Array.iteri (fun i p -> Builder.output b (Printf.sprintf "p%d" i) p) prod;
+    Builder.finish b
+  in
+  match Equiv.check_bounded ~conflict_limit:200 (build false) (build true) with
+  | Equiv.Unknown -> ()
+  | Equiv.Proved_equivalent -> () (* acceptable if the solver gets lucky *)
+  | Equiv.Refuted _ -> Alcotest.fail "commutativity refuted!"
+
+let suite =
+  [
+    Alcotest.test_case "bounded proves small" `Quick test_bounded_proves_small;
+    Alcotest.test_case "bounded refutes" `Quick test_bounded_refutes;
+    Alcotest.test_case "bounded gives up" `Quick test_bounded_gives_up;
+  ]

@@ -1,0 +1,83 @@
+open Helpers
+
+let test_full_adder_truth_table () =
+  let c = full_adder_circuit () in
+  for v = 0 to 7 do
+    let a = v land 1 = 1 and b = (v lsr 1) land 1 = 1 and cin = (v lsr 2) land 1 = 1 in
+    let outs = Eval.eval c ~inputs:[| a; b; cin |] ~keys:[||] in
+    let total = (if a then 1 else 0) + (if b then 1 else 0) + if cin then 1 else 0 in
+    Alcotest.(check bool) "sum" (total land 1 = 1) outs.(0);
+    Alcotest.(check bool) "carry" (total >= 2) outs.(1)
+  done
+
+let test_length_mismatch () =
+  let c = full_adder_circuit () in
+  Alcotest.check_raises "inputs" (Invalid_argument "Eval: input vector length mismatch")
+    (fun () -> ignore (Eval.eval c ~inputs:[| true |] ~keys:[||]));
+  Alcotest.check_raises "keys" (Invalid_argument "Eval: key vector length mismatch")
+    (fun () -> ignore (Eval.eval c ~inputs:[| true; true; true |] ~keys:[| true |]))
+
+let test_keyed_eval () =
+  let b = Builder.create () in
+  let x = Builder.input b "x" in
+  let k = Builder.key_input b "keyinput0" in
+  Builder.output b "o" (Builder.xor2 b x k);
+  let c = Builder.finish b in
+  Alcotest.(check bool) "k=0 passes" true
+    ((Eval.eval c ~inputs:[| true |] ~keys:[| false |]).(0));
+  Alcotest.(check bool) "k=1 inverts" false
+    ((Eval.eval c ~inputs:[| true |] ~keys:[| true |]).(0))
+
+let test_eval_bv () =
+  let c = full_adder_circuit () in
+  let out = Eval.eval_bv c ~inputs:(Bitvec.of_string "110") ~keys:(Bitvec.create 0) in
+  (* a=1 b=1 cin=0 -> sum 0 carry 1 *)
+  Alcotest.(check string) "bv result" "01" (Bitvec.to_string out)
+
+let test_eval_all_nodes () =
+  let c = full_adder_circuit () in
+  let values = Eval.eval_all_nodes c ~inputs:[| true; false; true |] ~keys:[||] in
+  Alcotest.(check int) "length" (Circuit.num_nodes c) (Array.length values);
+  Alcotest.(check bool) "input value" true values.(c.Circuit.inputs.(0))
+
+let test_exhaustive_inputs () =
+  let c = full_adder_circuit () in
+  let patterns = List.of_seq (Eval.exhaustive_inputs c) in
+  Alcotest.(check int) "count" 8 (List.length patterns);
+  Alcotest.(check string) "order" "000" (Bitvec.to_string (List.nth patterns 0));
+  Alcotest.(check string) "order last" "111" (Bitvec.to_string (List.nth patterns 7))
+
+(* Word-parallel simulation agrees with scalar simulation on random
+   circuits. *)
+let prop_lanes_match =
+  qcheck_case ~count:50 "eval_lanes matches eval on random circuits"
+    QCheck2.Gen.(pair (int_bound 10000) (int_bound 100))
+    (fun (seed, gates) ->
+      let c = random_circuit ~seed ~num_inputs:6 ~num_outputs:4 ~gates:(10 + gates) () in
+      let g = Prng.create (seed + 1) in
+      let lanes = Array.init 6 (fun _ -> Prng.bits64 g) in
+      let wide = Eval.eval_lanes c ~inputs:lanes ~keys:[||] in
+      let ok = ref true in
+      for lane = 0 to 63 do
+        let inputs =
+          Array.map (fun w -> Int64.logand (Int64.shift_right_logical w lane) 1L = 1L) lanes
+        in
+        let narrow = Eval.eval c ~inputs ~keys:[||] in
+        Array.iteri
+          (fun o want ->
+            let bit = Int64.logand (Int64.shift_right_logical wide.(o) lane) 1L = 1L in
+            if want <> bit then ok := false)
+          narrow
+      done;
+      !ok)
+
+let suite =
+  [
+    Alcotest.test_case "full adder truth table" `Quick test_full_adder_truth_table;
+    Alcotest.test_case "length mismatch" `Quick test_length_mismatch;
+    Alcotest.test_case "keyed eval" `Quick test_keyed_eval;
+    Alcotest.test_case "eval_bv" `Quick test_eval_bv;
+    Alcotest.test_case "eval_all_nodes" `Quick test_eval_all_nodes;
+    Alcotest.test_case "exhaustive inputs" `Quick test_exhaustive_inputs;
+    prop_lanes_match;
+  ]

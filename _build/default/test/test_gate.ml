@@ -1,0 +1,119 @@
+open Helpers
+
+let eval_b g args = Gate.eval g (Array.of_list args)
+
+let test_basic_truth_tables () =
+  Alcotest.(check bool) "and tt" true (eval_b Gate.And [ true; true ]);
+  Alcotest.(check bool) "and tf" false (eval_b Gate.And [ true; false ]);
+  Alcotest.(check bool) "or ff" false (eval_b Gate.Or [ false; false ]);
+  Alcotest.(check bool) "or ft" true (eval_b Gate.Or [ false; true ]);
+  Alcotest.(check bool) "nand tt" false (eval_b Gate.Nand [ true; true ]);
+  Alcotest.(check bool) "nor ff" true (eval_b Gate.Nor [ false; false ]);
+  Alcotest.(check bool) "xor tf" true (eval_b Gate.Xor [ true; false ]);
+  Alcotest.(check bool) "xor tt" false (eval_b Gate.Xor [ true; true ]);
+  Alcotest.(check bool) "xnor tt" true (eval_b Gate.Xnor [ true; true ]);
+  Alcotest.(check bool) "not t" false (eval_b Gate.Not [ true ]);
+  Alcotest.(check bool) "buf t" true (eval_b Gate.Buf [ true ])
+
+let test_nary () =
+  Alcotest.(check bool) "and3" true (eval_b Gate.And [ true; true; true ]);
+  Alcotest.(check bool) "and3 one false" false (eval_b Gate.And [ true; false; true ]);
+  Alcotest.(check bool) "xor3 parity" true (eval_b Gate.Xor [ true; true; true ]);
+  Alcotest.(check bool) "xor4 parity" false (eval_b Gate.Xor [ true; true; true; true ]);
+  Alcotest.(check bool) "xnor3" false (eval_b Gate.Xnor [ true; true; true ])
+
+let test_mux () =
+  (* fanins [s; a; b]: s=0 -> a, s=1 -> b *)
+  Alcotest.(check bool) "sel 0 picks low" true (eval_b Gate.Mux [ false; true; false ]);
+  Alcotest.(check bool) "sel 1 picks high" false (eval_b Gate.Mux [ true; true; false ])
+
+let test_lut () =
+  (* 2-input LUT implementing XOR: table index = x0 + 2*x1 *)
+  let t = Bitvec.of_string "0110" in
+  let lut = Gate.Lut t in
+  Alcotest.(check bool) "00" false (eval_b lut [ false; false ]);
+  Alcotest.(check bool) "10" true (eval_b lut [ true; false ]);
+  Alcotest.(check bool) "01" true (eval_b lut [ false; true ]);
+  Alcotest.(check bool) "11" false (eval_b lut [ true; true ])
+
+let test_arity_checks () =
+  Alcotest.(check bool) "not arity 1" true (Gate.arity_ok Gate.Not 1);
+  Alcotest.(check bool) "not arity 2" false (Gate.arity_ok Gate.Not 2);
+  Alcotest.(check bool) "mux arity 3" true (Gate.arity_ok Gate.Mux 3);
+  Alcotest.(check bool) "mux arity 2" false (Gate.arity_ok Gate.Mux 2);
+  Alcotest.(check bool) "and arity 0" false (Gate.arity_ok Gate.And 0);
+  Alcotest.(check bool) "and arity 5" true (Gate.arity_ok Gate.And 5);
+  Alcotest.(check bool) "lut size match" true (Gate.arity_ok (Gate.Lut (Bitvec.create 8)) 3);
+  Alcotest.(check bool) "lut size mismatch" false
+    (Gate.arity_ok (Gate.Lut (Bitvec.create 8)) 2)
+
+let test_eval_arity_mismatch () =
+  Alcotest.check_raises "bad arity" (Invalid_argument "Gate.eval: arity mismatch") (fun () ->
+      ignore (eval_b Gate.Mux [ true; false ]))
+
+let test_names () =
+  Alcotest.(check string) "and" "AND" (Gate.name Gate.And);
+  Alcotest.(check (option bool)) "roundtrip all simple" (Some true)
+    (Some
+       (List.for_all
+          (fun g -> Gate.of_name (Gate.name g) = Some g)
+          [ Gate.And; Gate.Or; Gate.Nand; Gate.Nor; Gate.Xor; Gate.Xnor; Gate.Not; Gate.Buf; Gate.Mux ]));
+  Alcotest.(check bool) "inv alias" true (Gate.of_name "INV" = Some Gate.Not);
+  Alcotest.(check bool) "buff alias" true (Gate.of_name "BUFF" = Some Gate.Buf);
+  Alcotest.(check bool) "unknown" true (Gate.of_name "FOO" = None)
+
+let test_equal () =
+  Alcotest.(check bool) "lut equal" true
+    (Gate.equal (Gate.Lut (Bitvec.of_string "01")) (Gate.Lut (Bitvec.of_string "01")));
+  Alcotest.(check bool) "lut differ" false
+    (Gate.equal (Gate.Lut (Bitvec.of_string "01")) (Gate.Lut (Bitvec.of_string "10")));
+  Alcotest.(check bool) "lut vs and" false (Gate.equal (Gate.Lut (Bitvec.of_string "01")) Gate.And)
+
+(* Cross-check eval_lanes against eval on all gates and random lanes. *)
+let prop_lanes_match =
+  let gen =
+    QCheck2.Gen.(
+      pair (int_bound 8)
+        (pair (int_bound 1000000) (int_bound 3)))
+  in
+  qcheck_case ~count:200 "eval_lanes matches eval" gen (fun (gsel, (seed, arity_sel)) ->
+      let g = Prng.create seed in
+      let gate, arity =
+        match gsel with
+        | 0 -> (Gate.And, 2 + arity_sel)
+        | 1 -> (Gate.Or, 2 + arity_sel)
+        | 2 -> (Gate.Nand, 2 + arity_sel)
+        | 3 -> (Gate.Nor, 2 + arity_sel)
+        | 4 -> (Gate.Xor, 2 + arity_sel)
+        | 5 -> (Gate.Xnor, 2 + arity_sel)
+        | 6 -> (Gate.Not, 1)
+        | 7 -> (Gate.Mux, 3)
+        | _ ->
+            let k = 1 + arity_sel in
+            (Gate.Lut (Bitvec.random g (1 lsl k)), k)
+      in
+      let lanes = Array.init arity (fun _ -> Prng.bits64 g) in
+      let got = Gate.eval_lanes gate lanes in
+      let ok = ref true in
+      for lane = 0 to 63 do
+        let bools =
+          Array.map (fun w -> Int64.logand (Int64.shift_right_logical w lane) 1L = 1L) lanes
+        in
+        let want = Gate.eval gate bools in
+        let bit = Int64.logand (Int64.shift_right_logical got lane) 1L = 1L in
+        if want <> bit then ok := false
+      done;
+      !ok)
+
+let suite =
+  [
+    Alcotest.test_case "basic truth tables" `Quick test_basic_truth_tables;
+    Alcotest.test_case "n-ary gates" `Quick test_nary;
+    Alcotest.test_case "mux semantics" `Quick test_mux;
+    Alcotest.test_case "lut semantics" `Quick test_lut;
+    Alcotest.test_case "arity checks" `Quick test_arity_checks;
+    Alcotest.test_case "eval arity mismatch" `Quick test_eval_arity_mismatch;
+    Alcotest.test_case "names" `Quick test_names;
+    Alcotest.test_case "equal" `Quick test_equal;
+    prop_lanes_match;
+  ]

@@ -1,0 +1,73 @@
+open Helpers
+module Instantiate = LL.Netlist.Instantiate
+
+let test_append_copies_function () =
+  let fa = full_adder_circuit () in
+  (* Build a wrapper that instantiates the adder once. *)
+  let b = Builder.create () in
+  let inputs = Array.init 3 (fun i -> Builder.input b (Printf.sprintf "i%d" i)) in
+  let outs = Instantiate.append b fa ~inputs ~keys:[||] in
+  Array.iteri (fun i o -> Builder.output b (Printf.sprintf "o%d" i) o) outs;
+  let c = Builder.finish b in
+  Alcotest.(check bool) "same function" true (exhaustively_equal fa c)
+
+let test_append_twice_shared_inputs () =
+  let fa = full_adder_circuit () in
+  let b = Builder.create () in
+  let inputs = Array.init 3 (fun i -> Builder.input b (Printf.sprintf "i%d" i)) in
+  let outs1 = Instantiate.append b fa ~inputs ~keys:[||] in
+  let outs2 = Instantiate.append b fa ~inputs ~keys:[||] in
+  (* Two copies of the same function must agree everywhere. *)
+  let agree = Builder.xnor2 b outs1.(0) outs2.(0) in
+  Builder.output b "agree" agree;
+  let c = Builder.finish b in
+  let always_true = ref true in
+  for v = 0 to 7 do
+    let inputs = Array.init 3 (fun i -> (v lsr i) land 1 = 1) in
+    if not (Eval.eval c ~inputs ~keys:[||]).(0) then always_true := false
+  done;
+  Alcotest.(check bool) "copies agree" true !always_true
+
+let test_append_count_mismatch () =
+  let fa = full_adder_circuit () in
+  let b = Builder.create () in
+  let inputs = [| Builder.input b "only" |] in
+  Alcotest.check_raises "mismatch"
+    (Invalid_argument "Instantiate.append: input count mismatch") (fun () ->
+      ignore (Instantiate.append b fa ~inputs ~keys:[||]))
+
+let test_bind_keys () =
+  let c = random_circuit ~seed:31 () in
+  let locked = LL.Locking.Xor_lock.lock ~num_keys:5 c in
+  let unlocked = Instantiate.bind_keys locked.LL.Locking.Locked.circuit locked.correct_key in
+  Alcotest.(check int) "no keys left" 0 (Circuit.num_keys unlocked);
+  Alcotest.(check int) "inputs preserved" (Circuit.num_inputs c) (Circuit.num_inputs unlocked);
+  Alcotest.(check bool) "correct key restores function" true (exhaustively_equal c unlocked)
+
+let test_bind_keys_wrong_length () =
+  let c = random_circuit ~seed:32 () in
+  let locked = LL.Locking.Xor_lock.lock ~num_keys:5 c in
+  Alcotest.check_raises "length" (Invalid_argument "Instantiate.bind_keys: key length mismatch")
+    (fun () -> ignore (Instantiate.bind_keys locked.circuit (Bitvec.create 3)))
+
+let test_copy_ports () =
+  let c = random_circuit ~seed:33 () in
+  let locked = (LL.Locking.Xor_lock.lock ~num_keys:2 c).circuit in
+  let b = Builder.create () in
+  let inputs, keys = Instantiate.copy_ports b locked in
+  Alcotest.(check int) "inputs" (Circuit.num_inputs locked) (Array.length inputs);
+  Alcotest.(check int) "keys" 2 (Array.length keys);
+  let outs = Instantiate.append b locked ~inputs ~keys in
+  Builder.output b "o" outs.(0);
+  let copy = Builder.finish b in
+  Alcotest.(check int) "key ports copied" 2 (Circuit.num_keys copy)
+
+let suite =
+  [
+    Alcotest.test_case "append copies function" `Quick test_append_copies_function;
+    Alcotest.test_case "append twice shared inputs" `Quick test_append_twice_shared_inputs;
+    Alcotest.test_case "append count mismatch" `Quick test_append_count_mismatch;
+    Alcotest.test_case "bind_keys" `Quick test_bind_keys;
+    Alcotest.test_case "bind_keys wrong length" `Quick test_bind_keys_wrong_length;
+    Alcotest.test_case "copy_ports" `Quick test_copy_ports;
+  ]

@@ -1,0 +1,43 @@
+(* High-level Logiclock.Pipeline flows. *)
+open Helpers
+
+let test_sat_attack_and_verify () =
+  let c = random_circuit ~seed:140 ~num_inputs:7 ~num_outputs:3 ~gates:40 () in
+  let locked = LL.Locking.Xor_lock.lock ~num_keys:8 c in
+  let outcome = LL.Pipeline.sat_attack_and_verify ~original:c locked in
+  Alcotest.(check bool) "broke" true outcome.LL.Pipeline.broke;
+  Alcotest.(check bool) "key present" true (outcome.recovered_key <> None);
+  Alcotest.(check bool) "time positive" true (outcome.total_time >= 0.0)
+
+let test_split_attack_and_verify () =
+  let c = random_circuit ~seed:141 ~num_inputs:8 ~num_outputs:3 ~gates:40 () in
+  let locked = LL.Locking.Sarlock.lock ~key_size:5 c in
+  let attack, composed, broke = LL.Pipeline.split_attack_and_verify ~n:2 ~original:c locked in
+  Alcotest.(check bool) "broke" true broke;
+  Alcotest.(check bool) "composed present" true (composed <> None);
+  Alcotest.(check int) "4 tasks" 4 (Array.length attack.LL.Attack.Split_attack.tasks)
+
+let test_split_attack_parallel_flag () =
+  let c = random_circuit ~seed:142 ~num_inputs:8 () in
+  let locked = LL.Locking.Sarlock.lock ~key_size:4 c in
+  let attack, _, broke =
+    LL.Pipeline.split_attack_and_verify ~parallel:true ~n:1 ~original:c locked
+  in
+  Alcotest.(check bool) "broke" true broke;
+  Alcotest.(check bool) "domains recorded" true
+    (attack.LL.Attack.Split_attack.domains_used >= 1)
+
+let test_failed_attack_reports_not_broken () =
+  let c = random_circuit ~seed:143 ~num_inputs:8 () in
+  let locked = LL.Locking.Sarlock.lock ~key_size:8 c in
+  let config = { LL.Attack.Sat_attack.default_config with max_iterations = Some 2 } in
+  let outcome = LL.Pipeline.sat_attack_and_verify ~config ~original:c locked in
+  Alcotest.(check bool) "not broken" false outcome.LL.Pipeline.broke
+
+let suite =
+  [
+    Alcotest.test_case "sat attack and verify" `Quick test_sat_attack_and_verify;
+    Alcotest.test_case "split attack and verify" `Quick test_split_attack_and_verify;
+    Alcotest.test_case "split attack parallel" `Quick test_split_attack_parallel_flag;
+    Alcotest.test_case "failed attack reported" `Quick test_failed_attack_reports_not_broken;
+  ]

@@ -1,0 +1,109 @@
+open Helpers
+
+let test_determinism () =
+  let a = Prng.create 42 and b = Prng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Prng.bits64 a) (Prng.bits64 b)
+  done
+
+let test_seed_sensitivity () =
+  let a = Prng.create 1 and b = Prng.create 2 in
+  Alcotest.(check bool) "different seeds differ" false (Prng.bits64 a = Prng.bits64 b)
+
+let test_int_bounds () =
+  let g = Prng.create 3 in
+  for _ = 1 to 1000 do
+    let v = Prng.int g 7 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 7)
+  done
+
+let test_int_rejects_nonpositive () =
+  let g = Prng.create 3 in
+  Alcotest.check_raises "zero bound" (Invalid_argument "Prng.int: bound must be positive")
+    (fun () -> ignore (Prng.int g 0))
+
+let test_int_covers_range () =
+  let g = Prng.create 4 in
+  let seen = Array.make 5 false in
+  for _ = 1 to 500 do
+    seen.(Prng.int g 5) <- true
+  done;
+  Alcotest.(check bool) "all values hit" true (Array.for_all Fun.id seen)
+
+let test_float_bounds () =
+  let g = Prng.create 5 in
+  for _ = 1 to 1000 do
+    let v = Prng.float g 2.5 in
+    Alcotest.(check bool) "in range" true (v >= 0.0 && v < 2.5)
+  done
+
+let test_bool_balance () =
+  let g = Prng.create 6 in
+  let trues = ref 0 in
+  for _ = 1 to 10000 do
+    if Prng.bool g then incr trues
+  done;
+  Alcotest.(check bool) "roughly balanced" true (!trues > 4500 && !trues < 5500)
+
+let test_split_independence () =
+  let g = Prng.create 7 in
+  let child = Prng.split g in
+  (* The child stream must not be a shifted copy of the parent stream. *)
+  let parent_next = Prng.bits64 g in
+  let child_next = Prng.bits64 child in
+  Alcotest.(check bool) "differ" false (parent_next = child_next)
+
+let test_copy_preserves_state () =
+  let g = Prng.create 8 in
+  ignore (Prng.bits64 g);
+  let h = Prng.copy g in
+  Alcotest.(check int64) "same next value" (Prng.bits64 g) (Prng.bits64 h)
+
+let test_shuffle_permutation () =
+  let g = Prng.create 9 in
+  let a = Array.init 20 (fun i -> i) in
+  Prng.shuffle g a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "is a permutation" (Array.init 20 (fun i -> i)) sorted
+
+let test_sample_distinct_sorted () =
+  let g = Prng.create 10 in
+  for _ = 1 to 100 do
+    let s = Prng.sample g ~k:5 ~n:12 in
+    Alcotest.(check int) "size" 5 (List.length s);
+    Alcotest.(check bool) "sorted distinct" true
+      (List.sort_uniq compare s = s);
+    List.iter (fun v -> Alcotest.(check bool) "in range" true (v >= 0 && v < 12)) s
+  done
+
+let test_sample_full_range () =
+  let g = Prng.create 11 in
+  Alcotest.(check (list int)) "k = n returns everything" [ 0; 1; 2 ]
+    (Prng.sample g ~k:3 ~n:3);
+  Alcotest.(check (list int)) "k = 0 empty" [] (Prng.sample g ~k:0 ~n:3)
+
+let test_choose () =
+  let g = Prng.create 12 in
+  let a = [| "x"; "y"; "z" |] in
+  for _ = 1 to 50 do
+    let c = Prng.choose g a in
+    Alcotest.(check bool) "member" true (Array.mem c a)
+  done
+
+let suite =
+  [
+    Alcotest.test_case "determinism" `Quick test_determinism;
+    Alcotest.test_case "seed sensitivity" `Quick test_seed_sensitivity;
+    Alcotest.test_case "int bounds" `Quick test_int_bounds;
+    Alcotest.test_case "int rejects non-positive" `Quick test_int_rejects_nonpositive;
+    Alcotest.test_case "int covers range" `Quick test_int_covers_range;
+    Alcotest.test_case "float bounds" `Quick test_float_bounds;
+    Alcotest.test_case "bool balance" `Quick test_bool_balance;
+    Alcotest.test_case "split independence" `Quick test_split_independence;
+    Alcotest.test_case "copy preserves state" `Quick test_copy_preserves_state;
+    Alcotest.test_case "shuffle is permutation" `Quick test_shuffle_permutation;
+    Alcotest.test_case "sample distinct sorted" `Quick test_sample_distinct_sorted;
+    Alcotest.test_case "sample edge cases" `Quick test_sample_full_range;
+    Alcotest.test_case "choose membership" `Quick test_choose;
+  ]

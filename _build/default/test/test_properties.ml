@@ -1,0 +1,97 @@
+(* Cross-layer property tests. *)
+open Helpers
+module Solver = Ll_sat.Solver
+module Tseitin = Ll_sat.Tseitin
+
+(* Whatever the scheme, the correct key restores the original function. *)
+let prop_every_scheme_correct_key =
+  qcheck_case ~count:40 "every scheme: correct key restores the function"
+    QCheck2.Gen.(triple (int_bound 100000) (int_bound 5) (int_bound 40))
+    (fun (seed, scheme_sel, gates) ->
+      let c = random_circuit ~seed ~num_inputs:6 ~num_outputs:3 ~gates:(10 + gates) () in
+      let prng = Prng.create (seed + 1) in
+      let locked =
+        match scheme_sel with
+        | 0 -> LL.Locking.Xor_lock.lock ~prng ~num_keys:4 c
+        | 1 -> LL.Locking.Sll.lock ~prng ~num_keys:4 c
+        | 2 -> LL.Locking.Sarlock.lock ~prng ~key_size:4 c
+        | 3 -> LL.Locking.Mixed_sarlock.lock ~prng ~key_size:4 c
+        | 4 -> LL.Locking.Antisat.lock ~prng ~width:3 c
+        | _ -> LL.Locking.Lut_lock.lock ~prng ~stage1_luts:2 ~stage1_inputs:2 c
+      in
+      exhaustively_equal c (LL.Locking.Locked.unlock_correct locked))
+
+(* Locking must never change the input/output signature. *)
+let prop_locking_preserves_signature =
+  qcheck_case ~count:30 "locking preserves the port signature"
+    QCheck2.Gen.(pair (int_bound 100000) (int_bound 5))
+    (fun (seed, scheme_sel) ->
+      let c = random_circuit ~seed ~num_inputs:7 ~num_outputs:4 ~gates:30 () in
+      let prng = Prng.create seed in
+      let locked =
+        match scheme_sel with
+        | 0 -> LL.Locking.Xor_lock.lock ~prng ~num_keys:3 c
+        | 1 -> LL.Locking.Sll.lock ~prng ~num_keys:3 c
+        | 2 -> LL.Locking.Sarlock.lock ~prng ~key_size:3 c
+        | 3 -> LL.Locking.Mixed_sarlock.lock ~prng ~key_size:3 c
+        | 4 -> LL.Locking.Antisat.lock ~prng ~width:3 c
+        | _ -> LL.Locking.Lut_lock.lock ~prng ~stage1_luts:2 ~stage1_inputs:2 c
+      in
+      let lc = locked.LL.Locking.Locked.circuit in
+      Circuit.num_inputs lc = 7 && Circuit.num_outputs lc = 4
+      && Circuit.num_keys lc = Bitvec.length locked.correct_key)
+
+(* The Tseitin cache must make re-encoding a no-op: same output literals. *)
+let test_tseitin_structural_sharing () =
+  let c = full_adder_circuit () in
+  let solver = Solver.create () in
+  let env = Tseitin.create solver in
+  let input_lits = Tseitin.fresh_lits env 3 in
+  let o1 = Tseitin.encode env c ~input_lits ~key_lits:[||] in
+  let vars_after_first = Solver.num_vars solver in
+  let o2 = Tseitin.encode env c ~input_lits ~key_lits:[||] in
+  Alcotest.(check (array int)) "identical output literals" o1 o2;
+  Alcotest.(check int) "no new variables" vars_after_first (Solver.num_vars solver)
+
+(* SAT attack determinism: same inputs, same result. *)
+let test_sat_attack_deterministic () =
+  let c = random_circuit ~seed:240 ~num_inputs:7 () in
+  let locked = LL.Locking.Xor_lock.lock ~prng:(Prng.create 1) ~num_keys:6 c in
+  let run () =
+    let oracle = LL.Attack.Oracle.of_circuit c in
+    let r = LL.Attack.Sat_attack.run locked.circuit ~oracle in
+    (r.LL.Attack.Sat_attack.num_dips, Option.map Bitvec.to_string r.key)
+  in
+  let a = run () and b = run () in
+  Alcotest.(check bool) "identical runs" true (a = b)
+
+(* Adding a clause twice never changes satisfiability or models. *)
+let prop_duplicate_clauses_harmless =
+  qcheck_case ~count:50 "duplicate clauses are harmless"
+    QCheck2.Gen.(int_bound 100000)
+    (fun seed ->
+      let g = Prng.create seed in
+      let nvars = 2 + Prng.int g 6 in
+      let clauses =
+        List.init (2 + Prng.int g 15) (fun _ ->
+            List.init (1 + Prng.int g 3) (fun _ ->
+                Ll_sat.Lit.make (Prng.int g nvars) (Prng.bool g)))
+      in
+      let solve cs =
+        let s = Solver.create () in
+        for _ = 1 to nvars do
+          ignore (Solver.new_var s)
+        done;
+        List.iter (Solver.add_clause s) cs;
+        Solver.solve s = Solver.Sat
+      in
+      solve clauses = solve (clauses @ clauses))
+
+let suite =
+  [
+    prop_every_scheme_correct_key;
+    prop_locking_preserves_signature;
+    Alcotest.test_case "tseitin structural sharing" `Quick test_tseitin_structural_sharing;
+    Alcotest.test_case "sat attack deterministic" `Quick test_sat_attack_deterministic;
+    prop_duplicate_clauses_harmless;
+  ]

@@ -1,0 +1,142 @@
+open Helpers
+module Oracle = LL.Attack.Oracle
+module Sat_attack = LL.Attack.Sat_attack
+module Equiv = LL.Attack.Equiv
+module Instantiate = LL.Netlist.Instantiate
+
+let key_is_correct original locked key =
+  match key with
+  | None -> false
+  | Some k -> (
+      match Equiv.check original (Instantiate.bind_keys locked k) with
+      | Equiv.Equivalent -> true
+      | Equiv.Counterexample _ -> false)
+
+let run_attack ?config c locked =
+  let oracle = Oracle.of_circuit c in
+  Sat_attack.run ?config locked ~oracle
+
+let test_breaks_xor_locking () =
+  let c = random_circuit ~seed:100 ~num_inputs:8 ~num_outputs:4 ~gates:60 () in
+  let locked = LL.Locking.Xor_lock.lock ~num_keys:10 c in
+  let r = run_attack c locked.circuit in
+  Alcotest.(check bool) "broken" true (r.Sat_attack.status = Sat_attack.Broken);
+  Alcotest.(check bool) "key correct" true (key_is_correct c locked.circuit r.key)
+
+let test_recovered_key_not_necessarily_exact () =
+  (* The attack promises functional correctness, not bit-equality: verify
+     functionally only. *)
+  let c = random_circuit ~seed:101 () in
+  let locked = LL.Locking.Lut_lock.lock ~stage1_luts:2 ~stage1_inputs:2 c in
+  let r = run_attack c locked.circuit in
+  Alcotest.(check bool) "key correct" true (key_is_correct c locked.circuit r.key)
+
+let test_sarlock_dip_count () =
+  let c = random_circuit ~seed:102 ~num_inputs:8 ~num_outputs:3 ~gates:40 () in
+  List.iter
+    (fun k ->
+      let locked = LL.Locking.Sarlock.lock ~prng:(Prng.create k) ~key_size:k c in
+      let r = run_attack c locked.circuit in
+      Alcotest.(check int)
+        (Printf.sprintf "#DIP for k=%d" k)
+        ((1 lsl k) - 1)
+        r.Sat_attack.num_dips;
+      Alcotest.(check bool) "key correct" true (key_is_correct c locked.circuit r.key))
+    [ 2; 3; 4; 5 ]
+
+let test_antisat_broken_functionally () =
+  let c = random_circuit ~seed:103 ~num_inputs:6 ~num_outputs:2 ~gates:25 () in
+  let locked = LL.Locking.Antisat.lock ~width:4 c in
+  let r = run_attack c locked.circuit in
+  Alcotest.(check bool) "key correct" true (key_is_correct c locked.circuit r.key)
+
+let test_composed_locking_broken () =
+  let c = random_circuit ~seed:104 ~num_inputs:7 ~num_outputs:3 ~gates:40 () in
+  let l1 = LL.Locking.Xor_lock.lock ~num_keys:5 c in
+  let l2 =
+    LL.Locking.Compose_key.relock l1 ~scheme:(fun ?base_key cc ->
+        LL.Locking.Sarlock.lock ?base_key ~key_size:4 cc)
+  in
+  let r = run_attack c l2.circuit in
+  Alcotest.(check bool) "key correct" true (key_is_correct c l2.circuit r.key)
+
+let test_iteration_limit () =
+  let c = random_circuit ~seed:105 ~num_inputs:10 ~num_outputs:3 ~gates:40 () in
+  let locked = LL.Locking.Sarlock.lock ~key_size:8 c in
+  let config = { Sat_attack.default_config with max_iterations = Some 5 } in
+  let r = run_attack ~config c locked.circuit in
+  Alcotest.(check bool) "hit limit" true (r.Sat_attack.status = Sat_attack.Iteration_limit);
+  Alcotest.(check int) "stopped at 5" 5 r.num_dips;
+  Alcotest.(check bool) "no key" true (r.key = None)
+
+let test_time_limit () =
+  let c = random_circuit ~seed:106 ~num_inputs:12 ~num_outputs:4 ~gates:80 () in
+  let locked = LL.Locking.Sarlock.lock ~key_size:12 c in
+  let config = { Sat_attack.default_config with time_limit = Some 0.05 } in
+  let r = run_attack ~config c locked.circuit in
+  Alcotest.(check bool) "hit limit" true (r.Sat_attack.status = Sat_attack.Time_limit)
+
+let test_no_simplification_same_result () =
+  let c = random_circuit ~seed:107 ~num_inputs:6 ~num_outputs:3 ~gates:30 () in
+  let locked = LL.Locking.Sarlock.lock ~key_size:4 c in
+  let config = { Sat_attack.default_config with simplify_constraints = false } in
+  let r = run_attack ~config c locked.circuit in
+  Alcotest.(check int) "same #DIP" 15 r.Sat_attack.num_dips;
+  Alcotest.(check bool) "key correct" true (key_is_correct c locked.circuit r.key)
+
+let test_oracle_query_accounting () =
+  let c = random_circuit ~seed:108 () in
+  let locked = LL.Locking.Xor_lock.lock ~num_keys:4 c in
+  let r = run_attack c locked.circuit in
+  Alcotest.(check int) "one query per dip" r.Sat_attack.num_dips r.oracle_queries
+
+let test_log_callback () =
+  let c = random_circuit ~seed:109 () in
+  let locked = LL.Locking.Xor_lock.lock ~num_keys:4 c in
+  let lines = ref 0 in
+  let config = { Sat_attack.default_config with log = Some (fun _ -> incr lines) } in
+  let r = run_attack ~config c locked.circuit in
+  Alcotest.(check int) "one line per dip" r.num_dips !lines
+
+let test_rejects_keyless () =
+  let c = full_adder_circuit () in
+  let oracle = Oracle.of_circuit c in
+  Alcotest.check_raises "keyless" (Invalid_argument "Sat_attack.run: circuit has no keys")
+    (fun () -> ignore (Sat_attack.run c ~oracle))
+
+let test_rejects_oracle_mismatch () =
+  let c = random_circuit ~seed:110 () in
+  let locked = (LL.Locking.Xor_lock.lock ~num_keys:2 c).circuit in
+  let oracle = Oracle.of_circuit (full_adder_circuit ()) in
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Sat_attack.run locked ~oracle);
+       false
+     with Invalid_argument _ -> true)
+
+let test_dips_are_distinct () =
+  let c = random_circuit ~seed:111 ~num_inputs:8 () in
+  let locked = LL.Locking.Sarlock.lock ~key_size:5 c in
+  let r = run_attack c locked.circuit in
+  let dips = List.map Bitvec.to_string r.Sat_attack.dips in
+  Alcotest.(check int) "all distinct" (List.length dips)
+    (List.length (List.sort_uniq compare dips))
+
+let suite =
+  [
+    Alcotest.test_case "breaks xor locking" `Quick test_breaks_xor_locking;
+    Alcotest.test_case "functional key recovery" `Quick
+      test_recovered_key_not_necessarily_exact;
+    Alcotest.test_case "sarlock dip count" `Slow test_sarlock_dip_count;
+    Alcotest.test_case "antisat broken" `Quick test_antisat_broken_functionally;
+    Alcotest.test_case "composed locking broken" `Quick test_composed_locking_broken;
+    Alcotest.test_case "iteration limit" `Quick test_iteration_limit;
+    Alcotest.test_case "time limit" `Quick test_time_limit;
+    Alcotest.test_case "no simplification same result" `Quick
+      test_no_simplification_same_result;
+    Alcotest.test_case "oracle query accounting" `Quick test_oracle_query_accounting;
+    Alcotest.test_case "log callback" `Quick test_log_callback;
+    Alcotest.test_case "rejects keyless" `Quick test_rejects_keyless;
+    Alcotest.test_case "rejects oracle mismatch" `Quick test_rejects_oracle_mismatch;
+    Alcotest.test_case "dips are distinct" `Quick test_dips_are_distinct;
+  ]

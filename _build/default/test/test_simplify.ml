@@ -1,0 +1,185 @@
+open Helpers
+module Simplify = LL.Synth.Simplify
+module Sweep = LL.Synth.Sweep
+module Optimize = LL.Synth.Optimize
+
+let test_preserves_function () =
+  let c = full_adder_circuit () in
+  Alcotest.(check bool) "equal" true (exhaustively_equal c (Simplify.run c))
+
+let test_folds_constants () =
+  let b = Builder.create () in
+  let x = Builder.input b "x" in
+  let t = Builder.const b true in
+  let f = Builder.const b false in
+  Builder.output b "and_t" (Builder.and2 b x t);
+  (* = x *)
+  Builder.output b "and_f" (Builder.and2 b x f);
+  (* = 0 *)
+  Builder.output b "or_t" (Builder.or2 b x t);
+  (* = 1 *)
+  Builder.output b "xor_f" (Builder.xor2 b x f);
+  (* = x *)
+  Builder.output b "xor_t" (Builder.xor2 b x t);
+  (* = not x *)
+  let c = Builder.finish b in
+  let s = Optimize.run c in
+  Alcotest.(check bool) "function preserved" true (exhaustively_equal c s);
+  (* Only the final NOT gate should survive. *)
+  Alcotest.(check bool) "almost no gates" true (Circuit.gate_count s <= 1)
+
+let test_double_negation_and_duplicates () =
+  let c = redundant_circuit () in
+  let s = Optimize.run c in
+  Alcotest.(check bool) "function preserved" true (exhaustively_equal c s);
+  (* o1 = (x and y); o2 = x. *)
+  Alcotest.(check bool) "shrunk" true (Circuit.gate_count s < Circuit.gate_count c);
+  Alcotest.(check int) "one gate remains" 1 (Circuit.gate_count s)
+
+let test_strash_shares_structure () =
+  let b = Builder.create () in
+  let x = Builder.input b "x" in
+  let y = Builder.input b "y" in
+  (* Same AND built twice, plus commuted variant: all one gate after
+     strashing. *)
+  Builder.output b "o1" (Builder.and2 b x y);
+  Builder.output b "o2" (Builder.and2 b x y);
+  Builder.output b "o3" (Builder.and2 b y x);
+  let c = Builder.finish b in
+  let s = Simplify.run c in
+  Alcotest.(check int) "one shared gate" 1 (Circuit.gate_count s);
+  Alcotest.(check bool) "function preserved" true (exhaustively_equal c s)
+
+let test_xor_cancellation () =
+  let b = Builder.create () in
+  let x = Builder.input b "x" in
+  let y = Builder.input b "y" in
+  Builder.output b "o" (Builder.gate b Gate.Xor [| x; y; x |]);
+  (* = y *)
+  let c = Builder.finish b in
+  let s = Simplify.run c in
+  Alcotest.(check int) "no gates" 0 (Circuit.gate_count s);
+  Alcotest.(check bool) "function preserved" true (exhaustively_equal c s)
+
+let test_and_with_complement () =
+  let b = Builder.create () in
+  let x = Builder.input b "x" in
+  let nx = Builder.not_ b x in
+  Builder.output b "o_and" (Builder.and2 b x nx);
+  (* = 0 *)
+  Builder.output b "o_or" (Builder.or2 b x nx);
+  (* = 1 *)
+  let c = Builder.finish b in
+  let s = Optimize.run c in
+  Alcotest.(check int) "all folded" 0 (Circuit.gate_count s);
+  Alcotest.(check bool) "function preserved" true (exhaustively_equal c s)
+
+let test_mux_rules () =
+  let b = Builder.create () in
+  let s_ = Builder.input b "s" in
+  let x = Builder.input b "x" in
+  let t = Builder.const b true in
+  let f = Builder.const b false in
+  Builder.output b "sel_const" (Builder.mux b ~select:t ~low:x ~high:s_);
+  (* = s *)
+  Builder.output b "same" (Builder.mux b ~select:s_ ~low:x ~high:x);
+  (* = x *)
+  Builder.output b "to_sel" (Builder.mux b ~select:s_ ~low:f ~high:t);
+  (* = s *)
+  Builder.output b "inv_sel" (Builder.mux b ~select:s_ ~low:t ~high:f);
+  (* = not s *)
+  let c = Builder.finish b in
+  let opt = Optimize.run c in
+  Alcotest.(check bool) "function preserved" true (exhaustively_equal c opt);
+  Alcotest.(check bool) "only inverter remains" true (Circuit.gate_count opt <= 1)
+
+let test_mux_complement_branches_to_xor () =
+  let b = Builder.create () in
+  let s_ = Builder.input b "s" in
+  let x = Builder.input b "x" in
+  let nx = Builder.not_ b x in
+  Builder.output b "o" (Builder.mux b ~select:s_ ~low:x ~high:nx);
+  (* = s xor x *)
+  let c = Builder.finish b in
+  let opt = Optimize.run c in
+  Alcotest.(check bool) "function preserved" true (exhaustively_equal c opt)
+
+let test_lut_constant_input_reduction () =
+  let b = Builder.create () in
+  let x = Builder.input b "x" in
+  let t = Builder.const b true in
+  (* 2-input XOR LUT with one input fixed true = NOT x. *)
+  Builder.output b "o" (Builder.gate b (Gate.Lut (Bitvec.of_string "0110")) [| x; t |]);
+  let c = Builder.finish b in
+  let opt = Optimize.run c in
+  Alcotest.(check bool) "function preserved" true (exhaustively_equal c opt);
+  (* The LUT must be gone (reduced to an inverter or less). *)
+  Alcotest.(check (option int)) "no LUT left" None
+    (List.assoc_opt "LUT" (Circuit.gate_histogram opt))
+
+let test_bind_removes_input () =
+  let c = full_adder_circuit () in
+  let s = Simplify.run ~bind:[ (2, false) ] c in
+  Alcotest.(check int) "one input gone" 2 (Circuit.num_inputs s);
+  (* cin=0: sum = a xor b, cout = a and b: compare against a half adder. *)
+  for v = 0 to 3 do
+    let a = v land 1 = 1 and bb = (v lsr 1) land 1 = 1 in
+    let outs = Eval.eval s ~inputs:[| a; bb |] ~keys:[||] in
+    Alcotest.(check bool) "sum" (a <> bb) outs.(0);
+    Alcotest.(check bool) "carry" (a && bb) outs.(1)
+  done
+
+let test_bind_rejects_bad_positions () =
+  let c = full_adder_circuit () in
+  Alcotest.check_raises "range" (Invalid_argument "Simplify.run: bind position out of range")
+    (fun () -> ignore (Simplify.run ~bind:[ (7, true) ] c));
+  Alcotest.check_raises "dup" (Invalid_argument "Simplify.run: duplicate bind position")
+    (fun () -> ignore (Simplify.run ~bind:[ (0, true); (0, false) ] c))
+
+let test_keys_preserved () =
+  let c = random_circuit ~seed:41 () in
+  let locked = (LL.Locking.Xor_lock.lock ~num_keys:3 c).circuit in
+  let s = Simplify.run locked in
+  Alcotest.(check int) "keys kept" 3 (Circuit.num_keys s)
+
+let prop_preserves_random_circuits =
+  qcheck_case ~count:60 "optimize preserves random circuit functions"
+    QCheck2.Gen.(pair (int_bound 100000) (int_bound 80))
+    (fun (seed, gates) ->
+      let c = random_circuit ~seed ~num_inputs:6 ~num_outputs:4 ~gates:(5 + gates) () in
+      exhaustively_equal c (Optimize.run c))
+
+let prop_bind_matches_eval =
+  qcheck_case ~count:40 "cofactor agrees with pinned evaluation"
+    QCheck2.Gen.(triple (int_bound 100000) (int_bound 50) bool)
+    (fun (seed, gates, pin) ->
+      let c = random_circuit ~seed ~num_inputs:5 ~num_outputs:3 ~gates:(5 + gates) () in
+      let s = Simplify.run ~bind:[ (0, pin) ] c in
+      let ok = ref true in
+      for v = 0 to 15 do
+        let rest = Array.init 4 (fun i -> (v lsr i) land 1 = 1) in
+        let full = Array.append [| pin |] rest in
+        if Eval.eval c ~inputs:full ~keys:[||] <> Eval.eval s ~inputs:rest ~keys:[||] then
+          ok := false
+      done;
+      !ok)
+
+let suite =
+  [
+    Alcotest.test_case "preserves function" `Quick test_preserves_function;
+    Alcotest.test_case "folds constants" `Quick test_folds_constants;
+    Alcotest.test_case "double negation / duplicates" `Quick
+      test_double_negation_and_duplicates;
+    Alcotest.test_case "strash shares structure" `Quick test_strash_shares_structure;
+    Alcotest.test_case "xor cancellation" `Quick test_xor_cancellation;
+    Alcotest.test_case "and with complement" `Quick test_and_with_complement;
+    Alcotest.test_case "mux rules" `Quick test_mux_rules;
+    Alcotest.test_case "mux complement branches" `Quick test_mux_complement_branches_to_xor;
+    Alcotest.test_case "lut constant input reduction" `Quick
+      test_lut_constant_input_reduction;
+    Alcotest.test_case "bind removes input" `Quick test_bind_removes_input;
+    Alcotest.test_case "bind rejects bad positions" `Quick test_bind_rejects_bad_positions;
+    Alcotest.test_case "keys preserved" `Quick test_keys_preserved;
+    prop_preserves_random_circuits;
+    prop_bind_matches_eval;
+  ]

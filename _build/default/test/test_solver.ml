@@ -1,0 +1,255 @@
+module Solver = Ll_sat.Solver
+module Lit = Ll_sat.Lit
+module Prng = Ll_util.Prng
+open Helpers
+
+let fresh_vars s n = Array.init n (fun _ -> Solver.new_var s)
+
+let test_trivial_sat () =
+  let s = Solver.create () in
+  let v = Solver.new_var s in
+  Solver.add_clause s [ Lit.pos v ];
+  Alcotest.(check bool) "sat" true (Solver.solve s = Solver.Sat);
+  Alcotest.(check bool) "model" true (Solver.model_var s v)
+
+let test_trivial_unsat () =
+  let s = Solver.create () in
+  let v = Solver.new_var s in
+  Solver.add_clause s [ Lit.pos v ];
+  Solver.add_clause s [ Lit.neg v ];
+  Alcotest.(check bool) "unsat" true (Solver.solve s = Solver.Unsat);
+  Alcotest.(check bool) "not ok" false (Solver.ok s)
+
+let test_empty_clause () =
+  let s = Solver.create () in
+  ignore (Solver.new_var s);
+  Solver.add_clause s [];
+  Alcotest.(check bool) "unsat" true (Solver.solve s = Solver.Unsat)
+
+let test_empty_formula_sat () =
+  let s = Solver.create () in
+  ignore (fresh_vars s 3);
+  Alcotest.(check bool) "sat" true (Solver.solve s = Solver.Sat)
+
+let test_implication_chain () =
+  let s = Solver.create () in
+  let vs = fresh_vars s 50 in
+  for i = 0 to 48 do
+    Solver.add_clause s [ Lit.neg vs.(i); Lit.pos vs.(i + 1) ]
+  done;
+  Solver.add_clause s [ Lit.pos vs.(0) ];
+  Alcotest.(check bool) "sat" true (Solver.solve s = Solver.Sat);
+  Array.iter (fun v -> Alcotest.(check bool) "all forced true" true (Solver.model_var s v)) vs
+
+let test_model_satisfies () =
+  (* Random instances: whenever Sat, the model must satisfy all clauses. *)
+  let g = Prng.create 17 in
+  for _ = 1 to 200 do
+    let nvars = 3 + Prng.int g 10 in
+    let s = Solver.create () in
+    let vs = fresh_vars s nvars in
+    let clauses =
+      List.init (5 + Prng.int g 40) (fun _ ->
+          List.init (1 + Prng.int g 3) (fun _ ->
+              Lit.make vs.(Prng.int g nvars) (Prng.bool g)))
+    in
+    List.iter (Solver.add_clause s) clauses;
+    match Solver.solve s with
+    | Solver.Unsat -> ()
+    | Solver.Sat ->
+        List.iter
+          (fun clause ->
+            Alcotest.(check bool) "clause satisfied" true
+              (List.exists (fun l -> Solver.value s l) clause))
+          clauses
+  done
+
+let brute_force nvars clauses =
+  let rec try_assignment m =
+    if m >= 1 lsl nvars then false
+    else
+      let ok =
+        List.for_all
+          (fun c ->
+            List.exists
+              (fun l ->
+                let v = (m lsr Lit.var l) land 1 = 1 in
+                if Lit.is_pos l then v else not v)
+              c)
+          clauses
+      in
+      ok || try_assignment (m + 1)
+  in
+  try_assignment 0
+
+let test_agrees_with_brute_force () =
+  let g = Prng.create 23 in
+  for _ = 1 to 300 do
+    let nvars = 1 + Prng.int g 7 in
+    let s = Solver.create () in
+    let vs = fresh_vars s nvars in
+    let clauses =
+      List.init (1 + Prng.int g 25) (fun _ ->
+          List.init (1 + Prng.int g 3) (fun _ ->
+              Lit.make vs.(Prng.int g nvars) (Prng.bool g)))
+    in
+    List.iter (Solver.add_clause s) clauses;
+    let want = brute_force nvars clauses in
+    let got = Solver.solve s = Solver.Sat in
+    Alcotest.(check bool) "agreement" want got
+  done
+
+let test_pigeonhole_unsat () =
+  (* PHP(n+1, n): provably unsatisfiable, exercises learning/restarts. *)
+  let s = Solver.create () in
+  let n = 5 in
+  let v = Array.init (n + 1) (fun _ -> Array.init n (fun _ -> Solver.new_var s)) in
+  for i = 0 to n do
+    Solver.add_clause s (List.init n (fun j -> Lit.pos v.(i).(j)))
+  done;
+  for j = 0 to n - 1 do
+    for i1 = 0 to n do
+      for i2 = i1 + 1 to n do
+        Solver.add_clause s [ Lit.neg v.(i1).(j); Lit.neg v.(i2).(j) ]
+      done
+    done
+  done;
+  Alcotest.(check bool) "unsat" true (Solver.solve s = Solver.Unsat)
+
+let test_assumptions () =
+  let s = Solver.create () in
+  let a = Solver.new_var s and b = Solver.new_var s in
+  Solver.add_clause s [ Lit.neg a; Lit.pos b ];
+  Alcotest.(check bool) "a & ~b unsat" true
+    (Solver.solve ~assumptions:[ Lit.pos a; Lit.neg b ] s = Solver.Unsat);
+  Alcotest.(check bool) "a & b sat" true
+    (Solver.solve ~assumptions:[ Lit.pos a; Lit.pos b ] s = Solver.Sat);
+  (* The solver must remain usable: assumptions do not poison the formula. *)
+  Alcotest.(check bool) "still sat without assumptions" true (Solver.solve s = Solver.Sat);
+  Alcotest.(check bool) "ok" true (Solver.ok s)
+
+let test_incremental_solving () =
+  let s = Solver.create () in
+  let vs = fresh_vars s 4 in
+  Solver.add_clause s [ Lit.pos vs.(0); Lit.pos vs.(1) ];
+  Alcotest.(check bool) "sat 1" true (Solver.solve s = Solver.Sat);
+  Solver.add_clause s [ Lit.neg vs.(0) ];
+  Alcotest.(check bool) "sat 2" true (Solver.solve s = Solver.Sat);
+  Alcotest.(check bool) "forced" true (Solver.model_var s vs.(1));
+  Solver.add_clause s [ Lit.neg vs.(1) ];
+  Alcotest.(check bool) "unsat 3" true (Solver.solve s = Solver.Unsat)
+
+let test_vars_added_between_solves () =
+  let s = Solver.create () in
+  let a = Solver.new_var s in
+  Solver.add_clause s [ Lit.pos a ];
+  Alcotest.(check bool) "sat" true (Solver.solve s = Solver.Sat);
+  let b = Solver.new_var s in
+  Solver.add_clause s [ Lit.neg a; Lit.pos b ];
+  Alcotest.(check bool) "still sat" true (Solver.solve s = Solver.Sat);
+  Alcotest.(check bool) "b forced" true (Solver.model_var s b)
+
+let test_duplicate_and_tautological_literals () =
+  let s = Solver.create () in
+  let a = Solver.new_var s in
+  (* Tautology must not constrain anything. *)
+  Solver.add_clause s [ Lit.pos a; Lit.neg a ];
+  (* Duplicates collapse. *)
+  Solver.add_clause s [ Lit.neg a; Lit.neg a ];
+  Alcotest.(check bool) "sat" true (Solver.solve s = Solver.Sat);
+  Alcotest.(check bool) "a false" false (Solver.model_var s a)
+
+let test_unknown_variable_rejected () =
+  let s = Solver.create () in
+  Alcotest.check_raises "unknown var" (Invalid_argument "Solver.add_clause: unknown variable")
+    (fun () -> Solver.add_clause s [ Lit.pos 0 ])
+
+let test_conflict_limit () =
+  let s = Solver.create () in
+  let n = 8 in
+  let v = Array.init (n + 1) (fun _ -> Array.init n (fun _ -> Solver.new_var s)) in
+  for i = 0 to n do
+    Solver.add_clause s (List.init n (fun j -> Lit.pos v.(i).(j)))
+  done;
+  for j = 0 to n - 1 do
+    for i1 = 0 to n do
+      for i2 = i1 + 1 to n do
+        Solver.add_clause s [ Lit.neg v.(i1).(j); Lit.neg v.(i2).(j) ]
+      done
+    done
+  done;
+  Alcotest.(check bool) "limit fires" true
+    (try
+       ignore (Solver.solve ~conflict_limit:10 s);
+       false
+     with Solver.Conflict_limit -> true)
+
+let test_stats_progress () =
+  let s = Solver.create () in
+  let vs = fresh_vars s 20 in
+  let g = Prng.create 9 in
+  for _ = 1 to 80 do
+    Solver.add_clause s
+      (List.init 3 (fun _ -> Lit.make vs.(Prng.int g 20) (Prng.bool g)))
+  done;
+  ignore (Solver.solve s);
+  let st = Solver.stats s in
+  Alcotest.(check bool) "propagations counted" true (st.Solver.propagations > 0)
+
+let test_xor_chain_instance () =
+  (* Encode x0 xor x1 xor ... xor x9 = 1 via pairwise clauses and count
+     that a model has odd parity. *)
+  let s = Solver.create () in
+  let vs = fresh_vars s 10 in
+  let acc = ref vs.(0) in
+  for i = 1 to 9 do
+    let o = Solver.new_var s in
+    let a = Lit.pos !acc and b = Lit.pos vs.(i) and out = Lit.pos o in
+    Solver.add_clause s [ Lit.negate out; a; b ];
+    Solver.add_clause s [ Lit.negate out; Lit.negate a; Lit.negate b ];
+    Solver.add_clause s [ out; Lit.negate a; b ];
+    Solver.add_clause s [ out; a; Lit.negate b ];
+    acc := o
+  done;
+  Solver.add_clause s [ Lit.pos !acc ];
+  Alcotest.(check bool) "sat" true (Solver.solve s = Solver.Sat);
+  let parity = Array.fold_left (fun p v -> p <> Solver.model_var s v) false vs in
+  Alcotest.(check bool) "odd parity" true parity
+
+let prop_random_3sat =
+  qcheck_case ~count:150 "random 3-SAT agrees with brute force"
+    QCheck2.Gen.(int_bound 1000000)
+    (fun seed ->
+      let g = Prng.create seed in
+      let nvars = 1 + Prng.int g 8 in
+      let s = Solver.create () in
+      let vs = Array.init nvars (fun _ -> Solver.new_var s) in
+      let clauses =
+        List.init (1 + Prng.int g 35) (fun _ ->
+            List.init (1 + Prng.int g 3) (fun _ ->
+                Lit.make vs.(Prng.int g nvars) (Prng.bool g)))
+      in
+      List.iter (Solver.add_clause s) clauses;
+      brute_force nvars clauses = (Solver.solve s = Solver.Sat))
+
+let suite =
+  [
+    Alcotest.test_case "trivial sat" `Quick test_trivial_sat;
+    Alcotest.test_case "trivial unsat" `Quick test_trivial_unsat;
+    Alcotest.test_case "empty clause" `Quick test_empty_clause;
+    Alcotest.test_case "empty formula sat" `Quick test_empty_formula_sat;
+    Alcotest.test_case "implication chain" `Quick test_implication_chain;
+    Alcotest.test_case "model satisfies" `Quick test_model_satisfies;
+    Alcotest.test_case "agrees with brute force" `Quick test_agrees_with_brute_force;
+    Alcotest.test_case "pigeonhole unsat" `Quick test_pigeonhole_unsat;
+    Alcotest.test_case "assumptions" `Quick test_assumptions;
+    Alcotest.test_case "incremental solving" `Quick test_incremental_solving;
+    Alcotest.test_case "vars added between solves" `Quick test_vars_added_between_solves;
+    Alcotest.test_case "duplicate/tautological literals" `Quick
+      test_duplicate_and_tautological_literals;
+    Alcotest.test_case "unknown variable rejected" `Quick test_unknown_variable_rejected;
+    Alcotest.test_case "conflict limit" `Quick test_conflict_limit;
+    Alcotest.test_case "stats progress" `Quick test_stats_progress;
+    Alcotest.test_case "xor chain instance" `Quick test_xor_chain_instance;
+    prop_random_3sat;
+  ]

@@ -1,0 +1,153 @@
+open Helpers
+module Structured = LL.Bench_suite.Structured
+
+let eval1 c inputs = (Eval.eval c ~inputs ~keys:[||]).(0)
+
+let build_binop width f =
+  let b = Builder.create () in
+  let a = Array.init width (fun i -> Builder.input b (Printf.sprintf "a%d" i)) in
+  let bb = Array.init width (fun i -> Builder.input b (Printf.sprintf "b%d" i)) in
+  let out = f b a bb in
+  Builder.output b "o" out;
+  Builder.finish b
+
+let to_bits width v = Array.init width (fun i -> (v lsr i) land 1 = 1)
+
+let test_ripple_adder () =
+  let width = 4 in
+  let b = Builder.create () in
+  let a = Array.init width (fun i -> Builder.input b (Printf.sprintf "a%d" i)) in
+  let bb = Array.init width (fun i -> Builder.input b (Printf.sprintf "b%d" i)) in
+  let cin = Builder.input b "cin" in
+  let sums, cout = Structured.ripple_adder b ~a ~b:bb ~cin in
+  Array.iteri (fun i s -> Builder.output b (Printf.sprintf "s%d" i) s) sums;
+  Builder.output b "cout" cout;
+  let c = Builder.finish b in
+  for x = 0 to 15 do
+    for y = 0 to 15 do
+      for ci = 0 to 1 do
+        let inputs = Array.concat [ to_bits width x; to_bits width y; [| ci = 1 |] ] in
+        let outs = Eval.eval c ~inputs ~keys:[||] in
+        let total = x + y + ci in
+        for i = 0 to width - 1 do
+          Alcotest.(check bool) "sum bit" ((total lsr i) land 1 = 1) outs.(i)
+        done;
+        Alcotest.(check bool) "carry" (total >= 16) outs.(width)
+      done
+    done
+  done
+
+let test_array_multiplier () =
+  let width = 4 in
+  let b = Builder.create () in
+  let a = Array.init width (fun i -> Builder.input b (Printf.sprintf "a%d" i)) in
+  let bb = Array.init width (fun i -> Builder.input b (Printf.sprintf "b%d" i)) in
+  let prod = Structured.array_multiplier b ~a ~b:bb in
+  Alcotest.(check int) "product width" (2 * width) (Array.length prod);
+  Array.iteri (fun i p -> Builder.output b (Printf.sprintf "p%d" i) p) prod;
+  let c = Builder.finish b in
+  for x = 0 to 15 do
+    for y = 0 to 15 do
+      let inputs = Array.append (to_bits width x) (to_bits width y) in
+      let outs = Eval.eval c ~inputs ~keys:[||] in
+      let total = x * y in
+      for i = 0 to (2 * width) - 1 do
+        Alcotest.(check bool) "product bit" ((total lsr i) land 1 = 1) outs.(i)
+      done
+    done
+  done
+
+let test_equality () =
+  let c = build_binop 3 (fun b a bb -> Structured.equality b ~a ~b:bb) in
+  for x = 0 to 7 do
+    for y = 0 to 7 do
+      let inputs = Array.append (to_bits 3 x) (to_bits 3 y) in
+      Alcotest.(check bool) "eq" (x = y) (eval1 c inputs)
+    done
+  done
+
+let test_less_than () =
+  let c = build_binop 3 (fun b a bb -> Structured.less_than b ~a ~b:bb) in
+  for x = 0 to 7 do
+    for y = 0 to 7 do
+      let inputs = Array.append (to_bits 3 x) (to_bits 3 y) in
+      Alcotest.(check bool) "lt" (x < y) (eval1 c inputs)
+    done
+  done
+
+let test_parity () =
+  let b = Builder.create () in
+  let xs = Array.init 5 (fun i -> Builder.input b (Printf.sprintf "x%d" i)) in
+  Builder.output b "o" (Structured.parity b xs);
+  let c = Builder.finish b in
+  for v = 0 to 31 do
+    let inputs = to_bits 5 v in
+    let want = Array.fold_left (fun p x -> p <> x) false inputs in
+    Alcotest.(check bool) "parity" want (eval1 c inputs)
+  done
+
+let test_majority3 () =
+  let b = Builder.create () in
+  let x = Builder.input b "x" and y = Builder.input b "y" and z = Builder.input b "z" in
+  Builder.output b "o" (Structured.majority3 b x y z);
+  let c = Builder.finish b in
+  for v = 0 to 7 do
+    let inputs = to_bits 3 v in
+    let count = Array.fold_left (fun a x -> if x then a + 1 else a) 0 inputs in
+    Alcotest.(check bool) "majority" (count >= 2) (eval1 c inputs)
+  done
+
+let test_decoder () =
+  let b = Builder.create () in
+  let sel = Array.init 2 (fun i -> Builder.input b (Printf.sprintf "s%d" i)) in
+  let lines = Structured.decoder b sel in
+  Alcotest.(check int) "4 lines" 4 (Array.length lines);
+  Array.iteri (fun i l -> Builder.output b (Printf.sprintf "d%d" i) l) lines;
+  let c = Builder.finish b in
+  for v = 0 to 3 do
+    let outs = Eval.eval c ~inputs:(to_bits 2 v) ~keys:[||] in
+    Array.iteri (fun i o -> Alcotest.(check bool) "one-hot" (i = v) o) outs
+  done
+
+let test_mux_word () =
+  let b = Builder.create () in
+  let s = Builder.input b "s" in
+  let low = Array.init 3 (fun i -> Builder.input b (Printf.sprintf "l%d" i)) in
+  let high = Array.init 3 (fun i -> Builder.input b (Printf.sprintf "h%d" i)) in
+  let word = Structured.mux_word b ~select:s ~low ~high in
+  Array.iteri (fun i w -> Builder.output b (Printf.sprintf "o%d" i) w) word;
+  let c = Builder.finish b in
+  for v = 0 to 63 do
+    let l = v land 7 and h = (v lsr 3) land 7 in
+    for sel = 0 to 1 do
+      let inputs = Array.concat [ [| sel = 1 |]; to_bits 3 l; to_bits 3 h |> Array.copy ] in
+      let outs = Eval.eval c ~inputs ~keys:[||] in
+      let want = if sel = 1 then h else l in
+      Array.iteri
+        (fun i o -> Alcotest.(check bool) "word bit" ((want lsr i) land 1 = 1) o)
+        outs
+    done
+  done
+
+let test_width_mismatch () =
+  let b = Builder.create () in
+  let a = [| Builder.input b "a" |] in
+  let bb = [| Builder.input b "b0"; Builder.input b "b1" |] in
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Structured.equality b ~a ~b:bb);
+       false
+     with Invalid_argument _ -> true)
+
+let suite =
+  [
+    Alcotest.test_case "ripple adder" `Quick test_ripple_adder;
+    Alcotest.test_case "array multiplier" `Quick test_array_multiplier;
+    Alcotest.test_case "equality" `Quick test_equality;
+    Alcotest.test_case "less than" `Quick test_less_than;
+    Alcotest.test_case "parity" `Quick test_parity;
+    Alcotest.test_case "majority3" `Quick test_majority3;
+    Alcotest.test_case "decoder" `Quick test_decoder;
+    Alcotest.test_case "mux word" `Quick test_mux_word;
+    Alcotest.test_case "width mismatch" `Quick test_width_mismatch;
+  ]

@@ -1,0 +1,117 @@
+(* Sweep, Optimize and Cofactor pass tests. *)
+open Helpers
+module Sweep = LL.Synth.Sweep
+module Optimize = LL.Synth.Optimize
+module Cofactor = LL.Synth.Cofactor
+
+let test_sweep_removes_dead_logic () =
+  let b = Builder.create () in
+  let x = Builder.input b "x" in
+  let live = Builder.not_ b x in
+  let dead1 = Builder.and2 b x x in
+  let _dead2 = Builder.or2 b dead1 x in
+  Builder.output b "o" live;
+  let c = Builder.finish b in
+  let s = Sweep.run c in
+  Alcotest.(check int) "only live gate" 1 (Circuit.gate_count s);
+  Alcotest.(check bool) "function preserved" true (exhaustively_equal c s)
+
+let test_sweep_keeps_ports () =
+  let b = Builder.create () in
+  let x = Builder.input b "x" in
+  let _unused = Builder.input b "unused" in
+  let _key = Builder.key_input b "keyinput0" in
+  Builder.output b "o" (Builder.not_ b x);
+  let c = Builder.finish b in
+  let s = Sweep.run c in
+  Alcotest.(check int) "inputs kept" 2 (Circuit.num_inputs s);
+  Alcotest.(check int) "keys kept" 1 (Circuit.num_keys s)
+
+let test_sweep_preserves_names () =
+  let c = full_adder_circuit () in
+  let s = Sweep.run c in
+  Alcotest.(check int) "input a position" 0 (Circuit.input_index s "a");
+  Alcotest.(check (list string)) "output names"
+    (Array.to_list (Array.map fst c.Circuit.outputs))
+    (Array.to_list (Array.map fst s.Circuit.outputs))
+
+let test_optimize_fixpoint () =
+  let c = redundant_circuit () in
+  let o1 = Optimize.run c in
+  let o2 = Optimize.run o1 in
+  Alcotest.(check int) "idempotent gate count" (Circuit.gate_count o1) (Circuit.gate_count o2)
+
+let test_optimize_on_locked_circuit () =
+  let c = random_circuit ~seed:50 () in
+  let locked = LL.Locking.Sarlock.lock ~key_size:3 c in
+  let opt = Optimize.run locked.LL.Locking.Locked.circuit in
+  Alcotest.(check int) "keys preserved" 3 (Circuit.num_keys opt);
+  (* Behaviour under every key must be preserved. *)
+  let ok = ref true in
+  for k = 0 to 7 do
+    let keys = Array.init 3 (fun i -> (k lsr i) land 1 = 1) in
+    for v = 0 to 31 do
+      let inputs = Array.init 5 (fun i -> (v lsr i) land 1 = 1) in
+      if
+        Eval.eval locked.circuit ~inputs ~keys <> Eval.eval opt ~inputs ~keys
+      then ok := false
+    done
+  done;
+  Alcotest.(check bool) "keyed function preserved" true !ok
+
+let test_cofactor_conditions_enumeration () =
+  let conds = Cofactor.conditions ~split_inputs:[| 4; 2 |] 2 in
+  Alcotest.(check int) "count" 4 (Array.length conds);
+  Alcotest.(check (list (pair int bool))) "condition 0" [ (4, false); (2, false) ] conds.(0);
+  Alcotest.(check (list (pair int bool))) "condition 1" [ (4, true); (2, false) ] conds.(1);
+  Alcotest.(check (list (pair int bool))) "condition 3" [ (4, true); (2, true) ] conds.(3)
+
+let test_cofactor_conditions_rejects () =
+  Alcotest.(check bool) "n too large" true
+    (try
+       ignore (Cofactor.conditions ~split_inputs:[| 0 |] 2);
+       false
+     with Invalid_argument _ -> true)
+
+let test_cofactor_apply () =
+  let c = full_adder_circuit () in
+  let cofactored = Cofactor.apply c [ (0, true) ] in
+  Alcotest.(check int) "inputs reduced" 2 (Circuit.num_inputs cofactored);
+  (* a=1: sum = not (b xor cin) ... check against direct evaluation. *)
+  for v = 0 to 3 do
+    let bb = v land 1 = 1 and cin = (v lsr 1) land 1 = 1 in
+    let want = Eval.eval c ~inputs:[| true; bb; cin |] ~keys:[||] in
+    let got = Eval.eval cofactored ~inputs:[| bb; cin |] ~keys:[||] in
+    Alcotest.(check (array bool)) "match" want got
+  done
+
+let test_cofactor_zero_conditions () =
+  let c = full_adder_circuit () in
+  let same = Cofactor.apply c [] in
+  Alcotest.(check int) "inputs unchanged" 3 (Circuit.num_inputs same);
+  Alcotest.(check bool) "function preserved" true (exhaustively_equal c same)
+
+let test_cofactor_shrinks_sarlock () =
+  (* Pinning the compared inputs must shrink the SARLock comparator. *)
+  let c = random_circuit ~seed:51 ~num_inputs:8 ~num_outputs:3 ~gates:40 () in
+  let locked = (LL.Locking.Sarlock.lock ~key_size:6 c).LL.Locking.Locked.circuit in
+  let base = Circuit.gate_count (Optimize.run locked) in
+  let pinned =
+    Circuit.gate_count (Cofactor.apply locked [ (0, true); (1, false); (2, true) ])
+  in
+  Alcotest.(check bool) "pinned is smaller" true (pinned < base)
+
+let suite =
+  [
+    Alcotest.test_case "sweep removes dead logic" `Quick test_sweep_removes_dead_logic;
+    Alcotest.test_case "sweep keeps ports" `Quick test_sweep_keeps_ports;
+    Alcotest.test_case "sweep preserves names" `Quick test_sweep_preserves_names;
+    Alcotest.test_case "optimize fixpoint" `Quick test_optimize_fixpoint;
+    Alcotest.test_case "optimize on locked circuit" `Quick test_optimize_on_locked_circuit;
+    Alcotest.test_case "cofactor conditions enumeration" `Quick
+      test_cofactor_conditions_enumeration;
+    Alcotest.test_case "cofactor conditions rejects" `Quick test_cofactor_conditions_rejects;
+    Alcotest.test_case "cofactor apply" `Quick test_cofactor_apply;
+    Alcotest.test_case "cofactor zero conditions" `Quick test_cofactor_zero_conditions;
+    Alcotest.test_case "cofactor shrinks sarlock" `Quick test_cofactor_shrinks_sarlock;
+  ]

@@ -1,0 +1,83 @@
+module Vec = Ll_sat.Vec
+
+let test_push_get () =
+  let v = Vec.create ~dummy:0 in
+  Alcotest.(check bool) "empty" true (Vec.is_empty v);
+  for i = 0 to 99 do
+    Vec.push v i
+  done;
+  Alcotest.(check int) "length" 100 (Vec.length v);
+  for i = 0 to 99 do
+    Alcotest.(check int) "get" i (Vec.get v i)
+  done
+
+let test_set () =
+  let v = Vec.create ~dummy:0 in
+  Vec.push v 1;
+  Vec.set v 0 42;
+  Alcotest.(check int) "set" 42 (Vec.get v 0)
+
+let test_bounds () =
+  let v = Vec.create ~dummy:0 in
+  Vec.push v 1;
+  Alcotest.check_raises "oob" (Invalid_argument "Vec: index out of range") (fun () ->
+      ignore (Vec.get v 1))
+
+let test_pop_last () =
+  let v = Vec.create ~dummy:0 in
+  Vec.push v 1;
+  Vec.push v 2;
+  Alcotest.(check int) "last" 2 (Vec.last v);
+  Alcotest.(check int) "pop" 2 (Vec.pop v);
+  Alcotest.(check int) "length after pop" 1 (Vec.length v);
+  Alcotest.(check int) "pop again" 1 (Vec.pop v);
+  Alcotest.check_raises "pop empty" (Invalid_argument "Vec.pop: empty") (fun () ->
+      ignore (Vec.pop v))
+
+let test_clear_shrink () =
+  let v = Vec.create ~dummy:0 in
+  for i = 0 to 9 do
+    Vec.push v i
+  done;
+  Vec.shrink v 4;
+  Alcotest.(check int) "shrunk" 4 (Vec.length v);
+  Alcotest.(check int) "kept prefix" 3 (Vec.get v 3);
+  Vec.clear v;
+  Alcotest.(check int) "cleared" 0 (Vec.length v)
+
+let test_iter_fold_to_list () =
+  let v = Vec.create ~dummy:0 in
+  List.iter (Vec.push v) [ 1; 2; 3 ];
+  Alcotest.(check (list int)) "to_list" [ 1; 2; 3 ] (Vec.to_list v);
+  Alcotest.(check int) "fold" 6 (Vec.fold ( + ) 0 v);
+  let sum = ref 0 in
+  Vec.iter (fun x -> sum := !sum + x) v;
+  Alcotest.(check int) "iter" 6 !sum
+
+let test_sort_filter () =
+  let v = Vec.create ~dummy:0 in
+  List.iter (Vec.push v) [ 3; 1; 2; 5; 4 ];
+  Vec.sort_in_place compare v;
+  Alcotest.(check (list int)) "sorted" [ 1; 2; 3; 4; 5 ] (Vec.to_list v);
+  Vec.filter_in_place (fun x -> x mod 2 = 1) v;
+  Alcotest.(check (list int)) "filtered" [ 1; 3; 5 ] (Vec.to_list v)
+
+let test_growth () =
+  let v = Vec.make ~dummy:(-1) 2 in
+  for i = 0 to 9999 do
+    Vec.push v i
+  done;
+  Alcotest.(check int) "length" 10000 (Vec.length v);
+  Alcotest.(check int) "spot check" 9999 (Vec.get v 9999)
+
+let suite =
+  [
+    Alcotest.test_case "push/get" `Quick test_push_get;
+    Alcotest.test_case "set" `Quick test_set;
+    Alcotest.test_case "bounds" `Quick test_bounds;
+    Alcotest.test_case "pop/last" `Quick test_pop_last;
+    Alcotest.test_case "clear/shrink" `Quick test_clear_shrink;
+    Alcotest.test_case "iter/fold/to_list" `Quick test_iter_fold_to_list;
+    Alcotest.test_case "sort/filter" `Quick test_sort_filter;
+    Alcotest.test_case "growth" `Quick test_growth;
+  ]
