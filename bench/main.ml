@@ -8,8 +8,12 @@
      dune exec bench/main.exe table1 full     # include the K=12 row
      dune exec bench/main.exe table2 micro ablation
 
-   Sections: fig1a fig1b table1 table2 micro ablation.  See EXPERIMENTS.md
-   for paper-vs-measured numbers and scaling notes. *)
+   Sections: fig1a fig1b table1 table2 exact micro ablation smoke.  The
+   "smoke" section is a seconds-scale scheduler check wired into
+   [dune runtest] via the [bench-smoke] alias; any section that exercises
+   the split-attack schedulers also appends a machine-readable record to
+   BENCH_split.json.  See EXPERIMENTS.md for paper-vs-measured numbers
+   and scaling notes. *)
 
 module LL = Logiclock
 module Circuit = LL.Netlist.Circuit
@@ -23,7 +27,7 @@ let sections =
   let requested =
     Array.to_list Sys.argv |> List.tl |> List.map String.lowercase_ascii
   in
-  let all = [ "fig1a"; "fig1b"; "table1"; "table2"; "exact"; "micro"; "ablation" ] in
+  let all = [ "fig1a"; "fig1b"; "table1"; "table2"; "exact"; "micro"; "ablation"; "smoke" ] in
   let chosen = List.filter (fun s -> List.mem s all) requested in
   if chosen = [] then all else chosen
 
@@ -33,6 +37,82 @@ let want s = List.mem s sections
 
 let header title =
   Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
+
+(* ------------------------------------------------------------------ *)
+(* Split-attack scheduler comparison: serial vs static chunking vs     *)
+(* work stealing.  Records accumulate across sections and are written  *)
+(* to BENCH_split.json at exit.                                        *)
+(* ------------------------------------------------------------------ *)
+
+let split_records : string list ref = ref []
+
+let split_sched_bench ~section ~name ~n locked ~oracle =
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let domains = 4 in
+  let serial, serial_wall = time (fun () -> Split_attack.run ~n locked ~oracle) in
+  let _static, static_wall =
+    time (fun () -> Split_attack.run_parallel_static ~num_domains:domains ~n locked ~oracle)
+  in
+  let pool = LL.Runtime.Pool.create ~num_domains:domains () in
+  let steal, steal_wall =
+    time (fun () -> Split_attack.run_parallel ~pool ~n locked ~oracle)
+  in
+  let stats = LL.Runtime.Pool.stats pool in
+  LL.Runtime.Pool.shutdown pool;
+  let matches_serial =
+    Array.for_all2
+      (fun (a : Split_attack.task) (b : Split_attack.task) ->
+        a.result.Sat_attack.num_dips = b.result.Sat_attack.num_dips
+        && a.result.Sat_attack.key = b.result.Sat_attack.key)
+      serial.Split_attack.tasks steal.Split_attack.tasks
+  in
+  Printf.printf
+    "  %-16s serial %6.3f s | static(%d) %6.3f s | stealing(%d) %6.3f s, %d steals\n\
+    \  %-16s per task min %.3f / mean %.3f / max %.3f s, identical to serial: %b\n%!"
+    name serial_wall domains static_wall domains steal_wall stats.LL.Runtime.Pool.steals ""
+    (Split_attack.min_task_time steal)
+    (Split_attack.mean_task_time steal)
+    (Split_attack.max_task_time steal)
+    matches_serial;
+  let record =
+    Printf.sprintf
+      "  {\n\
+      \    \"section\": %S,\n\
+      \    \"workload\": %S,\n\
+      \    \"n\": %d,\n\
+      \    \"num_tasks\": %d,\n\
+      \    \"domains\": %d,\n\
+      \    \"serial_wall_s\": %.6f,\n\
+      \    \"static_wall_s\": %.6f,\n\
+      \    \"stealing_wall_s\": %.6f,\n\
+      \    \"task_min_s\": %.6f,\n\
+      \    \"task_mean_s\": %.6f,\n\
+      \    \"task_max_s\": %.6f,\n\
+      \    \"steals\": %d,\n\
+      \    \"tasks_run\": %d,\n\
+      \    \"matches_serial\": %b\n\
+      \  }"
+      section name n
+      (Array.length steal.Split_attack.tasks)
+      domains serial_wall static_wall steal_wall
+      (Split_attack.min_task_time steal)
+      (Split_attack.mean_task_time steal)
+      (Split_attack.max_task_time steal)
+      stats.LL.Runtime.Pool.steals stats.LL.Runtime.Pool.tasks_run matches_serial
+  in
+  split_records := record :: !split_records
+
+let write_split_json () =
+  if !split_records <> [] then begin
+    let oc = open_out "BENCH_split.json" in
+    Printf.fprintf oc "[\n%s\n]\n" (String.concat ",\n" (List.rev !split_records));
+    close_out oc;
+    Printf.printf "\nwrote BENCH_split.json (%d record(s))\n" (List.length !split_records)
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Fig. 1(a): error distribution of a 3-input/3-key SARLock circuit.   *)
@@ -162,6 +242,7 @@ let table2 () =
     baseline_limit;
   Printf.printf "%-8s %12s | %10s %10s %10s %16s  %s\n" "Circuit" "Baseline" "Minimum"
     "Mean" "Maximum" "Maximum/Baseline" "composed";
+  LL.Runtime.Pool.with_pool (fun pool ->
   List.iter
     (fun name ->
       let c = LL.Bench_suite.Iscas.get name in
@@ -176,7 +257,7 @@ let table2 () =
       in
       let baseline = Sat_attack.run ~config:baseline_config locked.LL.Locking.Locked.circuit ~oracle in
       let task_config = { Sat_attack.default_config with time_limit = Some task_limit } in
-      let s = Split_attack.run ~config:task_config ~n:4 locked.circuit ~oracle in
+      let s = Split_attack.run_parallel ~pool ~config:task_config ~n:4 locked.circuit ~oracle in
       let verified =
         (* Bounded verification: composition of 16 large copies can make a
            complete equivalence proof impractical (e.g. c6288). *)
@@ -203,7 +284,7 @@ let table2 () =
         (Split_attack.mean_task_time s)
         (Split_attack.max_task_time s)
         ratio_str verified)
-    table2_circuits;
+    table2_circuits);
   Printf.printf
     "\npaper: max/baseline 0.004-0.027 for six circuits, 0.627 (c2670), 3.171 (c5315);\n\
      average runtime reduction 90.1%%, max 99.6%%; two baselines did not finish.\n\
@@ -371,7 +452,24 @@ let micro () =
         | _ -> Printf.printf "  %-36s (no estimate)\n%!" name)
       results
   in
-  List.iter (fun t -> benchmark t) tests
+  List.iter (fun t -> benchmark t) tests;
+  (* Scheduler comparison on a mid-size workload: 8 SARLock cofactor
+     attacks with one deliberately fatter task distribution. *)
+  Printf.printf "\nsplit-attack schedulers (SARLock K=8 on c880, N=3, 8 tasks):\n";
+  let sar = LL.Locking.Sarlock.lock ~prng:(Prng.create 12) ~key_size:8 c880 in
+  split_sched_bench ~section:"micro" ~name:"c880/sarlock8/n3" ~n:3 sar.circuit ~oracle
+
+(* ------------------------------------------------------------------ *)
+(* Smoke: a seconds-scale scheduler check for `dune runtest`.          *)
+(* ------------------------------------------------------------------ *)
+
+let smoke () =
+  header "Smoke: split-attack scheduler comparison (fast CI check)";
+  let c = LL.Bench_suite.Iscas.get "c432" in
+  let locked = LL.Locking.Sarlock.lock ~prng:(Prng.create 11) ~key_size:8 c in
+  let oracle = Oracle.of_circuit c in
+  split_sched_bench ~section:"smoke" ~name:"c432/sarlock8/n2" ~n:2
+    locked.LL.Locking.Locked.circuit ~oracle
 
 let () =
   Printf.printf "logiclock benchmark harness — paper: DAC'24 LBR, One-Key Premise\n";
@@ -385,5 +483,7 @@ let () =
   if want "table1" then table1 ();
   if want "exact" then exact ();
   if want "ablation" then ablation ();
+  if want "smoke" then smoke ();
   if want "micro" then micro ();
-  if want "table2" then table2 ()
+  if want "table2" then table2 ();
+  write_split_json ()

@@ -243,7 +243,8 @@ let attack_cmd =
         (match r.LL.Attack.Sat_attack.status with
         | LL.Attack.Sat_attack.Broken -> "broken"
         | LL.Attack.Sat_attack.Iteration_limit -> "iteration limit"
-        | LL.Attack.Sat_attack.Time_limit -> "time limit");
+        | LL.Attack.Sat_attack.Time_limit -> "time limit"
+        | LL.Attack.Sat_attack.Cancelled -> "cancelled");
       Printf.printf "#DIP   : %d\n" r.num_dips;
       Printf.printf "time   : %.3f s (%.3f s solving)\n" r.total_time r.solve_time;
       (match r.key with
@@ -258,9 +259,12 @@ let attack_cmd =
       0
     end
     else begin
-      let runner = if parallel then LL.Attack.Split_attack.run_parallel ?num_domains:None
-                   else LL.Attack.Split_attack.run in
-      let s = runner ~config ~n locked ~oracle in
+      let s =
+        if parallel then
+          LL.Attack.Split_attack.run_parallel ~config ~cancel_on_failure:true ~n locked
+            ~oracle
+        else LL.Attack.Split_attack.run ~config ~n locked ~oracle
+      in
       Array.iteri
         (fun i t ->
           Printf.printf "task %2d: %3d DIPs, %4d gates, %.3f s\n" i

@@ -22,10 +22,16 @@ let () =
     seq.Split_attack.wall_time
     (Array.fold_left (fun acc t -> acc +. t.Split_attack.task_time) 0.0 seq.tasks);
 
-  (* Parallel run.  On a single-core host this shows no speedup — the
-     paper's speedup model is the max task time on a many-core host. *)
-  let par = Split_attack.run_parallel ~n:3 locked.circuit ~oracle in
-  Format.printf "parallel   : %d domains, wall %.2f s@." par.domains_used par.wall_time;
+  (* Parallel run on a shared work-stealing pool.  On a single-core host
+     this shows no speedup — the paper's speedup model is the max task
+     time on a many-core host. *)
+  let par, steals =
+    LL.Runtime.Pool.with_pool (fun pool ->
+        let par = Split_attack.run_parallel ~pool ~n:3 locked.circuit ~oracle in
+        (par, (LL.Runtime.Pool.stats pool).LL.Runtime.Pool.steals))
+  in
+  Format.printf "parallel   : %d domains, wall %.2f s, %d task(s) stolen@."
+    par.domains_used par.wall_time steals;
   Format.printf "model      : on %d cores completion = max task = %.2f s@."
     (Array.length par.tasks) (Split_attack.max_task_time seq);
 

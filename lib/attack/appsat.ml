@@ -8,6 +8,7 @@ module Tseitin = Ll_sat.Tseitin
 module Lit = Ll_sat.Lit
 module Simplify = Ll_synth.Simplify
 module Sweep = Ll_synth.Sweep
+module Pool = Ll_runtime.Pool
 
 type result = {
   key : Bitvec.t option;
@@ -18,18 +19,45 @@ type result = {
   total_time : float;
 }
 
-let estimate_error ~prng ~samples locked oracle key =
+(* The sample budget is always cut into this many batches, each drawing
+   from its own [Prng.split] stream (split in batch order).  The batch
+   structure is fixed — independent of whether, and how wide, a pool is
+   used — so the estimate is one deterministic number for a given [prng]
+   state, serial or parallel. *)
+let estimate_batches = 8
+
+let estimate_error ?pool ~prng ~samples locked oracle key =
   let n_in = Circuit.num_inputs locked in
   let keys = Bitvec.to_bool_array key in
-  let bad = ref 0 in
-  for _ = 1 to samples do
-    let inputs = Array.init n_in (fun _ -> Prng.bool prng) in
-    if Eval.eval locked ~inputs ~keys <> Oracle.query oracle inputs then incr bad
-  done;
-  float_of_int !bad /. float_of_int samples
+  let per = (samples + estimate_batches - 1) / estimate_batches in
+  let batches =
+    Array.init estimate_batches (fun b ->
+        (Prng.split prng, max 0 (min per (samples - (b * per)))))
+  in
+  let count_bad (g, count) =
+    let bad = ref 0 in
+    for _ = 1 to count do
+      let inputs = Array.init n_in (fun _ -> Prng.bool g) in
+      if Eval.eval locked ~inputs ~keys <> Oracle.query oracle inputs then incr bad
+    done;
+    !bad
+  in
+  let bad =
+    match pool with
+    | None -> Array.fold_left (fun acc b -> acc + count_bad b) 0 batches
+    | Some p ->
+        Pool.map_array p (fun _ctx b -> count_bad b) batches
+        |> Array.fold_left
+             (fun acc -> function
+               | Pool.Done n -> acc + n
+               | Pool.Cancelled -> acc
+               | Pool.Failed e -> raise e)
+             0
+  in
+  float_of_int bad /. float_of_int samples
 
 let run ?(prng = Prng.create 0xA99) ?(target_error = 0.01) ?(check_every = 5)
-    ?(samples = 512) ?(max_iterations = 1000) locked ~oracle =
+    ?(samples = 512) ?(max_iterations = 1000) ?pool locked ~oracle =
   if Circuit.num_keys locked = 0 then invalid_arg "Appsat.run: circuit has no keys";
   if Circuit.num_inputs locked <> Oracle.num_inputs oracle then
     invalid_arg "Appsat.run: oracle input count mismatch";
@@ -80,7 +108,7 @@ let run ?(prng = Prng.create 0xA99) ?(target_error = 0.01) ?(check_every = 5)
       let key = candidate_key () in
       let err =
         match key with
-        | Some k -> estimate_error ~prng ~samples locked oracle k
+        | Some k -> estimate_error ?pool ~prng ~samples locked oracle k
         | None -> 1.0
       in
       finish ~exact:false ~dips:i key err
@@ -98,7 +126,7 @@ let run ?(prng = Prng.create 0xA99) ?(target_error = 0.01) ?(check_every = 5)
             match candidate_key () with
             | None -> loop i
             | Some k ->
-                let err = estimate_error ~prng ~samples locked oracle k in
+                let err = estimate_error ?pool ~prng ~samples locked oracle k in
                 if err <= target_error then finish ~exact:false ~dips:i (Some k) err
                 else loop i
           end

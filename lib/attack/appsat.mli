@@ -25,9 +25,16 @@ val run :
   ?check_every:int ->
   ?samples:int ->
   ?max_iterations:int ->
+  ?pool:Ll_runtime.Pool.t ->
   Ll_netlist.Circuit.t ->
   oracle:Oracle.t ->
   result
 (** Defaults: [target_error = 0.01], [check_every = 5] DIPs,
     [samples = 512] random patterns per estimate, [max_iterations = 1000].
-    Raises [Invalid_argument] like {!Sat_attack.run}. *)
+    Raises [Invalid_argument] like {!Sat_attack.run}.
+
+    [pool] spreads each error estimate's random-pattern batches over a
+    {!Ll_runtime.Pool}.  The batch structure and its [Prng.split] streams
+    are fixed in batch order, so the estimate (and hence the whole attack)
+    is deterministic and identical with or without a pool, at any pool
+    width. *)

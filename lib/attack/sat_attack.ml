@@ -12,12 +12,21 @@ type config = {
   max_iterations : int option;
   time_limit : float option;
   log : (string -> unit) option;
+  interrupt : (unit -> bool) option;
+  solver_seed : int;
 }
 
 let default_config =
-  { simplify_constraints = true; max_iterations = None; time_limit = None; log = None }
+  {
+    simplify_constraints = true;
+    max_iterations = None;
+    time_limit = None;
+    log = None;
+    interrupt = None;
+    solver_seed = 0;
+  }
 
-type status = Broken | Iteration_limit | Time_limit
+type status = Broken | Iteration_limit | Time_limit | Cancelled
 
 type result = {
   status : status;
@@ -59,7 +68,7 @@ let run ?(config = default_config) locked ~oracle =
     invalid_arg "Sat_attack.run: oracle output count mismatch";
   let started = Timer.now () in
   let queries_before = Oracle.query_count oracle in
-  let solver = Solver.create () in
+  let solver = Solver.create ~seed:config.solver_seed () in
   let env = Tseitin.create solver in
   let n_in = Circuit.num_inputs locked and n_key = Circuit.num_keys locked in
   (* The two key-sharing copies are built as one circuit and synthesized
@@ -94,6 +103,9 @@ let run ?(config = default_config) locked ~oracle =
   let over_iterations i =
     match config.max_iterations with Some m -> i >= m | None -> false
   in
+  let interrupted () =
+    match config.interrupt with Some f -> f () | None -> false
+  in
   let finish status key dips =
     {
       status;
@@ -109,6 +121,7 @@ let run ?(config = default_config) locked ~oracle =
   let rec loop i dips =
     if over_iterations i then finish Iteration_limit None dips
     else if over_time () then finish Time_limit None dips
+    else if interrupted () then finish Cancelled None dips
     else
       match timed_solve [ act ] with
       | Solver.Unsat ->

@@ -18,6 +18,16 @@ type config = {
   max_iterations : int option;  (** DIP budget; [None] = unlimited *)
   time_limit : float option;  (** wall-clock seconds; checked between iterations *)
   log : (string -> unit) option;  (** per-iteration progress callback *)
+  interrupt : (unit -> bool) option;
+      (** cooperative cancellation hook, polled between iterations; when it
+          returns [true] the attack stops with status {!Cancelled}.  Used by
+          the parallel split attack to abandon sub-attacks early once a
+          sibling has failed. *)
+  solver_seed : int;
+      (** seed of the CDCL solver's decision PRNG (default 0).  The split
+          attack derives one seed per sub-task from a
+          {!Ll_util.Prng.split} stream so runs are reproducible under any
+          scheduling. *)
 }
 
 val default_config : config
@@ -26,6 +36,7 @@ type status =
   | Broken  (** miter proved UNSAT; the returned key is functionally correct *)
   | Iteration_limit
   | Time_limit
+  | Cancelled  (** the [interrupt] hook fired *)
 
 type result = {
   status : status;

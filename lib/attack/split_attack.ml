@@ -1,7 +1,9 @@
 module Circuit = Ll_netlist.Circuit
 module Bitvec = Ll_util.Bitvec
+module Prng = Ll_util.Prng
 module Timer = Ll_util.Timer
 module Cofactor = Ll_synth.Cofactor
+module Pool = Ll_runtime.Pool
 
 type task = {
   condition : (int * bool) list;
@@ -44,11 +46,21 @@ let recommended_effort ?cores locked =
   let rec log2 n = if n <= 1 then 0 else 1 + log2 (n / 2) in
   min (log2 cores) (max 0 (Circuit.num_inputs locked - 1))
 
+(* Per-sub-task solver seeds, split from one root stream in task-index
+   order.  Both the serial and the pooled runner derive seeds this way, so
+   their results are byte-identical and independent of how tasks are
+   scheduled across domains. *)
+let task_seeds ~seed num_tasks =
+  let root = Prng.create seed in
+  Array.init num_tasks (fun _ -> Int64.to_int (Prng.bits64 (Prng.split root)))
+
+let base_config = function Some c -> c | None -> Sat_attack.default_config
+
 let run_task ~config ~locked ~oracle condition =
   let t0 = Timer.now () in
   let conditional = Cofactor.apply locked condition in
   let sub_oracle = Oracle.restrict oracle condition in
-  let result = Sat_attack.run ?config conditional ~oracle:sub_oracle in
+  let result = Sat_attack.run ~config conditional ~oracle:sub_oracle in
   {
     condition;
     sub_inputs = Circuit.num_inputs conditional;
@@ -56,6 +68,32 @@ let run_task ~config ~locked ~oracle condition =
     result;
     task_time = Timer.now () -. t0;
   }
+
+(* A sub-task cancelled before it started: no cofactoring happened and no
+   solver ran, only the shape of the record is filled in. *)
+let cancelled_task ~locked condition =
+  {
+    condition;
+    sub_inputs = Circuit.num_inputs locked - List.length condition;
+    sub_gates = 0;
+    result =
+      {
+        Sat_attack.status = Sat_attack.Cancelled;
+        key = None;
+        dips = [];
+        num_dips = 0;
+        oracle_queries = 0;
+        total_time = 0.0;
+        solve_time = 0.0;
+        solver_conflicts = 0;
+      };
+    task_time = 0.0;
+  }
+
+let fatal (task : task) =
+  match task.result.Sat_attack.status with
+  | Sat_attack.Iteration_limit | Sat_attack.Time_limit -> true
+  | Sat_attack.Broken | Sat_attack.Cancelled -> false
 
 let prepare ?inputs ~n locked =
   let split_inputs =
@@ -68,15 +106,101 @@ let prepare ?inputs ~n locked =
   let conditions = Cofactor.conditions ~split_inputs n in
   (split_inputs, conditions)
 
-let run ?config ?inputs ~n locked ~oracle =
+let run ?config ?inputs ?(seed = 0) ~n locked ~oracle =
   let split_inputs, conditions = prepare ?inputs ~n locked in
+  let base = base_config config in
+  let seeds = task_seeds ~seed (Array.length conditions) in
   let t0 = Timer.now () in
-  let tasks = Array.map (fun cond -> run_task ~config ~locked ~oracle cond) conditions in
+  let tasks =
+    Array.mapi
+      (fun i cond ->
+        run_task ~config:{ base with Sat_attack.solver_seed = seeds.(i) } ~locked ~oracle
+          cond)
+      conditions
+  in
   { split_inputs; tasks; wall_time = Timer.now () -. t0; domains_used = 1 }
 
-let run_parallel ?config ?inputs ?num_domains ~n locked ~oracle =
+let run_parallel ?config ?inputs ?num_domains ?pool ?(seed = 0)
+    ?(cancel_on_failure = false) ~n locked ~oracle =
   let split_inputs, conditions = prepare ?inputs ~n locked in
   let num_tasks = Array.length conditions in
+  let base = base_config config in
+  let seeds = task_seeds ~seed num_tasks in
+  let t0 = Timer.now () in
+  let own_pool, pool =
+    match pool with
+    | Some p -> (false, p)
+    | None ->
+        let d =
+          match num_domains with
+          | Some d -> d
+          | None -> Domain.recommended_domain_count ()
+        in
+        (true, Pool.create ~num_domains:(max 1 (min d num_tasks)) ())
+  in
+  (* Shared abort flag for [cancel_on_failure]: set by the first fatal
+     sub-task, observed both by pending tasks (which then return a
+     cancelled placeholder without running the solver) and by running
+     attacks through their [interrupt] hook. *)
+  let abort = Atomic.make false in
+  let handles_ref = ref [||] in
+  (* config.log data-race fix: concurrent domains must not interleave
+     through the caller's callback.  Each task appends to its own buffer
+     slot (no two tasks share a slot, so no lock is needed) and the lines
+     are flushed through the real callback in task order after the join. *)
+  let log_buffers = Array.make num_tasks [] in
+  let submit i cond =
+    Pool.submit pool (fun ctx ->
+        if Atomic.get abort || Pool.cancel_requested ctx then cancelled_task ~locked cond
+        else begin
+          let log =
+            match base.Sat_attack.log with
+            | None -> None
+            | Some _ -> Some (fun line -> log_buffers.(i) <- line :: log_buffers.(i))
+          in
+          let interrupt () =
+            Atomic.get abort
+            || Pool.cancel_requested ctx
+            || (match base.Sat_attack.interrupt with Some f -> f () | None -> false)
+          in
+          let config =
+            { base with
+              Sat_attack.log;
+              interrupt = Some interrupt;
+              solver_seed = seeds.(i)
+            }
+          in
+          let task = run_task ~config ~locked ~oracle cond in
+          if cancel_on_failure && fatal task then begin
+            Atomic.set abort true;
+            Array.iter Pool.cancel !handles_ref
+          end;
+          task
+        end)
+  in
+  let handles = Array.mapi submit conditions in
+  handles_ref := handles;
+  let tasks =
+    Array.mapi
+      (fun i handle ->
+        match Pool.await handle with
+        | Pool.Done task -> task
+        | Pool.Cancelled -> cancelled_task ~locked conditions.(i)
+        | Pool.Failed e -> raise e)
+      handles
+  in
+  (match base.Sat_attack.log with
+  | None -> ()
+  | Some log -> Array.iter (fun lines -> List.iter log (List.rev lines)) log_buffers);
+  let domains_used = Pool.num_domains pool in
+  if own_pool then Pool.shutdown pool;
+  { split_inputs; tasks; wall_time = Timer.now () -. t0; domains_used }
+
+let run_parallel_static ?config ?inputs ?num_domains ?(seed = 0) ~n locked ~oracle =
+  let split_inputs, conditions = prepare ?inputs ~n locked in
+  let num_tasks = Array.length conditions in
+  let base = base_config config in
+  let seeds = task_seeds ~seed num_tasks in
   let domains =
     let d =
       match num_domains with
@@ -87,11 +211,24 @@ let run_parallel ?config ?inputs ?num_domains ~n locked ~oracle =
   in
   let t0 = Timer.now () in
   let results = Array.make num_tasks None in
-  (* Static round-robin chunking: domain d owns tasks d, d+domains, ... *)
+  let log_buffers = Array.make num_tasks [] in
+  (* Static round-robin chunking: domain d owns tasks d, d+domains, ...
+     No stealing — the historic scheduler, kept as the benchmark baseline
+     for the work-stealing pool.  Logs are buffered per task (same race
+     fix as the pooled runner). *)
   let worker d () =
     let rec go i =
       if i < num_tasks then begin
-        results.(i) <- Some (run_task ~config ~locked ~oracle conditions.(i));
+        let log =
+          match base.Sat_attack.log with
+          | None -> None
+          | Some _ -> Some (fun line -> log_buffers.(i) <- line :: log_buffers.(i))
+        in
+        results.(i) <-
+          Some
+            (run_task
+               ~config:{ base with Sat_attack.log; solver_seed = seeds.(i) }
+               ~locked ~oracle conditions.(i));
         go (i + domains)
       end
     in
@@ -99,6 +236,9 @@ let run_parallel ?config ?inputs ?num_domains ~n locked ~oracle =
   in
   let handles = Array.init domains (fun d -> Domain.spawn (worker d)) in
   Array.iter Domain.join handles;
+  (match base.Sat_attack.log with
+  | None -> ()
+  | Some log -> Array.iter (fun lines -> List.iter log (List.rev lines)) log_buffers);
   let tasks =
     Array.map (function Some t -> t | None -> assert false) results
   in

@@ -8,8 +8,11 @@
     Fig. 1(b) (see {!Compose}).
 
     Tasks are independent; {!run} executes them sequentially,
-    {!run_parallel} distributes them over OCaml domains (the paper's
-    16-core scenario). *)
+    {!run_parallel} schedules them on a work-stealing domain pool
+    ({!Ll_runtime.Pool}, the paper's 16-core scenario).  Both derive one
+    solver seed per sub-task from a {!Ll_util.Prng.split} stream in task
+    order, so the serial and every parallel run return byte-identical
+    per-task results regardless of domain count or stealing. *)
 
 type task = {
   condition : (int * bool) list;  (** pinned input positions and values *)
@@ -40,24 +43,62 @@ val mean_task_time : t -> float
 val run :
   ?config:Sat_attack.config ->
   ?inputs:int array ->
+  ?seed:int ->
   n:int ->
   Ll_netlist.Circuit.t ->
   oracle:Oracle.t ->
   t
 (** [run ~n locked ~oracle] — [inputs] overrides the fan-out-cone selection
     of split inputs ({!Fanout.select}).  [n = 0] degenerates to the plain
-    SAT attack as a single task. *)
+    SAT attack as a single task.  [seed] (default 0) is the root of the
+    per-task solver-seed stream; [config.solver_seed] is superseded by the
+    derived per-task seeds. *)
 
 val run_parallel :
   ?config:Sat_attack.config ->
   ?inputs:int array ->
   ?num_domains:int ->
+  ?pool:Ll_runtime.Pool.t ->
+  ?seed:int ->
+  ?cancel_on_failure:bool ->
   n:int ->
   Ll_netlist.Circuit.t ->
   oracle:Oracle.t ->
   t
-(** Same, with tasks distributed over [num_domains] domains (default:
-    [Domain.recommended_domain_count], capped at the task count). *)
+(** Same, scheduled on a work-stealing domain pool.
+
+    When [pool] is given it is used (and left running) — the intended mode
+    for reusing one pool across many attacks; [num_domains] is then
+    ignored.  Otherwise a private pool of
+    [min num_domains (2^n)] workers (default
+    [Domain.recommended_domain_count]) is created and shut down around the
+    call.
+
+    [cancel_on_failure] (default [false]): once any sub-task ends with a
+    fatal status ([Iteration_limit] or [Time_limit] — the whole attack can
+    no longer produce a key set), outstanding sub-tasks are cancelled:
+    pending ones never run, running ones are interrupted cooperatively.
+    Affected tasks report status {!Sat_attack.Cancelled}.  Note that
+    {e which} tasks get cancelled depends on scheduling; leave the flag
+    off when reproducible per-task results matter.
+
+    Per-iteration [config.log] lines are buffered per task and flushed in
+    task order after the join, so concurrent domains never interleave
+    through the caller's callback. *)
+
+val run_parallel_static :
+  ?config:Sat_attack.config ->
+  ?inputs:int array ->
+  ?num_domains:int ->
+  ?seed:int ->
+  n:int ->
+  Ll_netlist.Circuit.t ->
+  oracle:Oracle.t ->
+  t
+(** The pre-pool scheduler: static round-robin chunking with one freshly
+    spawned domain per chunk and no stealing.  Wall time degenerates to
+    the unluckiest chunk; kept as the measured baseline for
+    [BENCH_split.json] and the scheduler ablation. *)
 
 val recommended_effort : ?cores:int -> Ll_netlist.Circuit.t -> int
 (** The paper's "adjust N to the computational resources": the largest [n]

@@ -70,6 +70,8 @@ let random_reduce g b signals =
   in
   round signals
 
+module Pool = Ll_runtime.Pool
+
 let random_circuit ?(seed = 1) ?(name = "random") ~num_inputs ~num_outputs ~gates () =
   if num_inputs <= 0 || num_outputs <= 0 then
     invalid_arg "Generator.random_circuit: need at least one input and output";
@@ -86,3 +88,25 @@ let random_circuit ?(seed = 1) ?(name = "random") ~num_inputs ~num_outputs ~gate
     Builder.output b (Printf.sprintf "y%d" o) candidates.(idx)
   done;
   Builder.finish b
+
+let random_circuits ?pool ?(seed = 1) ?(name = "random") ~count ~num_inputs
+    ~num_outputs ~gates () =
+  if count < 0 then invalid_arg "Generator.random_circuits: negative count";
+  (* Per-circuit seeds come from split streams drawn in index order, so the
+     sweep is one deterministic family no matter how (or whether) the
+     generation is parallelized. *)
+  let root = Prng.create seed in
+  let seeds = Array.init count (fun _ -> Int64.to_int (Prng.bits64 (Prng.split root))) in
+  let build i s =
+    random_circuit ~seed:s
+      ~name:(Printf.sprintf "%s_%d" name i)
+      ~num_inputs ~num_outputs ~gates ()
+  in
+  match pool with
+  | None -> Array.mapi build seeds
+  | Some p ->
+      Pool.map_array p (fun _ctx (i, s) -> build i s) (Array.mapi (fun i s -> (i, s)) seeds)
+      |> Array.map (function
+           | Pool.Done c -> c
+           | Pool.Cancelled -> assert false
+           | Pool.Failed e -> raise e)

@@ -34,3 +34,18 @@ val random_circuit :
 (** A connected random circuit: outputs are tapped from the most recently
     created gates (falling back to inputs for tiny gate counts).
     Deterministic in [seed]. *)
+
+val random_circuits :
+  ?pool:Ll_runtime.Pool.t ->
+  ?seed:int ->
+  ?name:string ->
+  count:int ->
+  num_inputs:int ->
+  num_outputs:int ->
+  gates:int ->
+  unit ->
+  Ll_netlist.Circuit.t array
+(** A sweep of [count] circuits of the same shape.  Per-circuit seeds are
+    derived from [seed] via {!Ll_util.Prng.split} streams in index order,
+    so the family is deterministic whether generated serially or spread
+    over [pool]'s domains. *)

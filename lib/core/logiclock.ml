@@ -6,6 +6,8 @@
 
     Layering (bottom up):
     - {!Util}: PRNG, bit vectors, timers.
+    - {!Runtime}: work-stealing domain pool shared by every parallel
+      workload.
     - {!Netlist}: gate-level circuits, building, simulation, [.bench] I/O.
     - {!Sat}: CDCL solver, Tseitin encoding, DIMACS.
     - {!Synth}: constant propagation, structural hashing, sweeping,
@@ -20,6 +22,11 @@ module Util = struct
   module Prng = Ll_util.Prng
   module Bitvec = Ll_util.Bitvec
   module Timer = Ll_util.Timer
+end
+
+module Runtime = struct
+  module Deque = Ll_runtime.Deque
+  module Pool = Ll_runtime.Pool
 end
 
 module Netlist = struct

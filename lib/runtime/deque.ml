@@ -1,0 +1,48 @@
+(* Growable ring buffer; indices wrap modulo the capacity.  Cleared slots
+   are reset to [None] so completed tasks are not retained. *)
+
+type 'a t = {
+  mutable buf : 'a option array;
+  mutable head : int;  (* index of the oldest element *)
+  mutable len : int;
+}
+
+let create () = { buf = Array.make 16 None; head = 0; len = 0 }
+
+let length d = d.len
+
+let is_empty d = d.len = 0
+
+let grow d =
+  let cap = Array.length d.buf in
+  let fresh = Array.make (2 * cap) None in
+  for i = 0 to d.len - 1 do
+    fresh.(i) <- d.buf.((d.head + i) mod cap)
+  done;
+  d.buf <- fresh;
+  d.head <- 0
+
+let push_back d x =
+  if d.len = Array.length d.buf then grow d;
+  d.buf.((d.head + d.len) mod Array.length d.buf) <- Some x;
+  d.len <- d.len + 1
+
+let pop_back d =
+  if d.len = 0 then None
+  else begin
+    let i = (d.head + d.len - 1) mod Array.length d.buf in
+    let x = d.buf.(i) in
+    d.buf.(i) <- None;
+    d.len <- d.len - 1;
+    x
+  end
+
+let pop_front d =
+  if d.len = 0 then None
+  else begin
+    let x = d.buf.(d.head) in
+    d.buf.(d.head) <- None;
+    d.head <- (d.head + 1) mod Array.length d.buf;
+    d.len <- d.len - 1;
+    x
+  end

@@ -1,0 +1,28 @@
+(** Double-ended task queue backing one worker of {!Pool}.
+
+    The owner pushes and pops at the back (LIFO — freshly submitted work is
+    hot in cache and likely related to what the owner just ran); thieves
+    take from the front (FIFO — the oldest task is the one most likely to
+    represent a large untouched chunk of work).
+
+    The structure itself is {e not} synchronized: {!Pool} serializes every
+    access under its scheduler lock, which is cheap relative to the
+    coarse-grained tasks (SAT sub-attacks, circuit generations) the pool is
+    designed for. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val push_back : 'a t -> 'a -> unit
+(** Owner submission side. Amortized O(1); the ring grows geometrically. *)
+
+val pop_back : 'a t -> 'a option
+(** Owner pop (LIFO): the most recently pushed element. *)
+
+val pop_front : 'a t -> 'a option
+(** Thief pop (FIFO): the oldest element. *)

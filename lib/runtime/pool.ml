@@ -1,0 +1,206 @@
+module Prng = Ll_util.Prng
+module Timer = Ll_util.Timer
+
+type ctx = { ctx_prng : Prng.t; ctx_cancelled : unit -> bool }
+
+let prng c = c.ctx_prng
+
+let cancel_requested c = c.ctx_cancelled ()
+
+type 'a outcome = Done of 'a | Cancelled | Failed of exn
+
+(* A job is the type-erased form of a submitted task: [job_run] executes
+   the user function and records the outcome in the handle, [job_skip]
+   records [Cancelled] without running.  Both take the pool lock only to
+   publish the result. *)
+type job = {
+  job_cancelled : bool Atomic.t;
+  job_run : unit -> unit;
+  job_skip : unit -> unit;
+}
+
+type t = {
+  lock : Mutex.t;
+  wake : Condition.t;  (* signalled on submit, completion and shutdown *)
+  deques : job Deque.t array;
+  mutable domains : unit Domain.t array;
+  mutable next_deque : int;  (* round-robin submission cursor *)
+  mutable stopping : bool;
+  root_prng : Prng.t;  (* split once per task, under [lock], in submit order *)
+  mutable n_run : int;
+  mutable n_cancelled : int;
+  mutable n_steals : int;
+  mutable max_queue : int;
+  mutable spawn_seconds : float;
+  mutable join_seconds : float;
+}
+
+type 'a state = Pending | Finished of 'a outcome
+
+type 'a handle = {
+  h_pool : t;
+  mutable h_state : 'a state;  (* protected by [h_pool.lock] *)
+  h_cancel : bool Atomic.t;
+}
+
+let num_domains pool = Array.length pool.deques
+
+(* Called with [pool.lock] held.  Own deque first (LIFO), then steal the
+   oldest task of the first non-empty victim, scanning in index order
+   after the worker's own slot so the choice is stable. *)
+let try_take pool w =
+  match Deque.pop_back pool.deques.(w) with
+  | Some job -> Some (job, false)
+  | None ->
+      let n = Array.length pool.deques in
+      let rec scan k =
+        if k >= n then None
+        else
+          match Deque.pop_front pool.deques.((w + k) mod n) with
+          | Some job -> Some (job, true)
+          | None -> scan (k + 1)
+      in
+      scan 1
+
+let worker pool w () =
+  Mutex.lock pool.lock;
+  let rec loop () =
+    match try_take pool w with
+    | Some (job, stolen) ->
+        if stolen then pool.n_steals <- pool.n_steals + 1;
+        Mutex.unlock pool.lock;
+        if Atomic.get job.job_cancelled then job.job_skip () else job.job_run ();
+        Mutex.lock pool.lock;
+        loop ()
+    | None ->
+        if pool.stopping then Mutex.unlock pool.lock
+        else begin
+          Condition.wait pool.wake pool.lock;
+          loop ()
+        end
+  in
+  loop ()
+
+let create ?num_domains ?(seed = 0) () =
+  let n =
+    match num_domains with
+    | Some d -> max 1 d
+    | None -> max 1 (Domain.recommended_domain_count ())
+  in
+  let pool =
+    {
+      lock = Mutex.create ();
+      wake = Condition.create ();
+      deques = Array.init n (fun _ -> Deque.create ());
+      domains = [||];
+      next_deque = 0;
+      stopping = false;
+      root_prng = Prng.create seed;
+      n_run = 0;
+      n_cancelled = 0;
+      n_steals = 0;
+      max_queue = 0;
+      spawn_seconds = 0.0;
+      join_seconds = 0.0;
+    }
+  in
+  let domains, dt = Timer.time (fun () -> Array.init n (fun w -> Domain.spawn (worker pool w))) in
+  pool.domains <- domains;
+  pool.spawn_seconds <- dt;
+  pool
+
+let submit pool fn =
+  Mutex.lock pool.lock;
+  if pool.stopping then begin
+    Mutex.unlock pool.lock;
+    invalid_arg "Pool.submit: pool is shut down"
+  end;
+  let stream = Prng.split pool.root_prng in
+  let handle = { h_pool = pool; h_state = Pending; h_cancel = Atomic.make false } in
+  let finish outcome =
+    Mutex.lock pool.lock;
+    handle.h_state <- Finished outcome;
+    (match outcome with
+    | Cancelled -> pool.n_cancelled <- pool.n_cancelled + 1
+    | Done _ | Failed _ -> pool.n_run <- pool.n_run + 1);
+    Condition.broadcast pool.wake;
+    Mutex.unlock pool.lock
+  in
+  let ctx = { ctx_prng = stream; ctx_cancelled = (fun () -> Atomic.get handle.h_cancel) } in
+  let job =
+    {
+      job_cancelled = handle.h_cancel;
+      job_run =
+        (fun () ->
+          match fn ctx with
+          | v -> finish (Done v)
+          | exception e -> finish (Failed e));
+      job_skip = (fun () -> finish Cancelled);
+    }
+  in
+  let d = pool.deques.(pool.next_deque) in
+  Deque.push_back d job;
+  if Deque.length d > pool.max_queue then pool.max_queue <- Deque.length d;
+  pool.next_deque <- (pool.next_deque + 1) mod Array.length pool.deques;
+  Condition.broadcast pool.wake;
+  Mutex.unlock pool.lock;
+  handle
+
+let await handle =
+  let pool = handle.h_pool in
+  Mutex.lock pool.lock;
+  let rec wait () =
+    match handle.h_state with
+    | Finished outcome ->
+        Mutex.unlock pool.lock;
+        outcome
+    | Pending ->
+        Condition.wait pool.wake pool.lock;
+        wait ()
+  in
+  wait ()
+
+let cancel handle = Atomic.set handle.h_cancel true
+
+let map_array pool f xs =
+  let handles = Array.map (fun x -> submit pool (fun ctx -> f ctx x)) xs in
+  Array.map await handles
+
+type stats = {
+  tasks_run : int;
+  tasks_cancelled : int;
+  steals : int;
+  max_queue : int;
+  spawn_seconds : float;
+  join_seconds : float;
+}
+
+let stats pool =
+  Mutex.lock pool.lock;
+  let s =
+    {
+      tasks_run = pool.n_run;
+      tasks_cancelled = pool.n_cancelled;
+      steals = pool.n_steals;
+      max_queue = pool.max_queue;
+      spawn_seconds = pool.spawn_seconds;
+      join_seconds = pool.join_seconds;
+    }
+  in
+  Mutex.unlock pool.lock;
+  s
+
+let shutdown pool =
+  Mutex.lock pool.lock;
+  if pool.stopping then Mutex.unlock pool.lock
+  else begin
+    pool.stopping <- true;
+    Condition.broadcast pool.wake;
+    Mutex.unlock pool.lock;
+    let (), dt = Timer.time (fun () -> Array.iter Domain.join pool.domains) in
+    pool.join_seconds <- dt
+  end
+
+let with_pool ?num_domains ?seed f =
+  let pool = create ?num_domains ?seed () in
+  Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)

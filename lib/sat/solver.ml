@@ -12,6 +12,15 @@ type clause = {
 
 let dummy_clause = { lits = [||]; learnt = false; activity = 0.0; lbd = 0; deleted = false }
 
+(* A watch-list entry caches a "blocking" literal of the watched clause
+   (MiniSAT 2.2 / Chaff): when the blocker is already true the clause is
+   satisfied and propagation skips it without touching the clause at all —
+   the common case on locking miters, whose wide Tseitin clauses are
+   usually satisfied by an early literal. *)
+type watcher = { blocker : Lit.t; wcl : clause }
+
+let dummy_watcher = { blocker = 0; wcl = dummy_clause }
+
 type result = Sat | Unsat
 
 type stats = {
@@ -30,7 +39,7 @@ type proof_event = P_add of Lit.t array | P_delete of Lit.t array
 type t = {
   clauses : clause Vec.t;
   learnts : clause Vec.t;
-  mutable watches : clause Vec.t array;  (* watches.(l): clauses watching ¬l *)
+  mutable watches : watcher Vec.t array;  (* watches.(l): clauses watching ¬l *)
   mutable assigns : int array;  (* per var: -1 unassigned / 0 false / 1 true *)
   mutable level : int array;
   mutable reason : clause array;  (* dummy_clause when none *)
@@ -66,7 +75,7 @@ let create ?(seed = 0) () =
     {
       clauses = Vec.create ~dummy:dummy_clause;
       learnts = Vec.create ~dummy:dummy_clause;
-      watches = Array.init 128 (fun _ -> Vec.create ~dummy:dummy_clause);
+      watches = Array.init 128 (fun _ -> Vec.create ~dummy:dummy_watcher);
       assigns = Array.make 64 (-1);
       level = Array.make 64 0;
       reason = Array.make 64 dummy_clause;
@@ -123,7 +132,7 @@ let grow_arrays s needed =
   if 2 * needed > old_w then begin
     let n = max (2 * needed) (2 * old_w) in
     s.watches <-
-      Array.init n (fun i -> if i < old_w then s.watches.(i) else Vec.create ~dummy:dummy_clause)
+      Array.init n (fun i -> if i < old_w then s.watches.(i) else Vec.create ~dummy:dummy_watcher)
   end
 
 let new_var s =
@@ -173,12 +182,12 @@ let decay_clause_activity s = s.cla_inc <- s.cla_inc *. clause_decay
 
 (* --- Clause attachment --- *)
 
-let watch s l c = Vec.push s.watches.(l) c
+let watch s l ~blocker c = Vec.push s.watches.(l) { blocker; wcl = c }
 
 let attach_clause s c =
   assert (Array.length c.lits >= 2);
-  watch s (Lit.negate c.lits.(0)) c;
-  watch s (Lit.negate c.lits.(1)) c
+  watch s (Lit.negate c.lits.(0)) ~blocker:c.lits.(1) c;
+  watch s (Lit.negate c.lits.(1)) ~blocker:c.lits.(0) c
 
 (* --- Propagation --- *)
 
@@ -194,45 +203,55 @@ let propagate s =
     let j = ref 0 in
     let i = ref 0 in
     while !i < n do
-      let c = Vec.get ws !i in
+      let w = Vec.get ws !i in
       incr i;
-      if not c.deleted then begin
-        let false_lit = Lit.negate p in
-        if c.lits.(0) = false_lit then begin
-          c.lits.(0) <- c.lits.(1);
-          c.lits.(1) <- false_lit
-        end;
-        if lit_value s c.lits.(0) = 1 then begin
-          Vec.set ws !j c;
-          incr j
-        end
-        else begin
-          let len = Array.length c.lits in
-          let found = ref false in
-          let k = ref 2 in
-          while (not !found) && !k < len do
-            if lit_value s c.lits.(!k) <> 0 then begin
-              c.lits.(1) <- c.lits.(!k);
-              c.lits.(!k) <- false_lit;
-              watch s (Lit.negate c.lits.(1)) c;
-              found := true
+      (* Blocking-literal fast path: if the cached literal is already
+         true the clause is satisfied — keep the watcher, skip the clause
+         dereference entirely. *)
+      if lit_value s w.blocker = 1 then begin
+        Vec.set ws !j w;
+        incr j
+      end
+      else begin
+        let c = w.wcl in
+        if not c.deleted then begin
+          let false_lit = Lit.negate p in
+          if c.lits.(0) = false_lit then begin
+            c.lits.(0) <- c.lits.(1);
+            c.lits.(1) <- false_lit
+          end;
+          if lit_value s c.lits.(0) = 1 then begin
+            Vec.set ws !j { blocker = c.lits.(0); wcl = c };
+            incr j
+          end
+          else begin
+            let len = Array.length c.lits in
+            let found = ref false in
+            let k = ref 2 in
+            while (not !found) && !k < len do
+              if lit_value s c.lits.(!k) <> 0 then begin
+                c.lits.(1) <- c.lits.(!k);
+                c.lits.(!k) <- false_lit;
+                watch s (Lit.negate c.lits.(1)) ~blocker:c.lits.(0) c;
+                found := true
+              end
+              else incr k
+            done;
+            if not !found then begin
+              (* Unit or conflicting: keep watching ¬p. *)
+              Vec.set ws !j { blocker = c.lits.(0); wcl = c };
+              incr j;
+              if lit_value s c.lits.(0) = 0 then begin
+                conflict := c;
+                s.qhead <- Vec.length s.trail;
+                while !i < n do
+                  Vec.set ws !j (Vec.get ws !i);
+                  incr j;
+                  incr i
+                done
+              end
+              else enqueue s c.lits.(0) c
             end
-            else incr k
-          done;
-          if not !found then begin
-            (* Unit or conflicting: keep watching ¬p. *)
-            Vec.set ws !j c;
-            incr j;
-            if lit_value s c.lits.(0) = 0 then begin
-              conflict := c;
-              s.qhead <- Vec.length s.trail;
-              while !i < n do
-                Vec.set ws !j (Vec.get ws !i);
-                incr j;
-                incr i
-              done
-            end
-            else enqueue s c.lits.(0) c
           end
         end
       end

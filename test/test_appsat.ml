@@ -49,6 +49,29 @@ let test_iteration_cap () =
   Alcotest.(check int) "capped" 7 r.Appsat.num_dips;
   Alcotest.(check bool) "not exact" false r.Appsat.exact
 
+let test_pool_estimation_deterministic () =
+  (* The error-estimate batches have a fixed split-stream structure, so
+     running them on a pool (of any width) must not change the attack's
+     result at all. *)
+  let c = random_circuit ~seed:223 ~num_inputs:12 ~num_outputs:3 ~gates:50 () in
+  let locked = LL.Locking.Sarlock.lock ~key_size:12 c in
+  let attack pool =
+    let oracle = Oracle.of_circuit c in
+    Appsat.run ~prng:(Prng.create 7) ~target_error:0.01 ?pool locked.circuit ~oracle
+  in
+  let serial = attack None in
+  LL.Runtime.Pool.with_pool ~num_domains:4 (fun pool ->
+      let pooled = attack (Some pool) in
+      Alcotest.(check (float 0.0)) "same estimated error" serial.Appsat.estimated_error
+        pooled.Appsat.estimated_error;
+      Alcotest.(check int) "same #DIP" serial.Appsat.num_dips pooled.Appsat.num_dips;
+      Alcotest.(check int) "same oracle cost" serial.Appsat.oracle_queries
+        pooled.Appsat.oracle_queries;
+      Alcotest.(check (option bitvec_testable)) "same key" serial.Appsat.key
+        pooled.Appsat.key;
+      Alcotest.(check bool) "pool actually sampled" true
+        ((LL.Runtime.Pool.stats pool).LL.Runtime.Pool.tasks_run > 0))
+
 let test_validation () =
   let c = full_adder_circuit () in
   let oracle = Oracle.of_circuit c in
@@ -60,5 +83,7 @@ let suite =
     Alcotest.test_case "terminates early on sarlock" `Quick test_terminates_early_on_sarlock;
     Alcotest.test_case "exact convergence on xor" `Quick test_exact_convergence_on_xor;
     Alcotest.test_case "iteration cap" `Quick test_iteration_cap;
+    Alcotest.test_case "pool estimation deterministic" `Quick
+      test_pool_estimation_deterministic;
     Alcotest.test_case "validation" `Quick test_validation;
   ]

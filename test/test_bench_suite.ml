@@ -101,6 +101,32 @@ let test_random_circuit_rejects () =
        false
      with Invalid_argument _ -> true)
 
+let test_random_circuits_sweep () =
+  (* The sweep family is deterministic and scheduling-independent: the
+     pooled generation must produce exactly the serial circuits. *)
+  let serial =
+    Generator.random_circuits ~seed:13 ~count:6 ~num_inputs:5 ~num_outputs:2 ~gates:25 ()
+  in
+  Alcotest.(check int) "count" 6 (Array.length serial);
+  let distinct_fns =
+    Array.to_list serial
+    |> List.filteri (fun i _ -> i > 0)
+    |> List.filter (fun c -> not (exhaustively_equal serial.(0) c))
+  in
+  Alcotest.(check bool) "members differ" true (distinct_fns <> []);
+  LL.Runtime.Pool.with_pool ~num_domains:3 (fun pool ->
+      let pooled =
+        Generator.random_circuits ~pool ~seed:13 ~count:6 ~num_inputs:5 ~num_outputs:2
+          ~gates:25 ()
+      in
+      Array.iteri
+        (fun i c ->
+          Alcotest.(check bool)
+            (Printf.sprintf "circuit %d identical" i)
+            true
+            (exhaustively_equal serial.(i) c))
+        pooled)
+
 let test_random_reduce () =
   let g = Prng.create 3 in
   let b = Builder.create () in
@@ -126,5 +152,6 @@ let suite =
     Alcotest.test_case "random circuit shapes" `Quick test_random_circuit_shapes;
     Alcotest.test_case "random circuit deterministic" `Quick test_random_circuit_deterministic;
     Alcotest.test_case "random circuit rejects" `Quick test_random_circuit_rejects;
+    Alcotest.test_case "random circuits sweep" `Quick test_random_circuits_sweep;
     Alcotest.test_case "random reduce" `Quick test_random_reduce;
   ]

@@ -39,7 +39,9 @@ let test_attack_against_constant_oracle () =
   let r = Sat_attack.run ~config locked.circuit ~oracle in
   Alcotest.(check bool) "terminates" true
     (match r.Sat_attack.status with
-    | Sat_attack.Broken | Sat_attack.Iteration_limit | Sat_attack.Time_limit -> true)
+    | Sat_attack.Broken | Sat_attack.Iteration_limit | Sat_attack.Time_limit
+    | Sat_attack.Cancelled ->
+        true)
 
 let test_solver_unsat_is_stable () =
   (* Once unsat at the root, the solver stays unsat whatever is added. *)

@@ -129,6 +129,114 @@ let test_parallel_matches_sequential () =
   Alcotest.(check (array int)) "same per-task #DIP" (dips seq) (dips par);
   Alcotest.(check bool) "composed equivalent" true (composed_equivalent c locked par)
 
+let test_deterministic_across_domain_counts () =
+  (* Acceptance: keys, statuses and DIP counts are byte-identical between
+     the serial runner and the pooled runner at every domain count. *)
+  let c = random_circuit ~seed:140 ~num_inputs:8 () in
+  let locked = (LL.Locking.Sarlock.lock ~key_size:5 c).circuit in
+  let oracle = Oracle.of_circuit c in
+  let fingerprint (s : Split_attack.t) =
+    Array.to_list s.Split_attack.tasks
+    |> List.map (fun t ->
+           Printf.sprintf "%s|%d|%s"
+             (match t.Split_attack.result.Sat_attack.key with
+             | Some k -> Bitvec.to_string k
+             | None -> "-")
+             t.result.Sat_attack.num_dips
+             (match t.result.Sat_attack.status with
+             | Sat_attack.Broken -> "broken"
+             | Sat_attack.Iteration_limit -> "iter"
+             | Sat_attack.Time_limit -> "time"
+             | Sat_attack.Cancelled -> "cancelled"))
+    |> String.concat ";"
+  in
+  let serial = fingerprint (Split_attack.run ~n:2 locked ~oracle) in
+  List.iter
+    (fun num_domains ->
+      let par = Split_attack.run_parallel ~num_domains ~n:2 locked ~oracle in
+      Alcotest.(check string)
+        (Printf.sprintf "identical results at %d domains" num_domains)
+        serial (fingerprint par))
+    [ 1; 2; 4 ]
+
+let test_shared_pool_reuse () =
+  (* One pool serving several attacks: results equal the private-pool run
+     and the pool stays usable. *)
+  let c = random_circuit ~seed:141 ~num_inputs:8 () in
+  let locked = (LL.Locking.Sarlock.lock ~key_size:4 c).circuit in
+  let oracle = Oracle.of_circuit c in
+  LL.Runtime.Pool.with_pool ~num_domains:2 (fun pool ->
+      let a = Split_attack.run_parallel ~pool ~n:2 locked ~oracle in
+      let b = Split_attack.run_parallel ~pool ~n:2 locked ~oracle in
+      let dips s = Array.map (fun t -> t.Split_attack.result.Sat_attack.num_dips) s.Split_attack.tasks in
+      Alcotest.(check (array int)) "reused pool, same results" (dips a) (dips b);
+      Alcotest.(check int) "pool width reported" 2 a.Split_attack.domains_used;
+      Alcotest.(check int) "tasks ran on the shared pool" 8
+        (LL.Runtime.Pool.stats pool).LL.Runtime.Pool.tasks_run)
+
+let test_cancel_on_failure () =
+  (* With a 1-iteration budget every sub-attack is fatal; the first fatal
+     task must abort the rest (which report Cancelled and never produce
+     keys).  Which tasks got cancelled is scheduling-dependent, so only
+     aggregate properties are asserted. *)
+  let c = random_circuit ~seed:142 ~num_inputs:8 () in
+  let locked = (LL.Locking.Sarlock.lock ~key_size:8 c).circuit in
+  let oracle = Oracle.of_circuit c in
+  let config = { Sat_attack.default_config with max_iterations = Some 1 } in
+  let s =
+    Split_attack.run_parallel ~config ~num_domains:1 ~cancel_on_failure:true ~n:2 locked
+      ~oracle
+  in
+  Alcotest.(check int) "all tasks reported" 4 (Array.length s.Split_attack.tasks);
+  Alcotest.(check bool) "keys unavailable" true (Split_attack.keys s = None);
+  let count p = Array.to_list s.tasks |> List.filter p |> List.length in
+  let fatal t = t.Split_attack.result.Sat_attack.status = Sat_attack.Iteration_limit in
+  let cancelled t = t.Split_attack.result.Sat_attack.status = Sat_attack.Cancelled in
+  Alcotest.(check bool) "at least one fatal task" true (count fatal >= 1);
+  (* With one domain the remaining three tasks are all pending when the
+     first fails, so they must be cancelled without running. *)
+  Alcotest.(check int) "rest cancelled" 3 (count cancelled);
+  Array.iter
+    (fun t ->
+      if cancelled t then begin
+        Alcotest.(check int) "cancelled task ran no solver" 0
+          t.Split_attack.result.Sat_attack.num_dips;
+        Alcotest.(check bool) "cancelled task cost nothing" true (t.task_time = 0.0)
+      end)
+    s.tasks
+
+let test_parallel_log_flushed_in_task_order () =
+  (* The data-race fix: per-iteration log lines from concurrent domains
+     are buffered per task and flushed task-by-task — lines from
+     different tasks never interleave. *)
+  let c = random_circuit ~seed:143 ~num_inputs:8 () in
+  let locked = (LL.Locking.Sarlock.lock ~key_size:4 c).circuit in
+  let oracle = Oracle.of_circuit c in
+  let lines = ref [] in
+  let config =
+    { Sat_attack.default_config with log = Some (fun l -> lines := l :: !lines) }
+  in
+  let par = Split_attack.run_parallel ~config ~num_domains:4 ~n:2 locked ~oracle in
+  let logged = List.rev !lines in
+  Alcotest.(check bool) "something was logged" true (logged <> []);
+  (* Each task logs "iter 1", "iter 2", ... — in a task-ordered flush the
+     iteration counter resets exactly once per task with nonzero DIPs. *)
+  let resets =
+    List.filter (fun l -> String.length l >= 7 && String.sub l 0 7 = "iter 1:") logged
+  in
+  let tasks_with_dips =
+    Array.to_list par.Split_attack.tasks
+    |> List.filter (fun t -> t.Split_attack.result.Sat_attack.num_dips > 0)
+  in
+  Alcotest.(check int) "one contiguous block per task" (List.length tasks_with_dips)
+    (List.length resets);
+  let total_dips =
+    List.fold_left (fun acc t -> acc + t.Split_attack.result.Sat_attack.num_dips) 0
+      tasks_with_dips
+  in
+  Alcotest.(check int) "every iteration logged exactly once" total_dips
+    (List.length logged)
+
 let test_recommended_effort () =
   let c = random_circuit ~seed:130 ~num_inputs:8 () in
   let locked = (LL.Locking.Sarlock.lock ~key_size:4 c).circuit in
@@ -163,6 +271,12 @@ let suite =
     Alcotest.test_case "explicit split inputs" `Quick test_explicit_split_inputs;
     Alcotest.test_case "sub task metadata" `Quick test_sub_task_metadata;
     Alcotest.test_case "parallel matches sequential" `Quick test_parallel_matches_sequential;
+    Alcotest.test_case "deterministic across domain counts" `Quick
+      test_deterministic_across_domain_counts;
+    Alcotest.test_case "shared pool reuse" `Quick test_shared_pool_reuse;
+    Alcotest.test_case "cancel on failure" `Quick test_cancel_on_failure;
+    Alcotest.test_case "parallel log flushed in task order" `Quick
+      test_parallel_log_flushed_in_task_order;
     Alcotest.test_case "recommended effort" `Quick test_recommended_effort;
     Alcotest.test_case "failed tasks no keys" `Quick test_failed_tasks_no_keys;
   ]
