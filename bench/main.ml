@@ -27,8 +27,16 @@ let sections =
   let requested =
     Array.to_list Sys.argv |> List.tl |> List.map String.lowercase_ascii
   in
-  let all = [ "fig1a"; "fig1b"; "table1"; "table2"; "exact"; "micro"; "ablation"; "smoke" ] in
-  let chosen = List.filter (fun s -> List.mem s all) requested in
+  let all =
+    [ "fig1a"; "fig1b"; "table1"; "table2"; "exact"; "micro"; "ablation"; "smoke"; "sat" ]
+  in
+  (* Selectable but not part of a default run: "satsmoke" is the tiny
+     SAT-core suite behind the [bench-sat-smoke] CI alias, a subset of
+     "sat". *)
+  let extras = [ "satsmoke" ] in
+  let chosen =
+    List.filter (fun s -> List.mem s all || List.mem s extras) requested
+  in
   if chosen = [] then all else chosen
 
 let full_mode = List.mem "full" (Array.to_list Sys.argv |> List.map String.lowercase_ascii)
@@ -47,18 +55,29 @@ let header title =
 let split_records : string list ref = ref []
 
 let split_sched_bench ~section ~name ~n locked ~oracle =
+  (* Each run also reports its [Gc.quick_stat] allocation delta (words
+     allocated by this domain), so scheduler and solver changes show their
+     allocation cost next to their wall time. *)
   let time f =
+    let g0 = Gc.quick_stat () in
     let t0 = Unix.gettimeofday () in
     let r = f () in
-    (r, Unix.gettimeofday () -. t0)
+    let wall = Unix.gettimeofday () -. t0 in
+    let g1 = Gc.quick_stat () in
+    ( r,
+      wall,
+      g1.Gc.minor_words -. g0.Gc.minor_words,
+      g1.Gc.major_words -. g0.Gc.major_words )
   in
   let domains = 4 in
-  let serial, serial_wall = time (fun () -> Split_attack.run ~n locked ~oracle) in
-  let _static, static_wall =
+  let serial, serial_wall, serial_minor, serial_major =
+    time (fun () -> Split_attack.run ~n locked ~oracle)
+  in
+  let _static, static_wall, _, _ =
     time (fun () -> Split_attack.run_parallel_static ~num_domains:domains ~n locked ~oracle)
   in
   let pool = LL.Runtime.Pool.create ~num_domains:domains () in
-  let steal, steal_wall =
+  let steal, steal_wall, _, _ =
     time (fun () -> Split_attack.run_parallel ~pool ~n locked ~oracle)
   in
   let stats = LL.Runtime.Pool.stats pool in
@@ -94,7 +113,9 @@ let split_sched_bench ~section ~name ~n locked ~oracle =
       \    \"task_max_s\": %.6f,\n\
       \    \"steals\": %d,\n\
       \    \"tasks_run\": %d,\n\
-      \    \"matches_serial\": %b\n\
+      \    \"matches_serial\": %b,\n\
+      \    \"serial_gc_minor_words\": %.0f,\n\
+      \    \"serial_gc_major_words\": %.0f\n\
       \  }"
       section name n
       (Array.length steal.Split_attack.tasks)
@@ -103,6 +124,7 @@ let split_sched_bench ~section ~name ~n locked ~oracle =
       (Split_attack.mean_task_time steal)
       (Split_attack.max_task_time steal)
       stats.LL.Runtime.Pool.steals stats.LL.Runtime.Pool.tasks_run matches_serial
+      serial_minor serial_major
   in
   split_records := record :: !split_records
 
@@ -471,6 +493,16 @@ let smoke () =
   split_sched_bench ~section:"smoke" ~name:"c432/sarlock8/n2" ~n:2
     locked.LL.Locking.Locked.circuit ~oracle
 
+(* ------------------------------------------------------------------ *)
+(* SAT core: solver-only miter suite + DIMACS replays (BENCH_sat.json). *)
+(* ------------------------------------------------------------------ *)
+
+let sat_core ~smoke =
+  header
+    (if smoke then "SAT core: smoke suite (fast CI check)"
+     else "SAT core: miter suite + DIMACS replays");
+  Sat_bench.run ~smoke
+
 let () =
   Printf.printf "logiclock benchmark harness — paper: DAC'24 LBR, One-Key Premise\n";
   Printf.printf "host: %d core(s) recommended by the runtime\n"
@@ -484,6 +516,8 @@ let () =
   if want "exact" then exact ();
   if want "ablation" then ablation ();
   if want "smoke" then smoke ();
+  if want "sat" then sat_core ~smoke:false;
+  if want "satsmoke" then sat_core ~smoke:true;
   if want "micro" then micro ();
   if want "table2" then table2 ();
   write_split_json ()

@@ -1,0 +1,251 @@
+(* SAT-core benchmark rig: BENCH_sat.json.
+
+   Measures the CDCL solver in isolation on two fixed instance families:
+
+   - "miter": the key-duplicated, synthesized miter of a locked circuit —
+     exactly the CNF the SAT attack iterates on — driven through a fixed
+     number of incremental model-blocking rounds (each SAT model's input
+     assignment is blocked and the instance re-solved), which exercises
+     incremental clause addition, learnt-clause retention and arena GC;
+   - "dimacs": generated CNF replays loaded through [Dimacs.load_into]
+     (random 3-SAT near the phase transition, pigeonhole principle
+     instances), solved once.
+
+   Every record reports wall time, propagations/sec, conflicts/sec and
+   [Gc.quick_stat] deltas (minor/major/promoted words), so data-layout
+   changes in the solver show up as allocation-per-conflict movements that
+   are tracked across PRs.  All instances are seed-fixed: numbers are
+   comparable between runs and machines up to clock speed. *)
+
+module LL = Logiclock
+module Solver = LL.Sat.Solver
+module Lit = LL.Sat.Lit
+module Dimacs = LL.Sat.Dimacs
+module Tseitin = LL.Sat.Tseitin
+module Circuit = LL.Netlist.Circuit
+module Oracle = LL.Attack.Oracle
+module Prng = LL.Util.Prng
+
+type record = {
+  name : string;
+  kind : string;
+  result : string;
+  wall_s : float;
+  conflicts : int;
+  propagations : int;
+  decisions : int;
+  restarts : int;
+  deleted_clauses : int;
+  arena_gcs : int;
+  arena_words : int;
+  minor_words : float;
+  major_words : float;
+  promoted_words : float;
+}
+
+let records : record list ref = ref []
+
+(* [f] builds the solver and runs the workload; Gc deltas cover both so
+   encoding allocations are visible too (they are part of what an attack
+   iteration pays). *)
+let measure ~name ~kind f =
+  let g0 = Gc.quick_stat () in
+  let t0 = Unix.gettimeofday () in
+  let solver, result = f () in
+  let wall = Unix.gettimeofday () -. t0 in
+  let g1 = Gc.quick_stat () in
+  let st = Solver.stats solver in
+  let r =
+    {
+      name;
+      kind;
+      result;
+      wall_s = wall;
+      conflicts = st.Solver.conflicts;
+      propagations = st.Solver.propagations;
+      decisions = st.Solver.decisions;
+      restarts = st.Solver.restarts;
+      deleted_clauses = st.Solver.deleted_clauses;
+      arena_gcs = st.Solver.arena_gcs;
+      arena_words = st.Solver.arena_words;
+      minor_words = g1.Gc.minor_words -. g0.Gc.minor_words;
+      major_words = g1.Gc.major_words -. g0.Gc.major_words;
+      promoted_words = g1.Gc.promoted_words -. g0.Gc.promoted_words;
+    }
+  in
+  records := r :: !records;
+  let per_sec n = if wall > 0.0 then float_of_int n /. wall else 0.0 in
+  let per_conflict w = if st.conflicts > 0 then w /. float_of_int st.conflicts else 0.0 in
+  Printf.printf
+    "  %-26s %8.3f s %10.0f props/s %8.0f confls/s %10.0f minor w/confl  %s\n%!" name
+    wall (per_sec st.propagations) (per_sec st.conflicts)
+    (per_conflict r.minor_words) result
+
+(* ------------------------------------------------------------------ *)
+(* Miter workloads                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let miter_workload ~rounds locked () =
+  let solver = Solver.create () in
+  let env = Tseitin.create solver in
+  let miter = LL.Synth.Optimize.run (LL.Attack.Miter.dup_key locked) in
+  let input_lits = Tseitin.fresh_lits env (Circuit.num_inputs miter) in
+  let key_lits = Tseitin.fresh_lits env (Circuit.num_keys miter) in
+  let diff =
+    match Tseitin.encode env miter ~input_lits ~key_lits with
+    | [| d |] -> d
+    | _ -> assert false
+  in
+  LL.Sat.Solver.add_clause solver [ diff ];
+  let sat_rounds = ref 0 in
+  let finished = ref false in
+  let i = ref 0 in
+  while (not !finished) && !i < rounds do
+    incr i;
+    match Solver.solve solver with
+    | Solver.Unsat -> finished := true
+    | Solver.Sat ->
+        incr sat_rounds;
+        (* Block this input assignment and go again. *)
+        Solver.add_clause solver
+          (Array.to_list
+             (Array.map
+                (fun l -> if Solver.value solver l then Lit.negate l else l)
+                input_lits))
+  done;
+  (solver, Printf.sprintf "%d sat round(s)%s" !sat_rounds (if !finished then ", closed" else ""))
+
+let miter_suite ~smoke =
+  Printf.printf "\nlocking miters (model-blocking rounds):\n";
+  let iscas = LL.Bench_suite.Iscas.get in
+  let sarlock seed k c =
+    (LL.Locking.Sarlock.lock ~prng:(Prng.create seed) ~key_size:k c).LL.Locking.Locked.circuit
+  in
+  let xorlock seed k c =
+    (LL.Locking.Xor_lock.lock ~prng:(Prng.create seed) ~num_keys:k c).LL.Locking.Locked.circuit
+  in
+  let lutlock seed c =
+    (LL.Locking.Lut_lock.lock ~prng:(Prng.create seed) ~stage1_luts:4 ~stage1_inputs:3 c)
+      .LL.Locking.Locked.circuit
+  in
+  let suite =
+    if smoke then
+      [
+        ("c432/sarlock8", miter_workload ~rounds:8 (sarlock 11 8 (iscas "c432")));
+        ("c432/xor8", miter_workload ~rounds:8 (xorlock 5 8 (iscas "c432")));
+      ]
+    else
+      [
+        ("c432/sarlock8", miter_workload ~rounds:64 (sarlock 11 8 (iscas "c432")));
+        ("c880/sarlock10", miter_workload ~rounds:64 (sarlock 7 10 (iscas "c880")));
+        ("c880/xor16", miter_workload ~rounds:48 (xorlock 5 16 (iscas "c880")));
+        ("c1355/xor12", miter_workload ~rounds:32 (xorlock 9 12 (iscas "c1355")));
+        ("c880/lut4x3", miter_workload ~rounds:32 (lutlock 13 (iscas "c880")));
+        ("c1908/sarlock8", miter_workload ~rounds:32 (sarlock 3 8 (iscas "c1908")));
+      ]
+  in
+  List.iter (fun (name, f) -> measure ~name ~kind:"miter" f) suite
+
+(* ------------------------------------------------------------------ *)
+(* DIMACS replays                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let random_3sat ~seed ~nvars ~ratio =
+  let g = Prng.create seed in
+  let n_clauses = int_of_float (ratio *. float_of_int nvars) in
+  let clauses =
+    List.init n_clauses (fun _ ->
+        List.init 3 (fun _ -> Lit.make (Prng.int g nvars) (Prng.bool g)))
+  in
+  { Dimacs.num_vars = nvars; clauses }
+
+let pigeonhole ~holes =
+  (* PHP(holes+1, holes): provably unsatisfiable. *)
+  let n = holes in
+  let var i j = (i * n) + j in
+  let clauses = ref [] in
+  for i = 0 to n do
+    clauses := List.init n (fun j -> Lit.pos (var i j)) :: !clauses
+  done;
+  for j = 0 to n - 1 do
+    for i1 = 0 to n do
+      for i2 = i1 + 1 to n do
+        clauses := [ Lit.neg (var i1 j); Lit.neg (var i2 j) ] :: !clauses
+      done
+    done
+  done;
+  { Dimacs.num_vars = (n + 1) * n; clauses = List.rev !clauses }
+
+let dimacs_workload cnf () =
+  (* Round-trip through the printer/parser so the loader path itself is
+     part of the replay. *)
+  let cnf = Dimacs.parse_string (Dimacs.to_string cnf) in
+  let solver = Solver.create () in
+  Dimacs.load_into solver cnf;
+  let result = match Solver.solve solver with Solver.Sat -> "sat" | Solver.Unsat -> "unsat" in
+  (solver, result)
+
+let dimacs_suite ~smoke =
+  Printf.printf "\nDIMACS replays:\n";
+  let suite =
+    if smoke then
+      [
+        ("3sat/n60/s1", dimacs_workload (random_3sat ~seed:1 ~nvars:60 ~ratio:4.26));
+        ("php/6", dimacs_workload (pigeonhole ~holes:5));
+      ]
+    else
+      [
+        ("3sat/n150/s1", dimacs_workload (random_3sat ~seed:1 ~nvars:150 ~ratio:4.26));
+        ("3sat/n150/s2", dimacs_workload (random_3sat ~seed:2 ~nvars:150 ~ratio:4.26));
+        ("3sat/n200/s3", dimacs_workload (random_3sat ~seed:3 ~nvars:200 ~ratio:4.26));
+        ("3sat/n250/s4", dimacs_workload (random_3sat ~seed:4 ~nvars:250 ~ratio:4.26));
+        ("php/7", dimacs_workload (pigeonhole ~holes:6));
+        ("php/8", dimacs_workload (pigeonhole ~holes:7));
+      ]
+  in
+  List.iter (fun (name, f) -> measure ~name ~kind:"dimacs" f) suite
+
+(* ------------------------------------------------------------------ *)
+(* Entry points + JSON                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let record_json r =
+  let per_sec n = if r.wall_s > 0.0 then float_of_int n /. r.wall_s else 0.0 in
+  Printf.sprintf
+    "  {\n\
+    \    \"name\": %S,\n\
+    \    \"kind\": %S,\n\
+    \    \"result\": %S,\n\
+    \    \"wall_s\": %.6f,\n\
+    \    \"conflicts\": %d,\n\
+    \    \"propagations\": %d,\n\
+    \    \"decisions\": %d,\n\
+    \    \"restarts\": %d,\n\
+    \    \"deleted_clauses\": %d,\n\
+    \    \"arena_gcs\": %d,\n\
+    \    \"arena_words\": %d,\n\
+    \    \"propagations_per_s\": %.1f,\n\
+    \    \"conflicts_per_s\": %.1f,\n\
+    \    \"gc_minor_words\": %.0f,\n\
+    \    \"gc_major_words\": %.0f,\n\
+    \    \"gc_promoted_words\": %.0f,\n\
+    \    \"minor_words_per_conflict\": %.1f\n\
+    \  }"
+    r.name r.kind r.result r.wall_s r.conflicts r.propagations r.decisions r.restarts
+    r.deleted_clauses r.arena_gcs r.arena_words (per_sec r.propagations)
+    (per_sec r.conflicts) r.minor_words r.major_words r.promoted_words
+    (if r.conflicts > 0 then r.minor_words /. float_of_int r.conflicts else 0.0)
+
+let write_json () =
+  if !records <> [] then begin
+    let oc = open_out "BENCH_sat.json" in
+    Printf.fprintf oc "[\n%s\n]\n"
+      (String.concat ",\n" (List.rev_map record_json !records));
+    close_out oc;
+    Printf.printf "\nwrote BENCH_sat.json (%d record(s))\n" (List.length !records)
+  end
+
+let run ~smoke =
+  miter_suite ~smoke;
+  dimacs_suite ~smoke;
+  write_json ()

@@ -44,14 +44,14 @@ let constrain_outputs env outs response =
   Array.iteri (fun i o -> Tseitin.force env o response.(i)) outs
 
 (* Encode "C_l(dip, K) = y" for one key-literal vector.  With
-   simplification on, the cofactored circuit collapses before encoding;
+   simplification on, the cofactored key cone collapses before encoding;
    otherwise a full copy with constant input literals is added (the
    unpreprocessed baseline). *)
-let add_dip_constraint env ~simplified ~locked ~key_lits ~dip ~response =
+let add_dip_constraint env ~simplified ~locked ~key_lits ~dip ~response ~cone_response =
   match simplified with
   | Some small ->
       let outs = Tseitin.encode env small ~input_lits:[||] ~key_lits in
-      constrain_outputs env outs response
+      constrain_outputs env outs cone_response
   | None ->
       let t = Tseitin.lit_true env in
       let input_lits =
@@ -85,6 +85,49 @@ let run ?(config = default_config) locked ~oracle =
     match Tseitin.encode env miter ~input_lits ~key_lits with
     | [| d |] -> d
     | _ -> assert false
+  in
+  (* Per-DIP constraints only bind the key: restrict the circuit, once, to
+     the outputs in the transitive fanout of a key input.  Key-independent
+     outputs collapse to the oracle response on every DIP anyway (they
+     contribute no clauses), so re-simplifying them each iteration is pure
+     overhead; they are instead checked against the oracle by one linear
+     simulation pass per DIP, which preserves the Broken diagnosis when an
+     inconsistent oracle contradicts key-free logic. *)
+  let output_key_dep =
+    let kc = Ll_netlist.Cone.key_controlled locked in
+    Array.map (fun j -> kc.(j)) (Circuit.output_nodes locked)
+  in
+  let all_outputs_key_dep = Array.for_all (fun b -> b) output_key_dep in
+  let key_cone =
+    if all_outputs_key_dep then locked
+    else
+      let outputs =
+        Array.to_list locked.Circuit.outputs
+        |> List.filteri (fun i _ -> output_key_dep.(i))
+        |> Array.of_list
+      in
+      Ll_synth.Sweep.run
+        (Circuit.create ~name:locked.Circuit.name ~nodes:locked.Circuit.nodes
+           ~node_names:locked.Circuit.node_names ~outputs)
+  in
+  let cone_response_of response =
+    if all_outputs_key_dep then response
+    else
+      Array.to_list response
+      |> List.filteri (fun i _ -> output_key_dep.(i))
+      |> Array.of_list
+  in
+  let indep_outputs_match dip response =
+    all_outputs_key_dep
+    ||
+    let sim =
+      Ll_netlist.Eval.eval locked ~inputs:dip ~keys:(Array.make n_key false)
+    in
+    let ok = ref true in
+    Array.iteri
+      (fun i dep -> if (not dep) && sim.(i) <> response.(i) then ok := false)
+      output_key_dep;
+    !ok
   in
   (* Guarded difference clause: act -> diff. *)
   let act = (Tseitin.fresh_lits env 1).(0) in
@@ -136,18 +179,27 @@ let run ?(config = default_config) locked ~oracle =
       | Solver.Sat ->
           let dip = Array.map (fun l -> Solver.value solver l) input_lits in
           let response = Oracle.query oracle dip in
+          if not (indep_outputs_match dip response) then
+            (* The oracle contradicts key-independent logic: no key can
+               reproduce it.  Poison the solver so the attack reports
+               Broken with no surviving key, as the unrestricted encoding
+               would have. *)
+            Solver.add_clause solver [];
           (* One linear constant-propagation pass suffices: with every
-             primary input pinned, the circuit collapses to key logic in a
-             single topological sweep. *)
+             primary input pinned, the key cone collapses to key logic in
+             a single topological sweep. *)
           let simplified =
             if config.simplify_constraints then
               Some
                 (Sweep.run
-                   (Simplify.run ~bind:(List.init n_in (fun p -> (p, dip.(p)))) locked))
+                   (Simplify.run ~bind:(List.init n_in (fun p -> (p, dip.(p)))) key_cone))
             else None
           in
-          add_dip_constraint env ~simplified ~locked ~key_lits:key1 ~dip ~response;
-          add_dip_constraint env ~simplified ~locked ~key_lits:key2 ~dip ~response;
+          let cone_response = cone_response_of response in
+          add_dip_constraint env ~simplified ~locked ~key_lits:key1 ~dip ~response
+            ~cone_response;
+          add_dip_constraint env ~simplified ~locked ~key_lits:key2 ~dip ~response
+            ~cone_response;
           (match config.log with
           | Some log ->
               log

@@ -1,25 +1,21 @@
 (* CDCL with two-literal watching, VSIDS + phase saving, 1UIP learning with
    one-step self-subsumption minimization, Luby restarts and learnt-clause
-   deletion.  Structure follows MiniSAT 2.2. *)
+   deletion.  Structure follows MiniSAT 2.2.
 
-type clause = {
-  mutable lits : Lit.t array;
-  learnt : bool;
-  mutable activity : float;
-  mutable lbd : int;
-  mutable deleted : bool;
-}
+   Clause storage is a flat integer arena (MiniSAT/CaDiCaL style): every
+   clause lives contiguously in one growable [int array] as
 
-let dummy_clause = { lits = [||]; learnt = false; activity = 0.0; lbd = 0; deleted = false }
+     [ header | activity | lit_0 ... lit_{n-1} ]
 
-(* A watch-list entry caches a "blocking" literal of the watched clause
-   (MiniSAT 2.2 / Chaff): when the blocker is already true the clause is
-   satisfied and propagation skips it without touching the clause at all —
-   the common case on locking miters, whose wide Tseitin clauses are
-   usually satisfied by an early literal. *)
-type watcher = { blocker : Lit.t; wcl : clause }
-
-let dummy_watcher = { blocker = 0; wcl = dummy_clause }
+   and is referred to by its offset (a "cref", a plain [int]).  The header
+   packs the clause size, the LBD (capped) and a learnt/mark bit pair; the
+   activity slot stores the 63 low bits of the IEEE-754 pattern of a
+   non-negative float, which round-trips exactly.  Watch lists are flat
+   [(blocker, cref)] int pairs, so the propagation inner loop allocates
+   nothing and walks cache-contiguous memory.  [reduce_db] compacts the
+   arena in place — crefs in watches, reasons and the clause lists are
+   relocated through a binary-searched offset map — instead of leaking
+   tombstones behind watch lists. *)
 
 type result = Sat | Unsat
 
@@ -30,22 +26,38 @@ type stats = {
   restarts : int;
   learnt_literals : int;
   deleted_clauses : int;
+  arena_gcs : int;
+  arena_words : int;
 }
 
 exception Conflict_limit
 
 type proof_event = P_add of Lit.t array | P_delete of Lit.t array
 
+(* Arena clause header: bit 0 = learnt, bit 1 = mark (transient, only set
+   between the mark and sweep phases of [reduce_db]), bits 2..11 = LBD
+   (saturating at 1023; only used for deletion ranking), bits 12.. = size. *)
+let hdr_lbd_max = 0x3ff
+
+let hdr_size_shift = 12
+
+let no_cref = -1
+
 type t = {
-  clauses : clause Vec.t;
-  learnts : clause Vec.t;
-  mutable watches : watcher Vec.t array;  (* watches.(l): clauses watching ¬l *)
+  mutable arena : int array;
+  mutable arena_len : int;
+  clauses : int Vec.t;  (* crefs of problem clauses *)
+  learnts : int Vec.t;  (* crefs of retained learnt clauses *)
+  mutable watches : int Vec.t array;
+      (* watches.(l): flat (blocker, cref) pairs of clauses watching ¬l *)
   mutable assigns : int array;  (* per var: -1 unassigned / 0 false / 1 true *)
   mutable level : int array;
-  mutable reason : clause array;  (* dummy_clause when none *)
+  mutable reason : int array;  (* cref, or [no_cref] when none *)
   mutable activity : float array;
   mutable polarity : bool array;  (* saved phase *)
   mutable seen : bool array;  (* scratch for analyze *)
+  mutable level_stamp : int array;  (* scratch for LBD counting *)
+  mutable stamp : int;
   mutable order : Heap.t;
   trail : Lit.t Vec.t;
   trail_lim : int Vec.t;
@@ -61,6 +73,7 @@ type t = {
   mutable n_restarts : int;
   mutable n_learnt_literals : int;
   mutable n_deleted : int;
+  mutable n_gcs : int;
   mutable proof_enabled : bool;
   proof_log : proof_event Vec.t;
 }
@@ -73,15 +86,19 @@ let restart_first = 100
 let create ?(seed = 0) () =
   let s =
     {
-      clauses = Vec.create ~dummy:dummy_clause;
-      learnts = Vec.create ~dummy:dummy_clause;
-      watches = Array.init 128 (fun _ -> Vec.create ~dummy:dummy_watcher);
+      arena = Array.make 1024 0;
+      arena_len = 0;
+      clauses = Vec.create ~dummy:no_cref;
+      learnts = Vec.create ~dummy:no_cref;
+      watches = Array.init 128 (fun _ -> Vec.create ~dummy:0);
       assigns = Array.make 64 (-1);
       level = Array.make 64 0;
-      reason = Array.make 64 dummy_clause;
+      reason = Array.make 64 no_cref;
       activity = Array.make 64 0.0;
       polarity = Array.make 64 false;
       seen = Array.make 64 false;
+      level_stamp = Array.make 65 0;
+      stamp = 0;
       order = Heap.create ~score:(fun _ -> 0.0);
       trail = Vec.create ~dummy:0;
       trail_lim = Vec.create ~dummy:0;
@@ -97,6 +114,7 @@ let create ?(seed = 0) () =
       n_restarts = 0;
       n_learnt_literals = 0;
       n_deleted = 0;
+      n_gcs = 0;
       proof_enabled = false;
       proof_log = Vec.create ~dummy:(P_add [||]);
     }
@@ -112,6 +130,53 @@ let num_clauses s = Vec.length s.clauses
 
 let num_learnts s = Vec.length s.learnts
 
+(* --- Arena primitives --- *)
+
+let clause_size s c = s.arena.(c) lsr hdr_size_shift
+
+let clause_learnt s c = s.arena.(c) land 1 = 1
+
+let clause_marked s c = s.arena.(c) land 2 = 2
+
+let mark_clause s c = s.arena.(c) <- s.arena.(c) lor 2
+
+let clause_lbd s c = (s.arena.(c) lsr 2) land hdr_lbd_max
+
+(* Activities are non-negative, so the IEEE sign bit is always clear and
+   the low 63 bits of the pattern fit an OCaml int exactly. *)
+let clause_act s c = Int64.float_of_bits (Int64.logand (Int64.of_int s.arena.(c + 1)) Int64.max_int)
+
+let set_clause_act s c f = s.arena.(c + 1) <- Int64.to_int (Int64.bits_of_float f)
+
+let clause_lit s c k = s.arena.(c + 2 + k)
+
+let clause_lits s c = Array.init (clause_size s c) (fun k -> s.arena.(c + 2 + k))
+
+let ensure_arena s extra =
+  let need = s.arena_len + extra in
+  if need > Array.length s.arena then begin
+    let cap = ref (2 * Array.length s.arena) in
+    while !cap < need do
+      cap := 2 * !cap
+    done;
+    let fresh = Array.make !cap 0 in
+    Array.blit s.arena 0 fresh 0 s.arena_len;
+    s.arena <- fresh
+  end
+
+let alloc_clause s lits ~learnt ~lbd =
+  let n = Array.length lits in
+  ensure_arena s (n + 2);
+  let c = s.arena_len in
+  s.arena.(c) <-
+    (n lsl hdr_size_shift) lor (min lbd hdr_lbd_max lsl 2) lor (if learnt then 1 else 0);
+  s.arena.(c + 1) <- 0;
+  for k = 0 to n - 1 do
+    s.arena.(c + 2 + k) <- lits.(k)
+  done;
+  s.arena_len <- c + n + 2;
+  c
+
 let grow_arrays s needed =
   let old = Array.length s.assigns in
   if needed > old then begin
@@ -123,16 +188,20 @@ let grow_arrays s needed =
     in
     s.assigns <- grown s.assigns (-1);
     s.level <- grown s.level 0;
-    s.reason <- grown s.reason dummy_clause;
+    s.reason <- grown s.reason no_cref;
     s.activity <- grown s.activity 0.0;
     s.polarity <- grown s.polarity false;
-    s.seen <- grown s.seen false
+    s.seen <- grown s.seen false;
+    (* one extra slot: decision levels range over 0..nvars inclusive *)
+    let fresh = Array.make (n + 1) 0 in
+    Array.blit s.level_stamp 0 fresh 0 (Array.length s.level_stamp);
+    s.level_stamp <- fresh
   end;
   let old_w = Array.length s.watches in
   if 2 * needed > old_w then begin
     let n = max (2 * needed) (2 * old_w) in
     s.watches <-
-      Array.init n (fun i -> if i < old_w then s.watches.(i) else Vec.create ~dummy:dummy_watcher)
+      Array.init n (fun i -> if i < old_w then s.watches.(i) else Vec.create ~dummy:0)
   end
 
 let new_var s =
@@ -171,10 +240,11 @@ let bump_var s v =
 
 let decay_var_activity s = s.var_inc <- s.var_inc *. var_decay
 
-let bump_clause s (c : clause) =
-  c.activity <- c.activity +. s.cla_inc;
-  if c.activity > 1e20 then begin
-    Vec.iter (fun (c : clause) -> c.activity <- c.activity *. 1e-20) s.learnts;
+let bump_clause s c =
+  let a = clause_act s c +. s.cla_inc in
+  set_clause_act s c a;
+  if a > 1e20 then begin
+    Vec.iter (fun c -> set_clause_act s c (clause_act s c *. 1e-20)) s.learnts;
     s.cla_inc <- s.cla_inc *. 1e-20
   end
 
@@ -182,83 +252,100 @@ let decay_clause_activity s = s.cla_inc <- s.cla_inc *. clause_decay
 
 (* --- Clause attachment --- *)
 
-let watch s l ~blocker c = Vec.push s.watches.(l) { blocker; wcl = c }
+let watch s l ~blocker cref =
+  let ws = s.watches.(l) in
+  Vec.push ws blocker;
+  Vec.push ws cref
 
 let attach_clause s c =
-  assert (Array.length c.lits >= 2);
-  watch s (Lit.negate c.lits.(0)) ~blocker:c.lits.(1) c;
-  watch s (Lit.negate c.lits.(1)) ~blocker:c.lits.(0) c
+  assert (clause_size s c >= 2);
+  let l0 = clause_lit s c 0 and l1 = clause_lit s c 1 in
+  watch s (Lit.negate l0) ~blocker:l1 c;
+  watch s (Lit.negate l1) ~blocker:l0 c
 
 (* --- Propagation --- *)
 
+(* The hot loop: walks flat (blocker, cref) pairs and clause literals that
+   live in the contiguous arena.  No allocation on any path except a watch
+   move (a push of two ints, amortized O(1) with no boxing). *)
 let propagate s =
-  let conflict = ref dummy_clause in
-  while !conflict == dummy_clause && s.qhead < Vec.length s.trail do
+  let conflict = ref no_cref in
+  while !conflict < 0 && s.qhead < Vec.length s.trail do
     let p = Vec.get s.trail s.qhead in
     s.qhead <- s.qhead + 1;
     s.n_propagations <- s.n_propagations + 1;
     (* p just became true; clauses in watches.(p) watch ¬p, now false. *)
     let ws = s.watches.(p) in
     let n = Vec.length ws in
+    let assigns = s.assigns in
+    let arena = s.arena in
     let j = ref 0 in
     let i = ref 0 in
     while !i < n do
-      let w = Vec.get ws !i in
-      incr i;
+      let blocker = Vec.unsafe_get ws !i in
+      let cref = Vec.unsafe_get ws (!i + 1) in
+      i := !i + 2;
       (* Blocking-literal fast path: if the cached literal is already
          true the clause is satisfied — keep the watcher, skip the clause
          dereference entirely. *)
-      if lit_value s w.blocker = 1 then begin
-        Vec.set ws !j w;
-        incr j
+      let bv = Array.unsafe_get assigns (blocker lsr 1) in
+      if bv >= 0 && bv lxor (blocker land 1) = 1 then begin
+        Vec.unsafe_set ws !j blocker;
+        Vec.unsafe_set ws (!j + 1) cref;
+        j := !j + 2
       end
       else begin
-        let c = w.wcl in
-        if not c.deleted then begin
-          let false_lit = Lit.negate p in
-          if c.lits.(0) = false_lit then begin
-            c.lits.(0) <- c.lits.(1);
-            c.lits.(1) <- false_lit
-          end;
-          if lit_value s c.lits.(0) = 1 then begin
-            Vec.set ws !j { blocker = c.lits.(0); wcl = c };
-            incr j
-          end
-          else begin
-            let len = Array.length c.lits in
-            let found = ref false in
-            let k = ref 2 in
-            while (not !found) && !k < len do
-              if lit_value s c.lits.(!k) <> 0 then begin
-                c.lits.(1) <- c.lits.(!k);
-                c.lits.(!k) <- false_lit;
-                watch s (Lit.negate c.lits.(1)) ~blocker:c.lits.(0) c;
-                found := true
-              end
-              else incr k
-            done;
-            if not !found then begin
-              (* Unit or conflicting: keep watching ¬p. *)
-              Vec.set ws !j { blocker = c.lits.(0); wcl = c };
-              incr j;
-              if lit_value s c.lits.(0) = 0 then begin
-                conflict := c;
-                s.qhead <- Vec.length s.trail;
-                while !i < n do
-                  Vec.set ws !j (Vec.get ws !i);
-                  incr j;
-                  incr i
-                done
-              end
-              else enqueue s c.lits.(0) c
+        let base = cref + 2 in
+        let false_lit = p lxor 1 in
+        if Array.unsafe_get arena base = false_lit then begin
+          Array.unsafe_set arena base (Array.unsafe_get arena (base + 1));
+          Array.unsafe_set arena (base + 1) false_lit
+        end;
+        let first = Array.unsafe_get arena base in
+        let fv = Array.unsafe_get assigns (first lsr 1) in
+        let fval = if fv < 0 then -1 else fv lxor (first land 1) in
+        if fval = 1 then begin
+          Vec.unsafe_set ws !j first;
+          Vec.unsafe_set ws (!j + 1) cref;
+          j := !j + 2
+        end
+        else begin
+          let size = Array.unsafe_get arena cref lsr hdr_size_shift in
+          let found = ref false in
+          let k = ref 2 in
+          while (not !found) && !k < size do
+            let q = Array.unsafe_get arena (base + !k) in
+            let qv = Array.unsafe_get assigns (q lsr 1) in
+            if qv < 0 || qv lxor (q land 1) = 1 then begin
+              Array.unsafe_set arena (base + 1) q;
+              Array.unsafe_set arena (base + !k) false_lit;
+              watch s (Lit.negate q) ~blocker:first cref;
+              found := true
             end
+            else incr k
+          done;
+          if not !found then begin
+            (* Unit or conflicting: keep watching ¬p. *)
+            Vec.unsafe_set ws !j first;
+            Vec.unsafe_set ws (!j + 1) cref;
+            j := !j + 2;
+            if fval = 0 then begin
+              conflict := cref;
+              s.qhead <- Vec.length s.trail;
+              while !i < n do
+                Vec.unsafe_set ws !j (Vec.unsafe_get ws !i);
+                incr j;
+                incr i
+              done
+            end
+            else enqueue s first cref
           end
         end
       end
     done;
     Vec.shrink ws !j
   done;
-  if !conflict == dummy_clause then None else Some !conflict
+  !conflict
 
 (* --- Backtracking --- *)
 
@@ -270,7 +357,7 @@ let cancel_until s target =
       let v = Lit.var l in
       s.polarity.(v) <- s.assigns.(v) = 1;
       s.assigns.(v) <- -1;
-      s.reason.(v) <- dummy_clause;
+      s.reason.(v) <- no_cref;
       Heap.insert s.order v
     done;
     Vec.shrink s.trail bound;
@@ -287,10 +374,16 @@ let new_decision_level s = Vec.push s.trail_lim (Vec.length s.trail)
    level 0. *)
 let lit_redundant s l =
   let r = s.reason.(Lit.var l) in
-  r != dummy_clause
-  && Array.for_all
-       (fun q -> Lit.var q = Lit.var l || s.seen.(Lit.var q) || s.level.(Lit.var q) = 0)
-       r.lits
+  r >= 0
+  &&
+  let n = clause_size s r in
+  let rec all k =
+    k >= n
+    ||
+    let q = clause_lit s r k in
+    (Lit.var q = Lit.var l || s.seen.(Lit.var q) || s.level.(Lit.var q) = 0) && all (k + 1)
+  in
+  all 0
 
 let analyze s confl =
   let learnt = Vec.create ~dummy:0 in
@@ -301,20 +394,21 @@ let analyze s confl =
   let c = ref confl in
   let continue = ref true in
   while !continue do
-    if !c.learnt then bump_clause s !c;
-    Array.iter
-      (fun q ->
-        (* Skip the literal this reason clause propagated. *)
-        if !p >= 0 && Lit.var q = Lit.var !p then ()
-        else begin
-          let v = Lit.var q in
-          if (not s.seen.(v)) && s.level.(v) > 0 then begin
-            s.seen.(v) <- true;
-            bump_var s v;
-            if s.level.(v) >= decision_level s then incr counter else Vec.push learnt q
-          end
-        end)
-      !c.lits;
+    if clause_learnt s !c then bump_clause s !c;
+    let n = clause_size s !c in
+    for k = 0 to n - 1 do
+      let q = clause_lit s !c k in
+      (* Skip the literal this reason clause propagated. *)
+      if !p >= 0 && Lit.var q = Lit.var !p then ()
+      else begin
+        let v = Lit.var q in
+        if (not s.seen.(v)) && s.level.(v) > 0 then begin
+          s.seen.(v) <- true;
+          bump_var s v;
+          if s.level.(v) >= decision_level s then incr counter else Vec.push learnt q
+        end
+      end
+    done;
     let rec next_marked i =
       let l = Vec.get s.trail i in
       if s.seen.(Lit.var l) then (l, i) else next_marked (i - 1)
@@ -351,34 +445,131 @@ let analyze s confl =
       s.level.(Lit.var minimized.(1))
     end
   in
-  let module IS = Set.Make (Int) in
-  let lbd =
-    Array.fold_left (fun acc l -> IS.add s.level.(Lit.var l) acc) IS.empty minimized
-    |> IS.cardinal
-  in
-  (minimized, bt_level, lbd)
+  (* Distinct decision levels among the learnt literals, counted with a
+     stamp array instead of a set (no allocation). *)
+  s.stamp <- s.stamp + 1;
+  let stamp = s.stamp in
+  let lbd = ref 0 in
+  for i = 0 to n - 1 do
+    let lv = s.level.(Lit.var minimized.(i)) in
+    if s.level_stamp.(lv) <> stamp then begin
+      s.level_stamp.(lv) <- stamp;
+      incr lbd
+    end
+  done;
+  (minimized, bt_level, !lbd)
 
 (* --- Learnt clause database reduction --- *)
 
 let locked s c =
-  Array.length c.lits > 0
-  && s.reason.(Lit.var c.lits.(0)) == c
-  && lit_value s c.lits.(0) = 1
+  clause_size s c > 0
+  &&
+  let l0 = clause_lit s c 0 in
+  s.reason.(Lit.var l0) = c && lit_value s l0 = 1
+
+(* In-place arena compaction.  Builds a sorted (old cref -> new cref) map
+   while scanning the arena, relocates every cref in watches, reasons and
+   the clause lists through binary search, then slides live clause data
+   down with overlap-safe blits. *)
+let gc_arena s =
+  let arena = s.arena in
+  let old_ofs = Vec.create ~dummy:0 in
+  let new_ofs = Vec.create ~dummy:0 in
+  let src = ref 0 and dst = ref 0 in
+  while !src < s.arena_len do
+    let h = arena.(!src) in
+    let len = (h lsr hdr_size_shift) + 2 in
+    if h land 2 = 0 then begin
+      Vec.push old_ofs !src;
+      Vec.push new_ofs !dst;
+      dst := !dst + len
+    end;
+    src := !src + len
+  done;
+  let live_words = !dst in
+  let reloc cref =
+    let lo = ref 0 and hi = ref (Vec.length old_ofs - 1) in
+    let res = ref no_cref in
+    while !res < 0 do
+      let mid = (!lo + !hi) / 2 in
+      let v = Vec.get old_ofs mid in
+      if v = cref then res := Vec.get new_ofs mid
+      else if v < cref then lo := mid + 1
+      else hi := mid - 1
+    done;
+    !res
+  in
+  (* Watches: drop watchers of marked clauses, relocate the rest. *)
+  Array.iter
+    (fun ws ->
+      let n = Vec.length ws in
+      let j = ref 0 in
+      let i = ref 0 in
+      while !i < n do
+        let blocker = Vec.get ws !i in
+        let cref = Vec.get ws (!i + 1) in
+        i := !i + 2;
+        if not (clause_marked s cref) then begin
+          Vec.set ws !j blocker;
+          Vec.set ws (!j + 1) (reloc cref);
+          j := !j + 2
+        end
+      done;
+      Vec.shrink ws !j)
+    s.watches;
+  (* Reasons of currently assigned variables ([locked] keeps them alive). *)
+  for v = 0 to s.nvars - 1 do
+    if s.reason.(v) >= 0 then s.reason.(v) <- reloc s.reason.(v)
+  done;
+  for i = 0 to Vec.length s.clauses - 1 do
+    Vec.set s.clauses i (reloc (Vec.get s.clauses i))
+  done;
+  for i = 0 to Vec.length s.learnts - 1 do
+    Vec.set s.learnts i (reloc (Vec.get s.learnts i))
+  done;
+  (* Physical compaction, in increasing address order (dst <= src). *)
+  let src = ref 0 and dst = ref 0 in
+  while !src < s.arena_len do
+    let h = arena.(!src) in
+    let len = (h lsr hdr_size_shift) + 2 in
+    if h land 2 = 0 then begin
+      if !dst < !src then Array.blit arena !src arena !dst len;
+      dst := !dst + len
+    end;
+    src := !src + len
+  done;
+  s.arena_len <- live_words;
+  s.n_gcs <- s.n_gcs + 1
 
 let reduce_db s =
-  (* Ascending quality; the first half gets deleted. *)
-  let quality (c : clause) = (Array.length c.lits <= 2, -c.lbd, c.activity) in
-  Vec.sort_in_place (fun a b -> compare (quality a) (quality b)) s.learnts;
+  (* Ascending quality; the first half gets deleted.  Concrete comparisons
+     (bool, then LBD descending, then activity ascending) — equivalent to
+     the former polymorphic compare on a (bool, -lbd, activity) tuple but
+     without the polymorphic-compare dispatch in this maintenance path. *)
+  let cmp a b =
+    let bin_a = clause_size s a <= 2 and bin_b = clause_size s b <= 2 in
+    if bin_a <> bin_b then (if bin_a then 1 else -1)
+    else
+      let la = clause_lbd s a and lb = clause_lbd s b in
+      if la <> lb then Stdlib.compare lb la
+      else Float.compare (clause_act s a) (clause_act s b)
+  in
+  Vec.sort_in_place cmp s.learnts;
   let limit = Vec.length s.learnts / 2 in
+  let any_deleted = ref false in
   for i = 0 to limit - 1 do
     let c = Vec.get s.learnts i in
-    if Array.length c.lits > 2 && not (locked s c) then begin
-      c.deleted <- true;
+    if clause_size s c > 2 && not (locked s c) then begin
+      mark_clause s c;
+      any_deleted := true;
       s.n_deleted <- s.n_deleted + 1;
-      log_proof s (P_delete (Array.copy c.lits))
+      log_proof s (P_delete (clause_lits s c))
     end
   done;
-  Vec.filter_in_place (fun c -> not c.deleted) s.learnts
+  if !any_deleted then begin
+    Vec.filter_in_place (fun c -> not (clause_marked s c)) s.learnts;
+    gc_arena s
+  end
 
 (* --- Adding clauses (root level) --- *)
 
@@ -407,13 +598,13 @@ let add_clause_a s lits =
           s.ok <- false;
           log_proof s (P_add [||])
       | 1 ->
-          enqueue s lits.(0) dummy_clause;
-          if propagate s <> None then begin
+          enqueue s lits.(0) no_cref;
+          if propagate s >= 0 then begin
             s.ok <- false;
             log_proof s (P_add [||])
           end
       | _ ->
-          let c = { lits; learnt = false; activity = 0.0; lbd = 0; deleted = false } in
+          let c = alloc_clause s lits ~learnt:false ~lbd:0 in
           Vec.push s.clauses c;
           attach_clause s c
     end
@@ -457,9 +648,9 @@ let record_learnt s lits lbd =
   log_proof s (P_add (Array.copy lits));
   s.n_learnt_literals <- s.n_learnt_literals + Array.length lits;
   match Array.length lits with
-  | 1 -> enqueue s lits.(0) dummy_clause
+  | 1 -> enqueue s lits.(0) no_cref
   | _ ->
-      let c = { lits; learnt = true; activity = 0.0; lbd; deleted = false } in
+      let c = alloc_clause s lits ~learnt:true ~lbd in
       Vec.push s.learnts c;
       attach_clause s c;
       bump_clause s c;
@@ -469,50 +660,50 @@ let search s ~assumptions ~conflict_budget ~max_learnts ~conflict_limit =
   let conflicts_here = ref 0 in
   let outcome = ref None in
   while !outcome = None do
-    match propagate s with
-    | Some confl ->
-        s.n_conflicts <- s.n_conflicts + 1;
-        incr conflicts_here;
-        if conflict_limit > 0 && s.n_conflicts >= conflict_limit then raise Conflict_limit;
-        if decision_level s = 0 then begin
-          s.ok <- false;
-          log_proof s (P_add [||]);
-          outcome := Some O_unsat
-        end
-        else begin
-          let learnt, bt_level, lbd = analyze s confl in
-          cancel_until s bt_level;
-          record_learnt s learnt lbd;
-          decay_var_activity s;
-          decay_clause_activity s
-        end
-    | None ->
-        if !conflicts_here >= conflict_budget then begin
-          cancel_until s 0;
-          outcome := Some O_restart
-        end
-        else begin
-          if float_of_int (Vec.length s.learnts) >= max_learnts then reduce_db s;
-          let level = decision_level s in
-          if level < Array.length assumptions then begin
-            (* Re-decide pending assumptions before free decisions. *)
-            let a = assumptions.(level) in
-            match lit_value s a with
-            | 1 -> new_decision_level s (* dummy level; already true *)
-            | 0 -> outcome := Some O_unsat (* unsat under assumptions *)
-            | _ ->
-                new_decision_level s;
-                enqueue s a dummy_clause
-          end
-          else begin
-            match pick_branch_var s with
-            | None -> outcome := Some O_sat
-            | Some v ->
-                s.n_decisions <- s.n_decisions + 1;
-                new_decision_level s;
-                enqueue s (Lit.make v s.polarity.(v)) dummy_clause
-          end
-        end
+    let confl = propagate s in
+    if confl >= 0 then begin
+      s.n_conflicts <- s.n_conflicts + 1;
+      incr conflicts_here;
+      if conflict_limit > 0 && s.n_conflicts >= conflict_limit then raise Conflict_limit;
+      if decision_level s = 0 then begin
+        s.ok <- false;
+        log_proof s (P_add [||]);
+        outcome := Some O_unsat
+      end
+      else begin
+        let learnt, bt_level, lbd = analyze s confl in
+        cancel_until s bt_level;
+        record_learnt s learnt lbd;
+        decay_var_activity s;
+        decay_clause_activity s
+      end
+    end
+    else if !conflicts_here >= conflict_budget then begin
+      cancel_until s 0;
+      outcome := Some O_restart
+    end
+    else begin
+      if float_of_int (Vec.length s.learnts) >= max_learnts then reduce_db s;
+      let level = decision_level s in
+      if level < Array.length assumptions then begin
+        (* Re-decide pending assumptions before free decisions. *)
+        let a = assumptions.(level) in
+        match lit_value s a with
+        | 1 -> new_decision_level s (* dummy level; already true *)
+        | 0 -> outcome := Some O_unsat (* unsat under assumptions *)
+        | _ ->
+            new_decision_level s;
+            enqueue s a no_cref
+      end
+      else begin
+        match pick_branch_var s with
+        | None -> outcome := Some O_sat
+        | Some v ->
+            s.n_decisions <- s.n_decisions + 1;
+            new_decision_level s;
+            enqueue s (Lit.make v s.polarity.(v)) no_cref
+      end
+    end
   done;
   Option.get !outcome
 
@@ -563,6 +754,8 @@ let stats s =
     restarts = s.n_restarts;
     learnt_literals = s.n_learnt_literals;
     deleted_clauses = s.n_deleted;
+    arena_gcs = s.n_gcs;
+    arena_words = s.arena_len;
   }
 
 let enable_proof s = s.proof_enabled <- true

@@ -8,7 +8,14 @@
 
     The solver is incremental: clauses and variables may be added between
     {!solve} calls, and {!solve} accepts assumption literals.  A solver
-    instance is not thread-safe; use one instance per domain. *)
+    instance is not thread-safe; use one instance per domain.
+
+    Clauses are stored in a flat integer arena (contiguous
+    [header |
+     activity | literals] slices of one int array, referenced by offset),
+    so propagation walks cache-local memory and allocates nothing;
+    learnt-clause deletion compacts the arena in place.  See the "SAT
+    core" section of the architecture notes for the layout. *)
 
 type t
 
@@ -21,6 +28,8 @@ type stats = {
   restarts : int;
   learnt_literals : int;
   deleted_clauses : int;
+  arena_gcs : int;  (** clause-arena compactions performed by [reduce_db] *)
+  arena_words : int;  (** live words in the clause arena (headers + literals) *)
 }
 
 (** DRUP proof events, in derivation order.  Each added clause is a

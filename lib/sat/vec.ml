@@ -18,6 +18,10 @@ let set v i x =
   check v i;
   Array.unsafe_set v.data i x
 
+let unsafe_get v i = Array.unsafe_get v.data i
+
+let unsafe_set v i x = Array.unsafe_set v.data i x
+
 let grow v =
   let data = Array.make (2 * Array.length v.data) v.dummy in
   Array.blit v.data 0 data 0 v.len;

@@ -13,6 +13,14 @@ val length : 'a t -> int
 val is_empty : 'a t -> bool
 val get : 'a t -> int -> 'a
 val set : 'a t -> int -> 'a -> unit
+
+val unsafe_get : 'a t -> int -> 'a
+(** [get] without the bounds check.  The index must be within the live
+    prefix; reserved for profiled hot loops (solver propagation). *)
+
+val unsafe_set : 'a t -> int -> 'a -> unit
+(** [set] without the bounds check; same contract as {!unsafe_get}. *)
+
 val push : 'a t -> 'a -> unit
 val pop : 'a t -> 'a
 (** Removes and returns the last element.  Raises [Invalid_argument] when

@@ -114,6 +114,31 @@ let test_rejects_oracle_mismatch () =
        false
      with Invalid_argument _ -> true)
 
+let test_recovered_key_exact_zero_error () =
+  (* Cross-check recovered keys against the BDD-exact error count rather
+     than SAT equivalence: a functionally correct key must corrupt exactly
+     zero input patterns.  Random circuits, two locking schemes. *)
+  List.iter
+    (fun seed ->
+      let c = random_circuit ~seed ~num_inputs:7 ~num_outputs:3 ~gates:35 () in
+      let lock =
+        if seed mod 2 = 0 then
+          (LL.Locking.Xor_lock.lock ~prng:(Prng.create seed) ~num_keys:6 c).LL.Locking.Locked
+          .circuit
+        else
+          (LL.Locking.Sarlock.lock ~prng:(Prng.create seed) ~key_size:4 c).LL.Locking.Locked
+          .circuit
+      in
+      let r = run_attack c lock in
+      match r.Sat_attack.key with
+      | None -> Alcotest.failf "seed %d: no key recovered" seed
+      | Some k ->
+          Alcotest.(check (float 0.0))
+            (Printf.sprintf "seed %d: zero exact errors" seed)
+            0.0
+            (LL.Bdd.Exact.error_count ~original:c ~locked:lock ~key:k))
+    [ 301; 302; 303; 304 ]
+
 let test_dips_are_distinct () =
   let c = random_circuit ~seed:111 ~num_inputs:8 () in
   let locked = LL.Locking.Sarlock.lock ~key_size:5 c in
@@ -138,5 +163,7 @@ let suite =
     Alcotest.test_case "log callback" `Quick test_log_callback;
     Alcotest.test_case "rejects keyless" `Quick test_rejects_keyless;
     Alcotest.test_case "rejects oracle mismatch" `Quick test_rejects_oracle_mismatch;
+    Alcotest.test_case "recovered key exact zero error" `Quick
+      test_recovered_key_exact_zero_error;
     Alcotest.test_case "dips are distinct" `Quick test_dips_are_distinct;
   ]

@@ -99,10 +99,8 @@ let test_agrees_with_brute_force () =
     Alcotest.(check bool) "agreement" want got
   done
 
-let test_pigeonhole_unsat () =
-  (* PHP(n+1, n): provably unsatisfiable, exercises learning/restarts. *)
-  let s = Solver.create () in
-  let n = 5 in
+(* Add the clauses of PHP(n+1, n) — provably unsatisfiable — to [s]. *)
+let add_pigeonhole s n =
   let v = Array.init (n + 1) (fun _ -> Array.init n (fun _ -> Solver.new_var s)) in
   for i = 0 to n do
     Solver.add_clause s (List.init n (fun j -> Lit.pos v.(i).(j)))
@@ -113,7 +111,12 @@ let test_pigeonhole_unsat () =
         Solver.add_clause s [ Lit.neg v.(i1).(j); Lit.neg v.(i2).(j) ]
       done
     done
-  done;
+  done
+
+let test_pigeonhole_unsat () =
+  (* Exercises learning/restarts. *)
+  let s = Solver.create () in
+  add_pigeonhole s 5;
   Alcotest.(check bool) "unsat" true (Solver.solve s = Solver.Unsat)
 
 let test_assumptions () =
@@ -166,18 +169,7 @@ let test_unknown_variable_rejected () =
 
 let test_conflict_limit () =
   let s = Solver.create () in
-  let n = 8 in
-  let v = Array.init (n + 1) (fun _ -> Array.init n (fun _ -> Solver.new_var s)) in
-  for i = 0 to n do
-    Solver.add_clause s (List.init n (fun j -> Lit.pos v.(i).(j)))
-  done;
-  for j = 0 to n - 1 do
-    for i1 = 0 to n do
-      for i2 = i1 + 1 to n do
-        Solver.add_clause s [ Lit.neg v.(i1).(j); Lit.neg v.(i2).(j) ]
-      done
-    done
-  done;
+  add_pigeonhole s 8;
   Alcotest.(check bool) "limit fires" true
     (try
        ignore (Solver.solve ~conflict_limit:10 s);
@@ -216,6 +208,42 @@ let test_xor_chain_instance () =
   let parity = Array.fold_left (fun p v -> p <> Solver.model_var s v) false vs in
   Alcotest.(check bool) "odd parity" true parity
 
+let test_arena_gc_unsat_pressure () =
+  (* PHP(8, 7) drives the learnt database past the reduction threshold
+     several times: reduce_db must delete clauses and compact the clause
+     arena without losing the refutation. *)
+  let s = Solver.create () in
+  add_pigeonhole s 7;
+  Alcotest.(check bool) "unsat" true (Solver.solve s = Solver.Unsat);
+  let st = Solver.stats s in
+  Alcotest.(check bool) "learnts deleted" true (st.Solver.deleted_clauses > 0);
+  Alcotest.(check bool) "arena compacted" true (st.Solver.arena_gcs >= 1);
+  Alcotest.(check bool) "arena non-trivial" true (st.Solver.arena_words > 0)
+
+let test_model_correct_under_arena_gc () =
+  (* Hard satisfiable 3-SAT near the phase transition: the arena is
+     compacted mid-search, relocating crefs in watch lists and reasons.
+     The final model must still satisfy every original clause. *)
+  List.iter
+    (fun seed ->
+      let nvars = 180 in
+      let g = Prng.create seed in
+      let s = Solver.create () in
+      let vs = fresh_vars s nvars in
+      let clauses =
+        List.init (int_of_float (4.2 *. float_of_int nvars)) (fun _ ->
+            List.init 3 (fun _ -> Lit.make vs.(Prng.int g nvars) (Prng.bool g)))
+      in
+      List.iter (Solver.add_clause s) clauses;
+      Alcotest.(check bool) "sat" true (Solver.solve s = Solver.Sat);
+      Alcotest.(check bool) "arena gc fired" true ((Solver.stats s).Solver.arena_gcs >= 1);
+      List.iter
+        (fun clause ->
+          Alcotest.(check bool) "clause satisfied" true
+            (List.exists (fun l -> Solver.value s l) clause))
+        clauses)
+    [ 2; 11 ]
+
 let prop_random_3sat =
   qcheck_case ~count:150 "random 3-SAT agrees with brute force"
     QCheck2.Gen.(int_bound 1000000)
@@ -231,6 +259,30 @@ let prop_random_3sat =
       in
       List.iter (Solver.add_clause s) clauses;
       brute_force nvars clauses = (Solver.solve s = Solver.Sat))
+
+let prop_incremental_differential =
+  (* Two solve calls with a clause batch added in between, both checked
+     against brute force: exercises arena growth and watch-list extension
+     across incremental solves. *)
+  qcheck_case ~count:100 "incremental solves agree with brute force"
+    QCheck2.Gen.(int_bound 1000000)
+    (fun seed ->
+      let g = Prng.create seed in
+      let nvars = 1 + Prng.int g 7 in
+      let s = Solver.create () in
+      let vs = fresh_vars s nvars in
+      let batch () =
+        List.init (1 + Prng.int g 12) (fun _ ->
+            List.init (1 + Prng.int g 4) (fun _ ->
+                Lit.make vs.(Prng.int g nvars) (Prng.bool g)))
+      in
+      let c1 = batch () in
+      List.iter (Solver.add_clause s) c1;
+      let first_ok = brute_force nvars c1 = (Solver.solve s = Solver.Sat) in
+      let c2 = batch () in
+      List.iter (Solver.add_clause s) c2;
+      let second_ok = brute_force nvars (c1 @ c2) = (Solver.solve s = Solver.Sat) in
+      first_ok && second_ok)
 
 let suite =
   [
@@ -251,5 +303,8 @@ let suite =
     Alcotest.test_case "conflict limit" `Quick test_conflict_limit;
     Alcotest.test_case "stats progress" `Quick test_stats_progress;
     Alcotest.test_case "xor chain instance" `Quick test_xor_chain_instance;
+    Alcotest.test_case "arena gc under unsat pressure" `Quick test_arena_gc_unsat_pressure;
+    Alcotest.test_case "model correct under arena gc" `Quick test_model_correct_under_arena_gc;
     prop_random_3sat;
+    prop_incremental_differential;
   ]

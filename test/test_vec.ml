@@ -62,6 +62,18 @@ let test_sort_filter () =
   Vec.filter_in_place (fun x -> x mod 2 = 1) v;
   Alcotest.(check (list int)) "filtered" [ 1; 3; 5 ] (Vec.to_list v)
 
+let test_unsafe_accessors () =
+  (* Within the live prefix, unsafe accessors agree with the checked ones. *)
+  let v = Vec.create ~dummy:0 in
+  for i = 0 to 99 do
+    Vec.push v (i * 3)
+  done;
+  for i = 0 to 99 do
+    Alcotest.(check int) "unsafe_get" (Vec.get v i) (Vec.unsafe_get v i)
+  done;
+  Vec.unsafe_set v 42 (-7);
+  Alcotest.(check int) "unsafe_set visible" (-7) (Vec.get v 42)
+
 let test_growth () =
   let v = Vec.make ~dummy:(-1) 2 in
   for i = 0 to 9999 do
@@ -79,5 +91,6 @@ let suite =
     Alcotest.test_case "clear/shrink" `Quick test_clear_shrink;
     Alcotest.test_case "iter/fold/to_list" `Quick test_iter_fold_to_list;
     Alcotest.test_case "sort/filter" `Quick test_sort_filter;
+    Alcotest.test_case "unsafe accessors" `Quick test_unsafe_accessors;
     Alcotest.test_case "growth" `Quick test_growth;
   ]
