@@ -25,6 +25,8 @@ module Tseitin = LL.Sat.Tseitin
 module Circuit = LL.Netlist.Circuit
 module Oracle = LL.Attack.Oracle
 module Prng = LL.Util.Prng
+module Timer = LL.Util.Timer
+module Tel = LL.Telemetry.Telemetry
 
 type record = {
   name : string;
@@ -41,19 +43,38 @@ type record = {
   minor_words : float;
   major_words : float;
   promoted_words : float;
+  round_s : float array;  (* per-solve durations, from "sat.solve" spans *)
+  lbd_mean : float;
 }
 
 let records : record list ref = ref []
 
 (* [f] builds the solver and runs the workload; Gc deltas cover both so
    encoding allocations are visible too (they are part of what an attack
-   iteration pays). *)
+   iteration pays).  Each workload runs under a fresh telemetry session:
+   the solver counters, the per-solve trajectory and the LBD distribution
+   in the record all come out of the closing snapshot. *)
 let measure ~name ~kind f =
+  Tel.enable ();
   let g0 = Gc.quick_stat () in
-  let t0 = Unix.gettimeofday () in
+  let t0 = Timer.monotonic () in
   let solver, result = f () in
-  let wall = Unix.gettimeofday () -. t0 in
+  let wall = Timer.monotonic () -. t0 in
   let g1 = Gc.quick_stat () in
+  let snap = Tel.snapshot () in
+  Tel.disable ();
+  let counter n = Option.value ~default:0 (List.assoc_opt n snap.Tel.counters) in
+  let round_s =
+    Tel.spans snap
+    |> List.filter (fun (s : Tel.span) -> s.Tel.sp_name = "sat.solve")
+    |> List.map (fun (s : Tel.span) -> float_of_int s.Tel.sp_dur_ns *. 1e-9)
+    |> Array.of_list
+  in
+  let lbd_mean =
+    match List.assoc_opt "sat.lbd" snap.Tel.histograms with
+    | Some h when h.Tel.h_count > 0 -> h.Tel.h_sum /. float_of_int h.Tel.h_count
+    | _ -> 0.0
+  in
   let st = Solver.stats solver in
   let r =
     {
@@ -61,24 +82,29 @@ let measure ~name ~kind f =
       kind;
       result;
       wall_s = wall;
-      conflicts = st.Solver.conflicts;
-      propagations = st.Solver.propagations;
-      decisions = st.Solver.decisions;
-      restarts = st.Solver.restarts;
+      conflicts = counter "sat.conflicts";
+      propagations = counter "sat.propagations";
+      decisions = counter "sat.decisions";
+      restarts = counter "sat.restarts";
       deleted_clauses = st.Solver.deleted_clauses;
       arena_gcs = st.Solver.arena_gcs;
-      arena_words = st.Solver.arena_words;
+      arena_words =
+        (match List.assoc_opt "sat.arena_words" snap.Tel.gauges with
+        | Some w -> int_of_float w
+        | None -> st.Solver.arena_words);
       minor_words = g1.Gc.minor_words -. g0.Gc.minor_words;
       major_words = g1.Gc.major_words -. g0.Gc.major_words;
       promoted_words = g1.Gc.promoted_words -. g0.Gc.promoted_words;
+      round_s;
+      lbd_mean;
     }
   in
   records := r :: !records;
   let per_sec n = if wall > 0.0 then float_of_int n /. wall else 0.0 in
-  let per_conflict w = if st.conflicts > 0 then w /. float_of_int st.conflicts else 0.0 in
+  let per_conflict w = if r.conflicts > 0 then w /. float_of_int r.conflicts else 0.0 in
   Printf.printf
     "  %-26s %8.3f s %10.0f props/s %8.0f confls/s %10.0f minor w/confl  %s\n%!" name
-    wall (per_sec st.propagations) (per_sec st.conflicts)
+    wall (per_sec r.propagations) (per_sec r.conflicts)
     (per_conflict r.minor_words) result
 
 (* ------------------------------------------------------------------ *)
@@ -229,19 +255,24 @@ let record_json r =
     \    \"gc_minor_words\": %.0f,\n\
     \    \"gc_major_words\": %.0f,\n\
     \    \"gc_promoted_words\": %.0f,\n\
-    \    \"minor_words_per_conflict\": %.1f\n\
+    \    \"minor_words_per_conflict\": %.1f,\n\
+    \    \"lbd_mean\": %.3f,\n\
+    \    \"round_s\": [%s]\n\
     \  }"
     r.name r.kind r.result r.wall_s r.conflicts r.propagations r.decisions r.restarts
     r.deleted_clauses r.arena_gcs r.arena_words (per_sec r.propagations)
     (per_sec r.conflicts) r.minor_words r.major_words r.promoted_words
     (if r.conflicts > 0 then r.minor_words /. float_of_int r.conflicts else 0.0)
+    r.lbd_mean
+    (String.concat ", "
+       (Array.to_list (Array.map (Printf.sprintf "%.6f") r.round_s)))
 
 let write_json () =
   if !records <> [] then begin
-    let oc = open_out "BENCH_sat.json" in
-    Printf.fprintf oc "[\n%s\n]\n"
-      (String.concat ",\n" (List.rev_map record_json !records));
-    close_out oc;
+    (* Atomic (temp file + rename): a crashed or interrupted run never
+       leaves a truncated BENCH_sat.json behind. *)
+    LL.Util.Fileio.write_atomic_string "BENCH_sat.json"
+      (Printf.sprintf "[\n%s\n]\n" (String.concat ",\n" (List.rev_map record_json !records)));
     Printf.printf "\nwrote BENCH_sat.json (%d record(s))\n" (List.length !records)
   end
 

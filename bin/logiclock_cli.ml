@@ -230,12 +230,27 @@ let fanout_cmd =
 (* --- attack --- *)
 
 let attack_cmd =
-  let run locked_spec oracle_spec n parallel max_iters =
+  let run locked_spec oracle_spec n parallel max_iters trace metrics =
     let locked = load_design locked_spec in
     let original = load_design oracle_spec in
     let oracle = LL.Attack.Oracle.of_circuit original in
     let config =
       { LL.Attack.Sat_attack.default_config with max_iterations = max_iters }
+    in
+    (* Telemetry is collected whenever either output was requested; the
+       attack itself never branches on it. *)
+    if trace <> None || metrics then LL.Telemetry.Telemetry.enable ();
+    let finish_telemetry () =
+      if trace <> None || metrics then begin
+        let snap = LL.Telemetry.Telemetry.snapshot () in
+        (match trace with
+        | Some path ->
+            LL.Telemetry.Export.write_chrome_trace path snap;
+            Printf.printf "trace  : wrote %s (%d events)\n" path
+              (Array.length snap.LL.Telemetry.Telemetry.events)
+        | None -> ());
+        if metrics then print_string (LL.Telemetry.Export.summary snap)
+      end
     in
     if n = 0 then begin
       let r = LL.Attack.Sat_attack.run ~config locked ~oracle in
@@ -256,6 +271,7 @@ let attack_cmd =
           | LL.Attack.Equiv.Equivalent -> Printf.printf "verify : functionally correct\n"
           | LL.Attack.Equiv.Counterexample _ -> Printf.printf "verify : WRONG key\n")
       | None -> Printf.printf "key    : none\n");
+      finish_telemetry ();
       0
     end
     else begin
@@ -276,6 +292,7 @@ let attack_cmd =
         (LL.Attack.Split_attack.mean_task_time s)
         (LL.Attack.Split_attack.max_task_time s)
         s.wall_time;
+      finish_telemetry ();
       match LL.Attack.Compose.of_attack locked s with
       | None ->
           Printf.printf "result : some task failed\n";
@@ -301,12 +318,21 @@ let attack_cmd =
     Arg.(value & opt (some int) None & info [ "max-iterations" ] ~docv:"N"
            ~doc:"DIP budget per (sub-)attack.")
   in
+  let trace =
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
+           ~doc:"Write a Chrome trace_event JSON of the attack to $(docv) \
+                 (load in Perfetto or about:tracing).")
+  in
+  let metrics =
+    Arg.(value & flag & info [ "metrics" ]
+           ~doc:"Print a telemetry summary (counters, histograms, span totals) on stdout.")
+  in
   Cmd.v
     (Cmd.info "attack"
        ~doc:"Run the SAT attack (or the multi-key split attack with --n) on a locked design.")
     Term.(const run $ design_arg ~doc:"Locked netlist." 0
           $ design_arg ~doc:"Original design used to simulate the oracle." 1
-          $ n $ parallel $ max_iters)
+          $ n $ parallel $ max_iters $ trace $ metrics)
 
 let () =
   let doc = "logic locking framework: lock, attack, verify" in

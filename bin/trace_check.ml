@@ -1,0 +1,53 @@
+(* CI validator for Chrome trace files produced by --trace (the
+   [trace-smoke] alias).  Exits non-zero on parse errors, unbalanced or
+   misnested spans, timestamp regressions, or when the trace is shallower
+   than the expected structure. *)
+
+module Trace_check = Logiclock.Telemetry.Trace_check
+
+let () =
+  let path = ref None in
+  let min_depth = ref 0 in
+  let min_tracks = ref 0 in
+  let rec parse = function
+    | [] -> ()
+    | "--min-depth" :: v :: rest ->
+        min_depth := int_of_string v;
+        parse rest
+    | "--min-tracks" :: v :: rest ->
+        min_tracks := int_of_string v;
+        parse rest
+    | p :: rest ->
+        path := Some p;
+        parse rest
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let path =
+    match !path with
+    | Some p -> p
+    | None ->
+        prerr_endline "usage: trace_check [--min-depth N] [--min-tracks N] TRACE.json";
+        exit 2
+  in
+  match Trace_check.validate_chrome_trace_file path with
+  | Error errors ->
+      List.iter (fun e -> Printf.eprintf "trace_check: %s: %s\n" path e) errors;
+      exit 1
+  | Ok r ->
+      let fail = ref false in
+      if r.Trace_check.max_depth < !min_depth then begin
+        Printf.eprintf "trace_check: %s: max span depth %d < required %d\n" path
+          r.Trace_check.max_depth !min_depth;
+        fail := true
+      end;
+      if r.Trace_check.tracks < !min_tracks then begin
+        Printf.eprintf "trace_check: %s: %d track(s) < required %d\n" path
+          r.Trace_check.tracks !min_tracks;
+        fail := true
+      end;
+      if !fail then exit 1;
+      Printf.printf
+        "trace_check: %s OK — %d events (%d B, %d E, %d instant, %d meta), %d track(s), max depth %d\n"
+        path r.Trace_check.total_events r.Trace_check.begin_events r.Trace_check.end_events
+        r.Trace_check.instant_events r.Trace_check.meta_events r.Trace_check.tracks
+        r.Trace_check.max_depth

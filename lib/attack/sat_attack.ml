@@ -6,6 +6,13 @@ module Tseitin = Ll_sat.Tseitin
 module Lit = Ll_sat.Lit
 module Simplify = Ll_synth.Simplify
 module Sweep = Ll_synth.Sweep
+module Tel = Ll_telemetry.Telemetry
+
+let m_dips = Tel.Metric.counter "attack.dips"
+
+let m_oracle_queries = Tel.Metric.counter "attack.oracle_queries"
+
+let h_dip_solve = Tel.Metric.histogram "attack.dip_solve_s"
 
 type config = {
   simplify_constraints : bool;
@@ -60,13 +67,13 @@ let add_dip_constraint env ~simplified ~locked ~key_lits ~dip ~response ~cone_re
       let outs = Tseitin.encode env locked ~input_lits ~key_lits in
       constrain_outputs env outs response
 
-let run ?(config = default_config) locked ~oracle =
+let run_core ~config locked ~oracle =
   if Circuit.num_keys locked = 0 then invalid_arg "Sat_attack.run: circuit has no keys";
   if Circuit.num_inputs locked <> Oracle.num_inputs oracle then
     invalid_arg "Sat_attack.run: oracle input count mismatch";
   if Circuit.num_outputs locked <> Oracle.num_outputs oracle then
     invalid_arg "Sat_attack.run: oracle output count mismatch";
-  let started = Timer.now () in
+  let started = Timer.monotonic () in
   let queries_before = Oracle.query_count oracle in
   let solver = Solver.create ~seed:config.solver_seed () in
   let env = Tseitin.create solver in
@@ -136,11 +143,12 @@ let run ?(config = default_config) locked ~oracle =
   let timed_solve assumptions =
     let r, dt = Timer.time (fun () -> Solver.solve ~assumptions solver) in
     solve_time := !solve_time +. dt;
+    if Tel.enabled () then Tel.Metric.observe h_dip_solve dt;
     r
   in
   let over_time () =
     match config.time_limit with
-    | Some limit -> Timer.now () -. started > limit
+    | Some limit -> Timer.monotonic () -. started > limit
     | None -> false
   in
   let over_iterations i =
@@ -156,7 +164,7 @@ let run ?(config = default_config) locked ~oracle =
       dips = List.rev dips;
       num_dips = List.length dips;
       oracle_queries = Oracle.query_count oracle - queries_before;
-      total_time = Timer.now () -. started;
+      total_time = Timer.monotonic () -. started;
       solve_time = !solve_time;
       solver_conflicts = (Solver.stats solver).Solver.conflicts;
     }
@@ -165,7 +173,11 @@ let run ?(config = default_config) locked ~oracle =
     if over_iterations i then finish Iteration_limit None dips
     else if over_time () then finish Time_limit None dips
     else if interrupted () then finish Cancelled None dips
-    else
+    else begin
+      (* One span per DIP iteration: a0 = iteration index; closed with
+         v = the simplified cone's gate count (Sat) or -1 (Unsat, i.e. the
+         final solve that proves no DIP remains). *)
+      if Tel.enabled () then Tel.span_begin ~a0:i "attack.dip";
       match timed_solve [ act ] with
       | Solver.Unsat ->
           (* No DIP left: extract any surviving key. *)
@@ -175,10 +187,12 @@ let run ?(config = default_config) locked ~oracle =
                 Some (Bitvec.init n_key (fun k -> Solver.value solver key1.(k)))
             | Solver.Unsat -> None
           in
+          if Tel.enabled () then Tel.span_end ~v:(-1) ();
           finish Broken key dips
       | Solver.Sat ->
           let dip = Array.map (fun l -> Solver.value solver l) input_lits in
           let response = Oracle.query oracle dip in
+          Tel.Metric.incr m_oracle_queries;
           if not (indep_outputs_match dip response) then
             (* The oracle contradicts key-independent logic: no key can
                reproduce it.  Poison the solver so the attack reports
@@ -200,13 +214,30 @@ let run ?(config = default_config) locked ~oracle =
             ~cone_response;
           add_dip_constraint env ~simplified ~locked ~key_lits:key2 ~dip ~response
             ~cone_response;
-          (match config.log with
-          | Some log ->
-              log
-                (Printf.sprintf "iter %d: dip=%s response=%s" (i + 1)
-                   (Bitvec.to_string (Bitvec.of_bool_array dip))
-                   (Bitvec.to_string (Bitvec.of_bool_array response)))
-          | None -> ());
+          Tel.Metric.incr m_dips;
+          if Tel.log_active () then
+            Tel.log_line
+              (Printf.sprintf "iter %d: dip=%s response=%s" (i + 1)
+                 (Bitvec.to_string (Bitvec.of_bool_array dip))
+                 (Bitvec.to_string (Bitvec.of_bool_array response)));
+          if Tel.enabled () then begin
+            let cone_gates =
+              match simplified with
+              | Some small -> Circuit.gate_count small
+              | None -> Circuit.gate_count locked
+            in
+            Tel.span_end ~v:cone_gates ()
+          end;
           loop (i + 1) (Bitvec.of_bool_array dip :: dips)
+    end
   in
   loop 0 []
+
+(* A caller-supplied [log] callback becomes a telemetry log subscriber for
+   the dynamic extent of the attack on this domain: attack iterations emit
+   {!Tel.log_line}, which both feeds the callback and (when enabled) lands
+   in the event trace. *)
+let run ?(config = default_config) locked ~oracle =
+  match config.log with
+  | Some sink -> Tel.with_log_subscriber sink (fun () -> run_core ~config locked ~oracle)
+  | None -> run_core ~config locked ~oracle

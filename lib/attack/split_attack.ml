@@ -4,6 +4,15 @@ module Prng = Ll_util.Prng
 module Timer = Ll_util.Timer
 module Cofactor = Ll_synth.Cofactor
 module Pool = Ll_runtime.Pool
+module Tel = Ll_telemetry.Telemetry
+
+let m_subtasks = Tel.Metric.counter "split.tasks"
+
+(* "3=1,5=0": the fixed-input pattern of a cofactor sub-attack, used to
+   tag its trace span. *)
+let condition_string cond =
+  String.concat ","
+    (List.map (fun (i, b) -> Printf.sprintf "%d=%c" i (if b then '1' else '0')) cond)
 
 type task = {
   condition : (int * bool) list;
@@ -56,18 +65,29 @@ let task_seeds ~seed num_tasks =
 
 let base_config = function Some c -> c | None -> Sat_attack.default_config
 
-let run_task ~config ~locked ~oracle condition =
-  let t0 = Timer.now () in
-  let conditional = Cofactor.apply locked condition in
-  let sub_oracle = Oracle.restrict oracle condition in
-  let result = Sat_attack.run ~config conditional ~oracle:sub_oracle in
-  {
-    condition;
-    sub_inputs = Circuit.num_inputs conditional;
-    sub_gates = Circuit.gate_count conditional;
-    result;
-    task_time = Timer.now () -. t0;
-  }
+let run_task ?(index = -1) ~config ~locked ~oracle condition =
+  let t0 = Timer.monotonic () in
+  if Tel.enabled () then
+    Tel.span_begin ~a0:index ~note:(condition_string condition) "split.task";
+  Tel.Metric.incr m_subtasks;
+  match
+    let conditional = Cofactor.apply locked condition in
+    let sub_oracle = Oracle.restrict oracle condition in
+    let result = Sat_attack.run ~config conditional ~oracle:sub_oracle in
+    {
+      condition;
+      sub_inputs = Circuit.num_inputs conditional;
+      sub_gates = Circuit.gate_count conditional;
+      result;
+      task_time = Timer.monotonic () -. t0;
+    }
+  with
+  | task ->
+      if Tel.enabled () then Tel.span_end ~v:task.result.Sat_attack.num_dips ();
+      task
+  | exception e ->
+      if Tel.enabled () then Tel.span_end ~v:(-1) ~note:"exception" ();
+      raise e
 
 (* A sub-task cancelled before it started: no cofactoring happened and no
    solver ran, only the shape of the record is filled in. *)
@@ -110,23 +130,25 @@ let run ?config ?inputs ?(seed = 0) ~n locked ~oracle =
   let split_inputs, conditions = prepare ?inputs ~n locked in
   let base = base_config config in
   let seeds = task_seeds ~seed (Array.length conditions) in
-  let t0 = Timer.now () in
-  let tasks =
-    Array.mapi
-      (fun i cond ->
-        run_task ~config:{ base with Sat_attack.solver_seed = seeds.(i) } ~locked ~oracle
-          cond)
-      conditions
-  in
-  { split_inputs; tasks; wall_time = Timer.now () -. t0; domains_used = 1 }
+  let t0 = Timer.monotonic () in
+  Tel.with_span ~a0:n ~note:"serial" "split.run" (fun () ->
+      let tasks =
+        Array.mapi
+          (fun i cond ->
+            run_task ~index:i
+              ~config:{ base with Sat_attack.solver_seed = seeds.(i) }
+              ~locked ~oracle cond)
+          conditions
+      in
+      { split_inputs; tasks; wall_time = Timer.monotonic () -. t0; domains_used = 1 })
 
-let run_parallel ?config ?inputs ?num_domains ?pool ?(seed = 0)
+let run_parallel_core ?config ?inputs ?num_domains ?pool ?(seed = 0)
     ?(cancel_on_failure = false) ~n locked ~oracle =
   let split_inputs, conditions = prepare ?inputs ~n locked in
   let num_tasks = Array.length conditions in
   let base = base_config config in
   let seeds = task_seeds ~seed num_tasks in
-  let t0 = Timer.now () in
+  let t0 = Timer.monotonic () in
   let own_pool, pool =
     match pool with
     | Some p -> (false, p)
@@ -145,10 +167,11 @@ let run_parallel ?config ?inputs ?num_domains ?pool ?(seed = 0)
   let abort = Atomic.make false in
   let handles_ref = ref [||] in
   (* config.log data-race fix: concurrent domains must not interleave
-     through the caller's callback.  Each task appends to its own buffer
-     slot (no two tasks share a slot, so no lock is needed) and the lines
-     are flushed through the real callback in task order after the join. *)
-  let log_buffers = Array.make num_tasks [] in
+     through the caller's callback.  Each task appends to its own
+     {!Tel.Log_buffer} slot (no two tasks share a slot, so no lock is
+     needed) and the lines are flushed through the real callback in task
+     order after the join. *)
+  let log_buffers = Tel.Log_buffer.create num_tasks in
   let submit i cond =
     Pool.submit pool (fun ctx ->
         if Atomic.get abort || Pool.cancel_requested ctx then cancelled_task ~locked cond
@@ -156,7 +179,7 @@ let run_parallel ?config ?inputs ?num_domains ?pool ?(seed = 0)
           let log =
             match base.Sat_attack.log with
             | None -> None
-            | Some _ -> Some (fun line -> log_buffers.(i) <- line :: log_buffers.(i))
+            | Some _ -> Some (Tel.Log_buffer.slot log_buffers i)
           in
           let interrupt () =
             Atomic.get abort
@@ -170,7 +193,7 @@ let run_parallel ?config ?inputs ?num_domains ?pool ?(seed = 0)
               solver_seed = seeds.(i)
             }
           in
-          let task = run_task ~config ~locked ~oracle cond in
+          let task = run_task ~index:i ~config ~locked ~oracle cond in
           if cancel_on_failure && fatal task then begin
             Atomic.set abort true;
             Array.iter Pool.cancel !handles_ref
@@ -191,10 +214,16 @@ let run_parallel ?config ?inputs ?num_domains ?pool ?(seed = 0)
   in
   (match base.Sat_attack.log with
   | None -> ()
-  | Some log -> Array.iter (fun lines -> List.iter log (List.rev lines)) log_buffers);
+  | Some log -> Tel.Log_buffer.flush log_buffers log);
   let domains_used = Pool.num_domains pool in
   if own_pool then Pool.shutdown pool;
-  { split_inputs; tasks; wall_time = Timer.now () -. t0; domains_used }
+  { split_inputs; tasks; wall_time = Timer.monotonic () -. t0; domains_used }
+
+let run_parallel ?config ?inputs ?num_domains ?pool ?seed ?cancel_on_failure ~n locked
+    ~oracle =
+  Tel.with_span ~a0:n ~note:"steal" "split.run" (fun () ->
+      run_parallel_core ?config ?inputs ?num_domains ?pool ?seed ?cancel_on_failure ~n
+        locked ~oracle)
 
 let run_parallel_static ?config ?inputs ?num_domains ?(seed = 0) ~n locked ~oracle =
   let split_inputs, conditions = prepare ?inputs ~n locked in
@@ -209,37 +238,38 @@ let run_parallel_static ?config ?inputs ?num_domains ?(seed = 0) ~n locked ~orac
     in
     max 1 (min d num_tasks)
   in
-  let t0 = Timer.now () in
-  let results = Array.make num_tasks None in
-  let log_buffers = Array.make num_tasks [] in
-  (* Static round-robin chunking: domain d owns tasks d, d+domains, ...
-     No stealing — the historic scheduler, kept as the benchmark baseline
-     for the work-stealing pool.  Logs are buffered per task (same race
-     fix as the pooled runner). *)
-  let worker d () =
-    let rec go i =
-      if i < num_tasks then begin
-        let log =
-          match base.Sat_attack.log with
-          | None -> None
-          | Some _ -> Some (fun line -> log_buffers.(i) <- line :: log_buffers.(i))
+  let t0 = Timer.monotonic () in
+  Tel.with_span ~a0:n ~note:"static" "split.run" (fun () ->
+      let results = Array.make num_tasks None in
+      let log_buffers = Tel.Log_buffer.create num_tasks in
+      (* Static round-robin chunking: domain d owns tasks d, d+domains, ...
+         No stealing — the historic scheduler, kept as the benchmark baseline
+         for the work-stealing pool.  Logs are buffered per task (same race
+         fix as the pooled runner). *)
+      let worker d () =
+        let rec go i =
+          if i < num_tasks then begin
+            let log =
+              match base.Sat_attack.log with
+              | None -> None
+              | Some _ -> Some (Tel.Log_buffer.slot log_buffers i)
+            in
+            results.(i) <-
+              Some
+                (run_task ~index:i
+                   ~config:{ base with Sat_attack.log; solver_seed = seeds.(i) }
+                   ~locked ~oracle conditions.(i));
+            go (i + domains)
+          end
         in
-        results.(i) <-
-          Some
-            (run_task
-               ~config:{ base with Sat_attack.log; solver_seed = seeds.(i) }
-               ~locked ~oracle conditions.(i));
-        go (i + domains)
-      end
-    in
-    go d
-  in
-  let handles = Array.init domains (fun d -> Domain.spawn (worker d)) in
-  Array.iter Domain.join handles;
-  (match base.Sat_attack.log with
-  | None -> ()
-  | Some log -> Array.iter (fun lines -> List.iter log (List.rev lines)) log_buffers);
-  let tasks =
-    Array.map (function Some t -> t | None -> assert false) results
-  in
-  { split_inputs; tasks; wall_time = Timer.now () -. t0; domains_used = domains }
+        go d
+      in
+      let handles = Array.init domains (fun d -> Domain.spawn (worker d)) in
+      Array.iter Domain.join handles;
+      (match base.Sat_attack.log with
+      | None -> ()
+      | Some log -> Tel.Log_buffer.flush log_buffers log);
+      let tasks =
+        Array.map (function Some t -> t | None -> assert false) results
+      in
+      { split_inputs; tasks; wall_time = Timer.monotonic () -. t0; domains_used = domains })

@@ -5,7 +5,10 @@
     design, attack it, verify the recovered key or multi-key composition.
 
     Layering (bottom up):
-    - {!Util}: PRNG, bit vectors, timers.
+    - {!Util}: PRNG, bit vectors, timers, atomic file writes.
+    - {!Telemetry}: spans, metrics and multi-domain trace capture
+      ({!Ll_telemetry.Telemetry}) with Chrome-trace/JSONL/summary
+      exporters and a structural trace validator.
     - {!Runtime}: work-stealing domain pool shared by every parallel
       workload.
     - {!Netlist}: gate-level circuits, building, simulation, [.bench] I/O.
@@ -22,6 +25,13 @@ module Util = struct
   module Prng = Ll_util.Prng
   module Bitvec = Ll_util.Bitvec
   module Timer = Ll_util.Timer
+  module Fileio = Ll_util.Fileio
+end
+
+module Telemetry = struct
+  module Telemetry = Ll_telemetry.Telemetry
+  module Export = Ll_telemetry.Export
+  module Trace_check = Ll_telemetry.Trace_check
 end
 
 module Runtime = struct

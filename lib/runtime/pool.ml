@@ -1,5 +1,12 @@
 module Prng = Ll_util.Prng
 module Timer = Ll_util.Timer
+module Tel = Ll_telemetry.Telemetry
+
+let m_tasks = Tel.Metric.counter "pool.tasks"
+
+let m_steals = Tel.Metric.counter "pool.steals"
+
+let m_cancelled = Tel.Metric.counter "pool.cancelled"
 
 type ctx = { ctx_prng : Prng.t; ctx_cancelled : unit -> bool }
 
@@ -14,6 +21,7 @@ type 'a outcome = Done of 'a | Cancelled | Failed of exn
    records [Cancelled] without running.  Both take the pool lock only to
    publish the result. *)
 type job = {
+  job_id : int;  (* submission sequence number, for trace labelling *)
   job_cancelled : bool Atomic.t;
   job_run : unit -> unit;
   job_skip : unit -> unit;
@@ -25,6 +33,7 @@ type t = {
   deques : job Deque.t array;
   mutable domains : unit Domain.t array;
   mutable next_deque : int;  (* round-robin submission cursor *)
+  mutable n_submitted : int;
   mutable stopping : bool;
   root_prng : Prng.t;  (* split once per task, under [lock], in submit order *)
   mutable n_run : int;
@@ -69,13 +78,31 @@ let worker pool w () =
     | Some (job, stolen) ->
         if stolen then pool.n_steals <- pool.n_steals + 1;
         Mutex.unlock pool.lock;
-        if Atomic.get job.job_cancelled then job.job_skip () else job.job_run ();
+        if stolen then begin
+          Tel.instant ~a0:job.job_id "pool.steal";
+          Tel.Metric.incr m_steals
+        end;
+        if Atomic.get job.job_cancelled then begin
+          Tel.Metric.incr m_cancelled;
+          job.job_skip ()
+        end
+        else begin
+          Tel.Metric.incr m_tasks;
+          if Tel.enabled () then
+            Tel.with_span ~a0:job.job_id "pool.task" job.job_run
+          else job.job_run ()
+        end;
         Mutex.lock pool.lock;
         loop ()
     | None ->
         if pool.stopping then Mutex.unlock pool.lock
         else begin
+          (* Idle time is measured around the wait and emitted as a
+             backdated span after wake-up, so a snapshot taken while a
+             worker sleeps never sees a dangling open span. *)
+          let t0 = if Tel.enabled () then Tel.now_ns () else 0 in
           Condition.wait pool.wake pool.lock;
+          if t0 <> 0 then Tel.timed_span ~t0_ns:t0 "pool.idle";
           loop ()
         end
   in
@@ -94,6 +121,7 @@ let create ?num_domains ?(seed = 0) () =
       deques = Array.init n (fun _ -> Deque.create ());
       domains = [||];
       next_deque = 0;
+      n_submitted = 0;
       stopping = false;
       root_prng = Prng.create seed;
       n_run = 0;
@@ -129,6 +157,7 @@ let submit pool fn =
   let ctx = { ctx_prng = stream; ctx_cancelled = (fun () -> Atomic.get handle.h_cancel) } in
   let job =
     {
+      job_id = pool.n_submitted;
       job_cancelled = handle.h_cancel;
       job_run =
         (fun () ->
@@ -138,6 +167,7 @@ let submit pool fn =
       job_skip = (fun () -> finish Cancelled);
     }
   in
+  pool.n_submitted <- pool.n_submitted + 1;
   let d = pool.deques.(pool.next_deque) in
   Deque.push_back d job;
   if Deque.length d > pool.max_queue then pool.max_queue <- Deque.length d;

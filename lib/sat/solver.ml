@@ -17,6 +17,33 @@
    relocated through a binary-searched offset map — instead of leaking
    tombstones behind watch lists. *)
 
+module Tel = Ll_telemetry.Telemetry
+
+(* Solve-level telemetry.  Per-event counters are flushed as deltas at the
+   end of each [solve] rather than bumped in the search inner loop, so the
+   hot path carries no telemetry branches beyond the LBD observation. *)
+let m_solves = Tel.Metric.counter "sat.solves"
+
+let m_conflicts = Tel.Metric.counter "sat.conflicts"
+
+let m_decisions = Tel.Metric.counter "sat.decisions"
+
+let m_propagations = Tel.Metric.counter "sat.propagations"
+
+let m_restarts = Tel.Metric.counter "sat.restarts"
+
+let g_arena_words = Tel.Metric.gauge "sat.arena_words"
+
+let h_lbd =
+  Tel.Metric.histogram
+    ~buckets:[| 1.0; 2.0; 3.0; 4.0; 6.0; 8.0; 12.0; 16.0; 24.0; 32.0; 48.0; 64.0 |]
+    "sat.lbd"
+
+let h_conflicts_per_solve =
+  Tel.Metric.histogram
+    ~buckets:[| 0.0; 1.0; 3.0; 10.0; 30.0; 100.0; 300.0; 1e3; 3e3; 1e4; 3e4; 1e5 |]
+    "sat.conflicts_per_solve"
+
 type result = Sat | Unsat
 
 type stats = {
@@ -471,7 +498,7 @@ let locked s c =
    while scanning the arena, relocates every cref in watches, reasons and
    the clause lists through binary search, then slides live clause data
    down with overlap-safe blits. *)
-let gc_arena s =
+let gc_arena_core s =
   let arena = s.arena in
   let old_ofs = Vec.create ~dummy:0 in
   let new_ofs = Vec.create ~dummy:0 in
@@ -541,7 +568,15 @@ let gc_arena s =
   s.arena_len <- live_words;
   s.n_gcs <- s.n_gcs + 1
 
-let reduce_db s =
+let gc_arena s =
+  if Tel.enabled () then begin
+    Tel.span_begin ~a0:s.arena_len "sat.gc_arena";
+    gc_arena_core s;
+    Tel.span_end ~v:s.arena_len ()
+  end
+  else gc_arena_core s
+
+let reduce_db_core s =
   (* Ascending quality; the first half gets deleted.  Concrete comparisons
      (bool, then LBD descending, then activity ascending) — equivalent to
      the former polymorphic compare on a (bool, -lbd, activity) tuple but
@@ -570,6 +605,14 @@ let reduce_db s =
     Vec.filter_in_place (fun c -> not (clause_marked s c)) s.learnts;
     gc_arena s
   end
+
+let reduce_db s =
+  if Tel.enabled () then begin
+    Tel.span_begin ~a0:(Vec.length s.learnts) "sat.reduce_db";
+    reduce_db_core s;
+    Tel.span_end ~v:(Vec.length s.learnts) ()
+  end
+  else reduce_db_core s
 
 (* --- Adding clauses (root level) --- *)
 
@@ -645,6 +688,7 @@ let pick_branch_var s =
 type search_outcome = O_sat | O_unsat | O_restart
 
 let record_learnt s lits lbd =
+  if Tel.enabled () then Tel.Metric.observe h_lbd (float_of_int lbd);
   log_proof s (P_add (Array.copy lits));
   s.n_learnt_literals <- s.n_learnt_literals + Array.length lits;
   match Array.length lits with
@@ -707,7 +751,7 @@ let search s ~assumptions ~conflict_budget ~max_learnts ~conflict_limit =
   done;
   Option.get !outcome
 
-let solve ?(assumptions = []) ?(conflict_limit = 0) s =
+let solve_core ~assumptions ~conflict_limit s =
   if not s.ok then Unsat
   else begin
     cancel_until s 0;
@@ -728,6 +772,7 @@ let solve ?(assumptions = []) ?(conflict_limit = 0) s =
           Unsat
       | O_restart ->
           s.n_restarts <- s.n_restarts + 1;
+          Tel.instant ~a0:s.n_restarts "sat.restart";
           max_learnts := !max_learnts *. 1.05;
           run (attempt + 1)
     in
@@ -735,6 +780,34 @@ let solve ?(assumptions = []) ?(conflict_limit = 0) s =
     (* On Sat the trail is kept as the model until the next mutation. *)
     result
   end
+
+let solve ?(assumptions = []) ?(conflict_limit = 0) s =
+  if Tel.enabled () then begin
+    let c0 = s.n_conflicts
+    and d0 = s.n_decisions
+    and p0 = s.n_propagations
+    and r0 = s.n_restarts in
+    Tel.span_begin ~a0:(Vec.length s.clauses) ~a1:s.nvars "sat.solve";
+    let flush () =
+      Tel.Metric.incr m_solves;
+      Tel.Metric.add m_conflicts (s.n_conflicts - c0);
+      Tel.Metric.add m_decisions (s.n_decisions - d0);
+      Tel.Metric.add m_propagations (s.n_propagations - p0);
+      Tel.Metric.add m_restarts (s.n_restarts - r0);
+      Tel.Metric.observe h_conflicts_per_solve (float_of_int (s.n_conflicts - c0));
+      Tel.Metric.set g_arena_words (float_of_int s.arena_len)
+    in
+    match solve_core ~assumptions ~conflict_limit s with
+    | result ->
+        flush ();
+        Tel.span_end ~v:(match result with Sat -> 1 | Unsat -> 0) ();
+        result
+    | exception e ->
+        flush ();
+        Tel.span_end ~v:(-1) ~note:"exception" ();
+        raise e
+  end
+  else solve_core ~assumptions ~conflict_limit s
 
 let value s l =
   match lit_value s l with

@@ -1,13 +1,33 @@
 module Circuit = Ll_netlist.Circuit
+module Tel = Ll_telemetry.Telemetry
+
+(* Per-pass span carrying the gate-count delta: a0 = gates before,
+   result value = gates after. *)
+let traced_pass name c f =
+  if Tel.enabled () then begin
+    Tel.span_begin ~a0:(Circuit.gate_count c) name;
+    match f c with
+    | r ->
+        Tel.span_end ~v:(Circuit.gate_count r) ();
+        r
+    | exception e ->
+        Tel.span_end ~note:"exception" ();
+        raise e
+  end
+  else f c
+
+let simplify ?bind c = traced_pass "synth.simplify" c (fun c -> Simplify.run ?bind c)
+
+let sweep c = traced_pass "synth.sweep" c Sweep.run
 
 let run ?(bind = []) ?(max_rounds = 4) c =
   let rec loop round c =
     if round >= max_rounds then c
     else
       let before = (Circuit.gate_count c, Circuit.num_nodes c) in
-      let c = Sweep.run (Simplify.run c) in
+      let c = sweep (simplify c) in
       let after = (Circuit.gate_count c, Circuit.num_nodes c) in
       if after = before then c else loop (round + 1) c
   in
-  let first = Sweep.run (Simplify.run ~bind c) in
+  let first = sweep (simplify ~bind c) in
   loop 1 first

@@ -1,0 +1,208 @@
+module T = Telemetry
+
+(* JSON string escaping (the OCaml %S escapes control characters in a
+   non-JSON decimal form, so roll our own). *)
+let json_escape s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let us_of_ns ns = float_of_int ns /. 1e3
+
+(* ------------------------------------------------------------------ *)
+(* Chrome trace_event JSON (Perfetto / about:tracing)                  *)
+(* ------------------------------------------------------------------ *)
+
+let chrome_trace buf (snap : T.snapshot) =
+  Buffer.add_string buf "{\"traceEvents\":[\n";
+  let first = ref true in
+  let emit line =
+    if !first then first := false else Buffer.add_string buf ",\n";
+    Buffer.add_string buf line
+  in
+  (* Track-naming metadata: one thread per telemetry domain. *)
+  let seen = Hashtbl.create 8 in
+  Array.iter
+    (fun (e : T.event) ->
+      if not (Hashtbl.mem seen e.T.er_domain) then begin
+        Hashtbl.add seen e.T.er_domain ();
+        emit
+          (Printf.sprintf
+             "{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":1,\"tid\":%d,\"args\":{\"name\":\"domain-%d\"}}"
+             e.T.er_domain e.T.er_domain)
+      end)
+    snap.T.events;
+  Array.iter
+    (fun (e : T.event) ->
+      let common =
+        Printf.sprintf "\"ts\":%.3f,\"pid\":1,\"tid\":%d" (us_of_ns e.T.er_ts_ns) e.T.er_domain
+      in
+      let note_field =
+        if e.T.er_note = "" then "" else Printf.sprintf ",\"note\":\"%s\"" (json_escape e.T.er_note)
+      in
+      if e.T.er_kind = T.kind_begin then
+        emit
+          (Printf.sprintf "{\"name\":\"%s\",\"cat\":\"ll\",\"ph\":\"B\",%s,\"args\":{\"a0\":%d,\"a1\":%d%s}}"
+             (json_escape e.T.er_name) common e.T.er_a0 e.T.er_a1 note_field)
+      else if e.T.er_kind = T.kind_end then
+        emit
+          (Printf.sprintf "{\"name\":\"%s\",\"cat\":\"ll\",\"ph\":\"E\",%s,\"args\":{\"dur_ns\":%d,\"v\":%d}}"
+             (json_escape e.T.er_name) common e.T.er_a0 e.T.er_a1)
+      else if e.T.er_kind = T.kind_log then
+        emit
+          (Printf.sprintf
+             "{\"name\":\"log\",\"cat\":\"ll\",\"ph\":\"i\",\"s\":\"t\",%s,\"args\":{\"line\":\"%s\"}}"
+             common (json_escape e.T.er_note))
+      else
+        emit
+          (Printf.sprintf
+             "{\"name\":\"%s\",\"cat\":\"ll\",\"ph\":\"i\",\"s\":\"t\",%s,\"args\":{\"a0\":%d,\"a1\":%d%s}}"
+             (json_escape e.T.er_name) common e.T.er_a0 e.T.er_a1 note_field))
+    snap.T.events;
+  Buffer.add_string buf "\n],\n";
+  Buffer.add_string buf "\"displayTimeUnit\":\"ms\",\n";
+  Buffer.add_string buf "\"otherData\":{";
+  Buffer.add_string buf (Printf.sprintf "\"taken_at\":%.3f" snap.T.taken_at);
+  Buffer.add_string buf (Printf.sprintf ",\"domains\":%d" snap.T.domains);
+  Buffer.add_string buf (Printf.sprintf ",\"dropped_events\":%d" snap.T.dropped_events);
+  Buffer.add_string buf
+    (Printf.sprintf ",\"unbalanced_span_ends\":%d" snap.T.unbalanced_span_ends);
+  List.iter
+    (fun (name, v) ->
+      Buffer.add_string buf (Printf.sprintf ",\"%s\":%d" (json_escape name) v))
+    snap.T.counters;
+  List.iter
+    (fun (name, v) ->
+      Buffer.add_string buf (Printf.sprintf ",\"%s\":%.6g" (json_escape name) v))
+    snap.T.gauges;
+  Buffer.add_string buf "}}\n"
+
+let chrome_trace_string snap =
+  let buf = Buffer.create 65536 in
+  chrome_trace buf snap;
+  Buffer.contents buf
+
+let write_chrome_trace path snap =
+  Ll_util.Fileio.write_atomic_string path (chrome_trace_string snap)
+
+(* ------------------------------------------------------------------ *)
+(* Structured JSONL                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let jsonl buf (snap : T.snapshot) =
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf s; Buffer.add_char buf '\n') fmt in
+  line
+    "{\"type\":\"meta\",\"taken_at\":%.3f,\"domains\":%d,\"events\":%d,\"dropped_events\":%d,\"unbalanced_span_ends\":%d}"
+    snap.T.taken_at snap.T.domains (Array.length snap.T.events) snap.T.dropped_events
+    snap.T.unbalanced_span_ends;
+  List.iter
+    (fun (name, v) -> line "{\"type\":\"counter\",\"name\":\"%s\",\"value\":%d}" (json_escape name) v)
+    snap.T.counters;
+  List.iter
+    (fun (name, v) -> line "{\"type\":\"gauge\",\"name\":\"%s\",\"value\":%.6g}" (json_escape name) v)
+    snap.T.gauges;
+  List.iter
+    (fun (name, (h : T.hist)) ->
+      let floats a = String.concat "," (Array.to_list (Array.map (Printf.sprintf "%.6g") a)) in
+      let ints a = String.concat "," (Array.to_list (Array.map string_of_int a)) in
+      line
+        "{\"type\":\"histogram\",\"name\":\"%s\",\"buckets\":[%s],\"counts\":[%s],\"count\":%d,\"sum\":%.6g}"
+        (json_escape name) (floats h.T.h_buckets) (ints h.T.h_counts) h.T.h_count h.T.h_sum)
+    snap.T.histograms;
+  Array.iter
+    (fun (e : T.event) ->
+      let kind =
+        if e.T.er_kind = T.kind_begin then "B"
+        else if e.T.er_kind = T.kind_end then "E"
+        else if e.T.er_kind = T.kind_log then "log"
+        else "I"
+      in
+      line
+        "{\"type\":\"event\",\"kind\":\"%s\",\"domain\":%d,\"ts_ns\":%d,\"name\":\"%s\",\"a0\":%d,\"a1\":%d,\"note\":\"%s\"}"
+        kind e.T.er_domain e.T.er_ts_ns (json_escape e.T.er_name) e.T.er_a0 e.T.er_a1
+        (json_escape e.T.er_note))
+    snap.T.events
+
+let jsonl_string snap =
+  let buf = Buffer.create 65536 in
+  jsonl buf snap;
+  Buffer.contents buf
+
+let write_jsonl path snap = Ll_util.Fileio.write_atomic_string path (jsonl_string snap)
+
+(* ------------------------------------------------------------------ *)
+(* Compact text summary                                                *)
+(* ------------------------------------------------------------------ *)
+
+let summary (snap : T.snapshot) =
+  let buf = Buffer.create 4096 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf s; Buffer.add_char buf '\n') fmt in
+  line "telemetry summary (%d domain(s), %d event(s), %d dropped, %d unbalanced end(s))"
+    snap.T.domains (Array.length snap.T.events) snap.T.dropped_events
+    snap.T.unbalanced_span_ends;
+  if snap.T.counters <> [] then begin
+    line "counters:";
+    List.iter (fun (name, v) -> line "  %-28s %12d" name v) snap.T.counters
+  end;
+  if snap.T.gauges <> [] then begin
+    line "gauges:";
+    List.iter (fun (name, v) -> line "  %-28s %12.6g" name v) snap.T.gauges
+  end;
+  if snap.T.histograms <> [] then begin
+    line "histograms:";
+    List.iter
+      (fun (name, (h : T.hist)) ->
+        let mean = if h.T.h_count > 0 then h.T.h_sum /. float_of_int h.T.h_count else 0.0 in
+        (* Approximate quantile: the upper bound of the bucket where the
+           cumulative count crosses q. *)
+        let quantile q =
+          let target = int_of_float (ceil (q *. float_of_int h.T.h_count)) in
+          let acc = ref 0 and res = ref infinity in
+          Array.iteri
+            (fun i c ->
+              if !acc < target then begin
+                acc := !acc + c;
+                if !acc >= target then
+                  res :=
+                    (if i < Array.length h.T.h_buckets then h.T.h_buckets.(i) else infinity)
+              end)
+            h.T.h_counts;
+          !res
+        in
+        line "  %-28s n=%-8d mean=%-12.6g p50<=%-10.3g p90<=%-10.3g" name h.T.h_count mean
+          (quantile 0.5) (quantile 0.9))
+      snap.T.histograms
+  end;
+  (* Span rollup: totals by name. *)
+  let spans = T.spans snap in
+  if spans <> [] then begin
+    let tbl = Hashtbl.create 16 in
+    List.iter
+      (fun (s : T.span) ->
+        let count, total, mx =
+          try Hashtbl.find tbl s.T.sp_name with Not_found -> (0, 0, 0)
+        in
+        Hashtbl.replace tbl s.T.sp_name
+          (count + 1, total + s.T.sp_dur_ns, max mx s.T.sp_dur_ns))
+      spans;
+    let rows = Hashtbl.fold (fun name v acc -> (name, v) :: acc) tbl [] in
+    let rows = List.sort (fun (_, (_, a, _)) (_, (_, b, _)) -> compare b a) rows in
+    line "spans (by total time):";
+    List.iter
+      (fun (name, (count, total, mx)) ->
+        line "  %-28s n=%-8d total=%10.3f s  max=%10.3f s" name count
+          (float_of_int total *. 1e-9)
+          (float_of_int mx *. 1e-9))
+      rows
+  end;
+  Buffer.contents buf

@@ -1,0 +1,34 @@
+(** Exporters for {!Telemetry.snapshot}.
+
+    Three formats cover the three consumers: Chrome [trace_event] JSON for
+    humans (load in {{:https://ui.perfetto.dev}Perfetto} or
+    [about:tracing]), JSONL for scripts, and a text summary for terminals
+    and the CLI's [--metrics] flag.  File writers go through
+    {!Ll_util.Fileio.write_atomic}, so an interrupted run never leaves a
+    truncated artifact. *)
+
+val json_escape : string -> string
+(** Escape a string for embedding in a JSON string literal. *)
+
+val chrome_trace : Buffer.t -> Telemetry.snapshot -> unit
+(** One JSON object: [{"traceEvents": [...], "displayTimeUnit": ...,
+    "otherData": {counters, gauges, drop counts}}].  Span B/E pairs become
+    [ph:"B"]/[ph:"E"] events; instants and log lines [ph:"i"].  Each
+    telemetry domain is a separate named track ([tid]). *)
+
+val chrome_trace_string : Telemetry.snapshot -> string
+
+val write_chrome_trace : string -> Telemetry.snapshot -> unit
+(** Atomic write of {!chrome_trace_string} to a path. *)
+
+val jsonl : Buffer.t -> Telemetry.snapshot -> unit
+(** One JSON object per line: a [meta] header, then [counter] / [gauge] /
+    [histogram] lines, then every [event]. *)
+
+val jsonl_string : Telemetry.snapshot -> string
+
+val write_jsonl : string -> Telemetry.snapshot -> unit
+
+val summary : Telemetry.snapshot -> string
+(** Compact human-readable rollup: counters, gauges, histogram means and
+    approximate quantiles, and per-name span totals. *)

@@ -1,0 +1,39 @@
+(** Structural validation of Chrome [trace_event] JSON files.
+
+    Backs the [trace-smoke] CI alias: parses the trace produced by
+    {!Export.write_chrome_trace} with a small built-in JSON parser and
+    checks that per-track span events are balanced, matched by name, and
+    time-ordered. *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of json list
+  | Obj of (string * json) list
+
+exception Parse_error of string
+
+val parse_json : string -> json
+(** Raises {!Parse_error} on malformed input or trailing garbage. *)
+
+val member : string -> json -> json option
+
+type report = {
+  total_events : int;
+  begin_events : int;
+  end_events : int;
+  instant_events : int;
+  meta_events : int;
+  tracks : int;  (** distinct [tid]s carrying non-metadata events *)
+  max_depth : int;  (** deepest span nesting observed on any track *)
+  errors : string list;
+}
+
+val validate_chrome_trace : string -> (report, string list) result
+(** Checks, per [tid]: every [E] matches the innermost open [B] by name,
+    no [E] on an empty stack, no unclosed span at the end, and timestamps
+    are monotone.  [Error] lists every violation (or the parse error). *)
+
+val validate_chrome_trace_file : string -> (report, string list) result

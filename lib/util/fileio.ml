@@ -1,0 +1,16 @@
+let write_atomic path f =
+  let dir = Filename.dirname path in
+  let tmp =
+    Filename.temp_file ~temp_dir:dir ("." ^ Filename.basename path ^ ".") ".tmp"
+  in
+  let oc = open_out tmp in
+  match f oc with
+  | () ->
+      close_out oc;
+      Sys.rename tmp path
+  | exception e ->
+      close_out_noerr oc;
+      (try Sys.remove tmp with Sys_error _ -> ());
+      raise e
+
+let write_atomic_string path s = write_atomic path (fun oc -> output_string oc s)

@@ -1,0 +1,14 @@
+(** Crash-safe file output.
+
+    Benchmark and trace artifacts ([BENCH_*.json], Chrome traces) are
+    written through a temp-file-plus-rename so an interrupted run can never
+    leave a truncated file behind: readers see either the old content or
+    the complete new content. *)
+
+val write_atomic : string -> (out_channel -> unit) -> unit
+(** [write_atomic path f] runs [f] on a temp file in [path]'s directory and
+    renames it over [path] on success.  On exception the temp file is
+    removed and the exception re-raised; [path] is untouched. *)
+
+val write_atomic_string : string -> string -> unit
+(** [write_atomic_string path s] — {!write_atomic} with fixed content. *)

@@ -1,0 +1,15 @@
+/* Monotonic clock for span and stopwatch measurements.
+ *
+ * Returns CLOCK_MONOTONIC as integer nanoseconds in a tagged OCaml int:
+ * 62 bits of nanoseconds cover ~146 years of uptime, so the value never
+ * overflows in practice and the stub can be [@@noalloc].
+ */
+#include <caml/mlvalues.h>
+#include <time.h>
+
+CAMLprim value ll_util_monotonic_ns(value unit)
+{
+  struct timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return Val_long((intnat)ts.tv_sec * 1000000000 + (intnat)ts.tv_nsec);
+}

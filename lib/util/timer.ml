@@ -1,22 +1,29 @@
+external monotonic_ns : unit -> int = "ll_util_monotonic_ns" [@@noalloc]
+
+let monotonic () = float_of_int (monotonic_ns ()) *. 1e-9
+
 let now () = Unix.gettimeofday ()
 
 let time f =
-  let t0 = now () in
+  let t0 = monotonic () in
   let result = f () in
-  (result, now () -. t0)
+  (result, monotonic () -. t0)
 
 type stopwatch = { mutable accum : float; mutable started_at : float option }
 
 let stopwatch () = { accum = 0.0; started_at = None }
 
-let start w = match w.started_at with Some _ -> () | None -> w.started_at <- Some (now ())
+let start w =
+  match w.started_at with Some _ -> () | None -> w.started_at <- Some (monotonic ())
 
 let stop w =
   match w.started_at with
   | None -> ()
   | Some t0 ->
-      w.accum <- w.accum +. (now () -. t0);
+      w.accum <- w.accum +. (monotonic () -. t0);
       w.started_at <- None
 
 let elapsed w =
-  match w.started_at with None -> w.accum | Some t0 -> w.accum +. (now () -. t0)
+  match w.started_at with
+  | None -> w.accum
+  | Some t0 -> w.accum +. (monotonic () -. t0)

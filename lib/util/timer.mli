@@ -1,14 +1,27 @@
-(** Wall-clock timing helpers for attack statistics and benchmarks. *)
+(** Timing helpers for attack statistics, telemetry and benchmarks.
+
+    Two clocks are exposed deliberately: {!monotonic} (CLOCK_MONOTONIC,
+    immune to NTP steps and wall-clock jumps) for every duration, span and
+    stopwatch measurement, and {!now} (Unix epoch) only for report
+    timestamps that must be meaningful outside the process. *)
+
+val monotonic_ns : unit -> int
+(** Monotonic clock reading in integer nanoseconds.  The origin is
+    unspecified (typically system boot); only differences are meaningful. *)
+
+val monotonic : unit -> float
+(** {!monotonic_ns} in seconds. *)
 
 val now : unit -> float
-(** Wall-clock seconds since the Unix epoch. *)
+(** Wall-clock seconds since the Unix epoch.  Not monotonic — use only for
+    report timestamps, never to measure durations. *)
 
 val time : (unit -> 'a) -> 'a * float
-(** [time f] runs [f ()] and returns its result with the elapsed wall-clock
+(** [time f] runs [f ()] and returns its result with the elapsed monotonic
     seconds. *)
 
 type stopwatch
-(** An accumulating stopwatch that can be paused and resumed. *)
+(** An accumulating stopwatch that can be paused and resumed (monotonic). *)
 
 val stopwatch : unit -> stopwatch
 (** A fresh, stopped stopwatch with zero accumulated time. *)

@@ -1,0 +1,76 @@
+(* Structural validator for odoc .mld pages, standing in for [@doc] in the
+   tier-1 verify path when the odoc binary is not installed.  Checks that
+   every page parses at the block level: braces balance, [{v]/[{[] verbatim
+   and code blocks are terminated, and no stray [}] closes an unopened
+   construct.  Exits non-zero listing every offending file and position. *)
+
+let check_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  let errors = ref [] in
+  let err fmt = Printf.ksprintf (fun m -> errors := m :: !errors) fmt in
+  let line_of pos =
+    let line = ref 1 in
+    for i = 0 to min (pos - 1) (String.length s - 1) do
+      if s.[i] = '\n' then incr line
+    done;
+    !line
+  in
+  (* Depth of ordinary { } nesting; verbatim/code spans are scanned for
+     their matching terminator without counting braces inside. *)
+  let depth = ref 0 in
+  let stack = ref [] in
+  let i = ref 0 in
+  let n = String.length s in
+  while !i < n do
+    (match s.[!i] with
+    | '{' when !i + 1 < n && s.[!i + 1] = 'v' ->
+        (* {v ... v} verbatim *)
+        let rec find j =
+          if j + 1 >= n then (
+            err "%s:%d: unterminated {v verbatim block" path (line_of !i);
+            n)
+          else if s.[j] = 'v' && s.[j + 1] = '}' then j + 1
+          else find (j + 1)
+        in
+        i := find (!i + 2)
+    | '{' when !i + 1 < n && s.[!i + 1] = '[' ->
+        (* {[ ... ]} code block *)
+        let rec find j =
+          if j + 1 >= n then (
+            err "%s:%d: unterminated {[ code block" path (line_of !i);
+            n)
+          else if s.[j] = ']' && s.[j + 1] = '}' then j + 1
+          else find (j + 1)
+        in
+        i := find (!i + 2)
+    | '{' ->
+        incr depth;
+        stack := !i :: !stack
+    | '}' ->
+        if !depth = 0 then err "%s:%d: unmatched }" path (line_of !i)
+        else begin
+          decr depth;
+          stack := List.tl !stack
+        end
+    | _ -> ());
+    incr i
+  done;
+  List.iter (fun pos -> err "%s:%d: unclosed {" path (line_of pos)) !stack;
+  List.rev !errors
+
+let () =
+  let files = List.tl (Array.to_list Sys.argv) in
+  if files = [] then begin
+    prerr_endline "usage: check_mld FILE.mld...";
+    exit 2
+  end;
+  let errors = List.concat_map check_file files in
+  if errors = [] then
+    Printf.printf "check_mld: %d page(s) OK\n" (List.length files)
+  else begin
+    List.iter prerr_endline errors;
+    exit 1
+  end
