@@ -30,12 +30,16 @@ let sections =
     Array.to_list Sys.argv |> List.tl |> List.map String.lowercase_ascii
   in
   let all =
-    [ "fig1a"; "fig1b"; "table1"; "table2"; "exact"; "micro"; "ablation"; "smoke"; "sat" ]
+    [
+      "fig1a"; "fig1b"; "table1"; "table2"; "exact"; "micro"; "ablation"; "smoke";
+      "sat"; "eval";
+    ]
   in
   (* Selectable but not part of a default run: "satsmoke" is the tiny
      SAT-core suite behind the [bench-sat-smoke] CI alias, a subset of
-     "sat". *)
-  let extras = [ "satsmoke" ] in
+     "sat"; "evalsmoke" likewise for the compiled-kernel suite behind
+     [bench-eval-smoke]. *)
+  let extras = [ "satsmoke"; "evalsmoke" ] in
   let chosen =
     List.filter (fun s -> List.mem s all || List.mem s extras) requested
   in
@@ -584,6 +588,17 @@ let sat_core ~smoke =
      else "SAT core: miter suite + DIMACS replays");
   Sat_bench.run ~smoke
 
+(* ------------------------------------------------------------------ *)
+(* Compiled netlist kernel: simulation + constraint-generation rates   *)
+(* (BENCH_eval.json).                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let eval_core ~smoke =
+  header
+    (if smoke then "Compiled kernel: smoke suite (fast CI check)"
+     else "Compiled kernel: simulation and per-DIP constraint generation");
+  Eval_bench.run ~smoke
+
 let () =
   Printf.printf "logiclock benchmark harness — paper: DAC'24 LBR, One-Key Premise\n";
   Printf.printf "host: %d core(s) recommended by the runtime\n"
@@ -599,6 +614,8 @@ let () =
   if want "smoke" then smoke ();
   if want "sat" then sat_core ~smoke:false;
   if want "satsmoke" then sat_core ~smoke:true;
+  if want "eval" then eval_core ~smoke:false;
+  if want "evalsmoke" then eval_core ~smoke:true;
   if want "micro" then micro ();
   if want "table2" then table2 ();
   write_split_json ()

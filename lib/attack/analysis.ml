@@ -11,16 +11,45 @@ let error_matrix ~original ~locked =
   if Circuit.num_outputs original <> Circuit.num_outputs locked then
     invalid_arg "Analysis.error_matrix: output count mismatch";
   if n_in + n_key > 24 then invalid_arg "Analysis.error_matrix: space too large";
-  let reference =
-    Array.init (1 lsl n_in) (fun x ->
-        Eval.eval original ~inputs:(Bitvec.to_bool_array (Bitvec.of_int ~width:n_in x)) ~keys:[||])
+  (* Exhaustive sweep through the packed kernel: 64 input patterns per
+     call, input-space words precomputed once and reused for every key.
+     Lane [l] of block [b] is input pattern [64*b + l]. *)
+  let n_pat = 1 lsl n_in in
+  let blocks = (n_pat + 63) / 64 in
+  let input_words =
+    Array.init blocks (fun b ->
+        let base = b * 64 in
+        Array.init n_in (fun p ->
+            let w = ref 0L in
+            for l = 0 to min 63 (n_pat - base - 1) do
+              if ((base + l) lsr p) land 1 = 1 then
+                w := Int64.logor !w (Int64.shift_left 1L l)
+            done;
+            !w))
+  in
+  let ref_words =
+    Array.map (fun iw -> Eval.eval_lanes original ~inputs:iw ~keys:[||]) input_words
   in
   let errors =
     Array.init (1 lsl n_key) (fun k ->
-        let keys = Bitvec.to_bool_array (Bitvec.of_int ~width:n_key k) in
-        Array.init (1 lsl n_in) (fun x ->
-            let inputs = Bitvec.to_bool_array (Bitvec.of_int ~width:n_in x) in
-            Eval.eval locked ~inputs ~keys <> reference.(x)))
+        let keys =
+          Array.init n_key (fun i -> if (k lsr i) land 1 = 1 then -1L else 0L)
+        in
+        let row = Array.make n_pat false in
+        Array.iteri
+          (fun b iw ->
+            let got = Eval.eval_lanes locked ~inputs:iw ~keys in
+            let diff = ref 0L in
+            Array.iteri
+              (fun o w -> diff := Int64.logor !diff (Int64.logxor w got.(o)))
+              ref_words.(b);
+            let base = b * 64 in
+            for l = 0 to min 63 (n_pat - base - 1) do
+              if Int64.logand (Int64.shift_right_logical !diff l) 1L = 1L then
+                row.(base + l) <- true
+            done)
+          input_words;
+        row)
   in
   { num_inputs = n_in; num_keys = n_key; errors }
 

@@ -1,13 +1,11 @@
 module Circuit = Ll_netlist.Circuit
-module Eval = Ll_netlist.Eval
+module Compiled = Ll_netlist.Compiled
 module Bitvec = Ll_util.Bitvec
 module Prng = Ll_util.Prng
 module Timer = Ll_util.Timer
 module Solver = Ll_sat.Solver
 module Tseitin = Ll_sat.Tseitin
 module Lit = Ll_sat.Lit
-module Simplify = Ll_synth.Simplify
-module Sweep = Ll_synth.Sweep
 module Pool = Ll_runtime.Pool
 
 type result = {
@@ -28,17 +26,52 @@ let estimate_batches = 8
 
 let estimate_error ?pool ~prng ~samples locked oracle key =
   let n_in = Circuit.num_inputs locked in
-  let keys = Bitvec.to_bool_array key in
+  let n_out = Circuit.num_outputs locked in
+  let prog = Compiled.cached locked in
+  let key_lanes =
+    Array.init (Bitvec.length key) (fun i -> if Bitvec.get key i then -1L else 0L)
+  in
   let per = (samples + estimate_batches - 1) / estimate_batches in
   let batches =
     Array.init estimate_batches (fun b ->
         (Prng.split prng, max 0 (min per (samples - (b * per)))))
   in
+  (* Locked-circuit side runs 64 samples per packed kernel call; the draw
+     order (sample-major) and the oracle query order are exactly those of
+     the one-sample-at-a-time loop, so the estimate — and the oracle's
+     query count — are unchanged. *)
   let count_bad (g, count) =
+    let patterns = Array.init count (fun _ -> Array.init n_in (fun _ -> Prng.bool g)) in
+    let lanes = Array.make n_in 0L in
+    let scratch = Compiled.local_scratch prog in
     let bad = ref 0 in
-    for _ = 1 to count do
-      let inputs = Array.init n_in (fun _ -> Prng.bool g) in
-      if Eval.eval locked ~inputs ~keys <> Oracle.query oracle inputs then incr bad
+    let base = ref 0 in
+    while !base < count do
+      let w = min 64 (count - !base) in
+      for p = 0 to n_in - 1 do
+        let word = ref 0L in
+        for l = 0 to w - 1 do
+          if patterns.(!base + l).(p) then
+            word := Int64.logor !word (Int64.shift_left 1L l)
+        done;
+        lanes.(p) <- !word
+      done;
+      Compiled.eval_lanes_into prog scratch ~inputs:lanes ~keys:key_lanes;
+      for l = 0 to w - 1 do
+        let response = Oracle.query oracle patterns.(!base + l) in
+        let ok = ref true in
+        for o = 0 to n_out - 1 do
+          let got =
+            Int64.logand
+              (Int64.shift_right_logical (Compiled.output_lanes prog scratch o) l)
+              1L
+            = 1L
+          in
+          if got <> response.(o) then ok := false
+        done;
+        if not !ok then incr bad
+      done;
+      base := !base + w
     done;
     !bad
   in
@@ -83,13 +116,13 @@ let run ?(prng = Prng.create 0xA99) ?(target_error = 0.01) ?(check_every = 5)
     | Solver.Sat -> Some (Bitvec.init n_key (fun k -> Solver.value solver key1.(k)))
     | Solver.Unsat -> None
   in
+  let prog = Compiled.compile locked in
+  let scratch = Compiled.scratch prog in
   let add_constraint dip response =
-    let small =
-      Sweep.run (Simplify.run ~bind:(List.init n_in (fun p -> (p, dip.(p)))) locked)
-    in
+    Compiled.cofactor_into prog scratch ~inputs:dip;
     List.iter
       (fun kl ->
-        let outs = Tseitin.encode env small ~input_lits:[||] ~key_lits:kl in
+        let outs = Tseitin.encode_cofactored env prog scratch ~key_lits:kl in
         Array.iteri (fun o l -> Tseitin.force env l response.(o)) outs)
       [ key1; key2 ]
   in

@@ -1,5 +1,5 @@
 module Circuit = Ll_netlist.Circuit
-module Eval = Ll_netlist.Eval
+module Compiled = Ll_netlist.Compiled
 
 type t = {
   num_inputs : int;
@@ -10,10 +10,14 @@ type t = {
 
 let of_circuit c =
   if Circuit.num_keys c > 0 then invalid_arg "Oracle.of_circuit: circuit has key ports";
+  (* Compile once; each querying domain gets its own scratch from the
+     per-domain cache, so one oracle value can serve a whole pool without
+     locks or per-query allocation in the simulator. *)
+  let prog = Compiled.compile c in
   {
     num_inputs = Circuit.num_inputs c;
     num_outputs = Circuit.num_outputs c;
-    behaviour = (fun inputs -> Eval.eval c ~inputs ~keys:[||]);
+    behaviour = (fun inputs -> Compiled.eval prog ~inputs ~keys:[||]);
     queries = Atomic.make 0;
   }
 

@@ -1,11 +1,10 @@
 module Circuit = Ll_netlist.Circuit
+module Compiled = Ll_netlist.Compiled
 module Bitvec = Ll_util.Bitvec
 module Timer = Ll_util.Timer
 module Solver = Ll_sat.Solver
 module Tseitin = Ll_sat.Tseitin
 module Lit = Ll_sat.Lit
-module Simplify = Ll_synth.Simplify
-module Sweep = Ll_synth.Sweep
 module Tel = Ll_telemetry.Telemetry
 
 let m_dips = Tel.Metric.counter "attack.dips"
@@ -51,13 +50,14 @@ let constrain_outputs env outs response =
   Array.iteri (fun i o -> Tseitin.force env o response.(i)) outs
 
 (* Encode "C_l(dip, K) = y" for one key-literal vector.  With
-   simplification on, the cofactored key cone collapses before encoding;
-   otherwise a full copy with constant input literals is added (the
-   unpreprocessed baseline). *)
-let add_dip_constraint env ~simplified ~locked ~key_lits ~dip ~response ~cone_response =
-  match simplified with
-  | Some small ->
-      let outs = Tseitin.encode env small ~input_lits:[||] ~key_lits in
+   simplification on, the key cone was compiled once up front and the
+   current DIP's cofactor sits in [scratch]; the emitter encodes just its
+   live key logic.  Otherwise a full copy with constant input literals is
+   added (the unpreprocessed baseline). *)
+let add_dip_constraint env ~cofactored ~locked ~key_lits ~dip ~response ~cone_response =
+  match cofactored with
+  | Some (prog, scratch) ->
+      let outs = Tseitin.encode_cofactored env prog scratch ~key_lits in
       constrain_outputs env outs cone_response
   | None ->
       let t = Tseitin.lit_true env in
@@ -124,17 +124,53 @@ let run_core ~config locked ~oracle =
       |> List.filteri (fun i _ -> output_key_dep.(i))
       |> Array.of_list
   in
+  (* The key cone is compiled once; every DIP then runs one in-place
+     ternary cofactor sweep over the flat program (no intermediate
+     circuits) before the emitter adds its constraints. *)
+  let cofactor_ctx =
+    if config.simplify_constraints then begin
+      let prog = Compiled.compile key_cone in
+      Some (prog, Compiled.scratch prog)
+    end
+    else None
+  in
+  (* Key-independent outputs are checked against the oracle by simulating
+     just their cone — compiled once, with per-run scratch — rather than
+     the whole locked circuit per DIP. *)
+  let indep_check =
+    if all_outputs_key_dep then None
+    else begin
+      let outputs =
+        Array.to_list locked.Circuit.outputs
+        |> List.filteri (fun i _ -> not output_key_dep.(i))
+        |> Array.of_list
+      in
+      let indep_cone =
+        Ll_synth.Sweep.run
+          (Circuit.create ~name:locked.Circuit.name ~nodes:locked.Circuit.nodes
+             ~node_names:locked.Circuit.node_names ~outputs)
+      in
+      let prog = Compiled.compile indep_cone in
+      let pos =
+        Array.to_list output_key_dep
+        |> List.mapi (fun i dep -> (i, dep))
+        |> List.filter_map (fun (i, dep) -> if dep then None else Some i)
+        |> Array.of_list
+      in
+      Some (prog, Compiled.scratch prog, Array.make n_key false, pos)
+    end
+  in
   let indep_outputs_match dip response =
-    all_outputs_key_dep
-    ||
-    let sim =
-      Ll_netlist.Eval.eval locked ~inputs:dip ~keys:(Array.make n_key false)
-    in
-    let ok = ref true in
-    Array.iteri
-      (fun i dep -> if (not dep) && sim.(i) <> response.(i) then ok := false)
-      output_key_dep;
-    !ok
+    match indep_check with
+    | None -> true
+    | Some (prog, scratch, zero_keys, pos) ->
+        Compiled.eval_into prog scratch ~inputs:dip ~keys:zero_keys;
+        let ok = ref true in
+        Array.iteri
+          (fun j i ->
+            if Compiled.output_val prog scratch j <> response.(i) then ok := false)
+          pos;
+        !ok
   in
   (* Guarded difference clause: act -> diff. *)
   let act = (Tseitin.fresh_lits env 1).(0) in
@@ -175,8 +211,9 @@ let run_core ~config locked ~oracle =
     else if interrupted () then finish Cancelled None dips
     else begin
       (* One span per DIP iteration: a0 = iteration index; closed with
-         v = the simplified cone's gate count (Sat) or -1 (Unsat, i.e. the
-         final solve that proves no DIP remains). *)
+         v = the cofactored cone's symbolic (key-dependent) node count
+         (Sat) or -1 (Unsat, i.e. the final solve that proves no DIP
+         remains). *)
       if Tel.enabled () then Tel.span_begin ~a0:i "attack.dip";
       match timed_solve [ act ] with
       | Solver.Unsat ->
@@ -199,20 +236,20 @@ let run_core ~config locked ~oracle =
                Broken with no surviving key, as the unrestricted encoding
                would have. *)
             Solver.add_clause solver [];
-          (* One linear constant-propagation pass suffices: with every
-             primary input pinned, the key cone collapses to key logic in
-             a single topological sweep. *)
-          let simplified =
-            if config.simplify_constraints then
-              Some
-                (Sweep.run
-                   (Simplify.run ~bind:(List.init n_in (fun p -> (p, dip.(p)))) key_cone))
-            else None
+          (* One in-place ternary sweep suffices: with every primary input
+             pinned, the key cone collapses to key logic without building
+             any intermediate circuit. *)
+          let cofactored =
+            match cofactor_ctx with
+            | Some (prog, scratch) ->
+                Compiled.cofactor_into prog scratch ~inputs:dip;
+                Some (prog, scratch)
+            | None -> None
           in
           let cone_response = cone_response_of response in
-          add_dip_constraint env ~simplified ~locked ~key_lits:key1 ~dip ~response
+          add_dip_constraint env ~cofactored ~locked ~key_lits:key1 ~dip ~response
             ~cone_response;
-          add_dip_constraint env ~simplified ~locked ~key_lits:key2 ~dip ~response
+          add_dip_constraint env ~cofactored ~locked ~key_lits:key2 ~dip ~response
             ~cone_response;
           Tel.Metric.incr m_dips;
           if Tel.log_active () then
@@ -221,12 +258,12 @@ let run_core ~config locked ~oracle =
                  (Bitvec.to_string (Bitvec.of_bool_array dip))
                  (Bitvec.to_string (Bitvec.of_bool_array response)));
           if Tel.enabled () then begin
-            let cone_gates =
-              match simplified with
-              | Some small -> Circuit.gate_count small
+            let cone_size =
+              match cofactored with
+              | Some (_, scratch) -> Compiled.unknown_count scratch
               | None -> Circuit.gate_count locked
             in
-            Tel.span_end ~v:cone_gates ()
+            Tel.span_end ~v:cone_size ()
           end;
           loop (i + 1) (Bitvec.of_bool_array dip :: dips)
     end

@@ -44,6 +44,7 @@ module Netlist = struct
   module Circuit = Ll_netlist.Circuit
   module Builder = Ll_netlist.Builder
   module Eval = Ll_netlist.Eval
+  module Compiled = Ll_netlist.Compiled
   module Instantiate = Ll_netlist.Instantiate
   module Cone = Ll_netlist.Cone
   module Bench_io = Ll_netlist.Bench_io

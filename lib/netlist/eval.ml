@@ -6,9 +6,14 @@ let check_lengths c ~inputs ~keys =
   if Array.length keys <> Circuit.num_keys c then
     invalid_arg "Eval: key vector length mismatch"
 
+(* Reference interpreter over the circuit value itself — kept as the
+   all-nodes entry point (tests, analyses) and as the differential
+   reference for the compiled kernel.  The fanin values go through one
+   scratch buffer grown to the widest gate, not a fresh array per gate. *)
 let eval_all_nodes c ~inputs ~keys =
   check_lengths c ~inputs ~keys;
   let values = Array.make (Circuit.num_nodes c) false in
+  let buf = ref (Array.make 8 false) in
   let next_input = ref 0 and next_key = ref 0 in
   Array.iteri
     (fun i nd ->
@@ -21,41 +26,33 @@ let eval_all_nodes c ~inputs ~keys =
           incr next_key
       | Circuit.Const v -> values.(i) <- v
       | Circuit.Gate (g, fanins) ->
-          values.(i) <- Gate.eval g (Array.map (fun j -> values.(j)) fanins))
+          let k = Array.length fanins in
+          if k > Array.length !buf then buf := Array.make k false;
+          let b = !buf in
+          for j = 0 to k - 1 do
+            b.(j) <- values.(fanins.(j))
+          done;
+          values.(i) <- Gate.eval_sub g b ~len:k)
     c.Circuit.nodes;
   values
 
 let eval c ~inputs ~keys =
-  let values = eval_all_nodes c ~inputs ~keys in
-  Array.map (fun (_, j) -> values.(j)) c.Circuit.outputs
+  check_lengths c ~inputs ~keys;
+  Compiled.eval (Compiled.cached c) ~inputs ~keys
 
 let eval_bv c ~inputs ~keys =
-  let out =
-    eval c ~inputs:(Bitvec.to_bool_array inputs) ~keys:(Bitvec.to_bool_array keys)
-  in
-  Bitvec.of_bool_array out
+  if Bitvec.length inputs <> Circuit.num_inputs c then
+    invalid_arg "Eval: input vector length mismatch";
+  if Bitvec.length keys <> Circuit.num_keys c then
+    invalid_arg "Eval: key vector length mismatch";
+  Compiled.eval_bv (Compiled.cached c) ~inputs ~keys
 
 let eval_lanes c ~inputs ~keys =
   if Array.length inputs <> Circuit.num_inputs c then
     invalid_arg "Eval.eval_lanes: input vector length mismatch";
   if Array.length keys <> Circuit.num_keys c then
     invalid_arg "Eval.eval_lanes: key vector length mismatch";
-  let values = Array.make (Circuit.num_nodes c) 0L in
-  let next_input = ref 0 and next_key = ref 0 in
-  Array.iteri
-    (fun i nd ->
-      match nd with
-      | Circuit.Input ->
-          values.(i) <- inputs.(!next_input);
-          incr next_input
-      | Circuit.Key_input ->
-          values.(i) <- keys.(!next_key);
-          incr next_key
-      | Circuit.Const v -> values.(i) <- (if v then -1L else 0L)
-      | Circuit.Gate (g, fanins) ->
-          values.(i) <- Gate.eval_lanes g (Array.map (fun j -> values.(j)) fanins))
-    c.Circuit.nodes;
-  Array.map (fun (_, j) -> values.(j)) c.Circuit.outputs
+  Compiled.eval_lanes (Compiled.cached c) ~inputs ~keys
 
 let exhaustive_inputs c =
   let n = Circuit.num_inputs c in

@@ -50,6 +50,74 @@ let eval g fanins =
       done;
       Bitvec.get table !idx
 
+let eval_sub g fanins ~len =
+  if not (arity_ok g len) then invalid_arg "Gate.eval_sub: arity mismatch";
+  match g with
+  | And | Nand ->
+      let acc = ref true in
+      for i = 0 to len - 1 do
+        if not fanins.(i) then acc := false
+      done;
+      if g = And then !acc else not !acc
+  | Or | Nor ->
+      let acc = ref false in
+      for i = 0 to len - 1 do
+        if fanins.(i) then acc := true
+      done;
+      if g = Or then !acc else not !acc
+  | Xor | Xnor ->
+      let acc = ref false in
+      for i = 0 to len - 1 do
+        if fanins.(i) then acc := not !acc
+      done;
+      if g = Xor then !acc else not !acc
+  | Not -> not fanins.(0)
+  | Buf -> fanins.(0)
+  | Mux -> if fanins.(0) then fanins.(2) else fanins.(1)
+  | Lut table ->
+      let idx = ref 0 in
+      for i = len - 1 downto 0 do
+        idx := (!idx lsl 1) lor (if fanins.(i) then 1 else 0)
+      done;
+      Bitvec.get table !idx
+
+let eval_lanes_sub g fanins ~len =
+  if not (arity_ok g len) then invalid_arg "Gate.eval_lanes_sub: arity mismatch";
+  let open Int64 in
+  match g with
+  | And | Nand ->
+      let acc = ref (-1L) in
+      for i = 0 to len - 1 do
+        acc := logand !acc fanins.(i)
+      done;
+      if g = And then !acc else lognot !acc
+  | Or | Nor ->
+      let acc = ref 0L in
+      for i = 0 to len - 1 do
+        acc := logor !acc fanins.(i)
+      done;
+      if g = Or then !acc else lognot !acc
+  | Xor | Xnor ->
+      let acc = ref 0L in
+      for i = 0 to len - 1 do
+        acc := logxor !acc fanins.(i)
+      done;
+      if g = Xor then !acc else lognot !acc
+  | Not -> lognot fanins.(0)
+  | Buf -> fanins.(0)
+  | Mux -> logor (logand fanins.(0) fanins.(2)) (logand (lognot fanins.(0)) fanins.(1))
+  | Lut table ->
+      let out = ref 0L in
+      for lane = 0 to 63 do
+        let idx = ref 0 in
+        for i = len - 1 downto 0 do
+          let bit = logand (shift_right_logical fanins.(i) lane) 1L in
+          idx := (!idx lsl 1) lor to_int bit
+        done;
+        if Bitvec.get table !idx then out := logor !out (shift_left 1L lane)
+      done;
+      !out
+
 let eval_lanes g fanins =
   check g fanins;
   let open Int64 in

@@ -27,6 +27,14 @@ val eval_lanes : t -> int64 array -> int64
 (** Bitwise 64-lane evaluation: lane [i] of the result is [eval] applied to
     lane [i] of every fanin. *)
 
+val eval_sub : t -> bool array -> len:int -> bool
+(** [eval_sub g buf ~len] evaluates [g] over the first [len] entries of
+    [buf] — a reusable-scratch variant of {!eval} for interpreter loops
+    that must not allocate a fresh fanin array per gate. *)
+
+val eval_lanes_sub : t -> int64 array -> len:int -> int64
+(** 64-lane {!eval_sub}. *)
+
 val arity_ok : t -> int -> bool
 (** Whether a gate of this function may take the given number of fanins. *)
 

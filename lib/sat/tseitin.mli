@@ -30,6 +30,45 @@ val encode :
     output literals in output-port order.  Raises [Invalid_argument] on
     port-count mismatches or LUT gates wider than 16 inputs. *)
 
+val encode_cofactored :
+  env ->
+  Ll_netlist.Compiled.t ->
+  Ll_netlist.Compiled.scratch ->
+  key_lits:Lit.t array ->
+  Lit.t array
+(** Direct emitter over a cofactored flat program: after
+    [Compiled.cofactor_into], encodes only the live, non-constant nodes —
+    constant fanins fold into their readers (dropped from AND/OR, parity-
+    folded into XOR, MUX specialised on a constant select or branch, LUT
+    tables restricted to their symbolic fanins) and dead nodes are never
+    visited, so no intermediate simplified circuit is built.  Gate
+    literals go through the same memo cache as {!encode}, so key-cone
+    structure shared between DIP cofactors still deduplicates.  Returns
+    the output literals in port order; an output constant under the
+    cofactor yields [lit_true env] or its negation, which a caller can
+    force against the oracle response exactly like any other output
+    literal.  Raises [Invalid_argument] on a key literal count
+    mismatch. *)
+
+(** {1 Gate constructors}
+
+    The memoized building blocks used by both encoders, exposed for
+    custom constraint emitters.  Each returns the (cached) output literal
+    of the gate over the given fanin literals. *)
+
+val mk_and : env -> Lit.t array -> Lit.t
+
+val mk_or : env -> Lit.t array -> Lit.t
+
+val mk_xor : env -> Lit.t array -> Lit.t
+(** n-ary parity, chained through cached 2-input XORs. *)
+
+val mk_mux : env -> Lit.t -> Lit.t -> Lit.t -> Lit.t
+(** [mk_mux env sel lo hi] — [hi] when [sel], else [lo]. *)
+
+val mk_lut : env -> Ll_util.Bitvec.t -> Lit.t array -> Lit.t
+(** Raises [Invalid_argument] on tables wider than 16 inputs. *)
+
 val force : env -> Lit.t -> bool -> unit
 (** Unit-clause a literal to a constant. *)
 

@@ -50,7 +50,12 @@ let test_xor_golden () =
 
 (* A mid-size ISCAS benchmark: 36 inputs, many DIPs.  Pinning the whole
    63-DIP trace would be noise; the md5 of the joined sequence pins it
-   just as tightly. *)
+   just as tightly.  Digest re-pinned when per-DIP constraint generation
+   moved from circuit-rebuild (Simplify+Sweep then encode) to the
+   compiled-kernel cofactor emitter: the cone collapses to the same key
+   function but the clause/variable stream differs, which legitimately
+   steers the solver to a different (equally valid) DIP order.  DIP
+   count, key and Broken status are unchanged. *)
 let test_c432_sarlock_golden () =
   let c = LL.Bench_suite.Iscas.get "c432" in
   let locked = LL.Locking.Sarlock.lock ~prng:(Prng.create 11) ~key_size:6 c in
@@ -58,7 +63,7 @@ let test_c432_sarlock_golden () =
   Alcotest.(check bool) "broken" true (r.Sat_attack.status = Sat_attack.Broken);
   Alcotest.(check int) "dip count" 63 r.Sat_attack.num_dips;
   Alcotest.(check string) "key" "111000" (key_string r);
-  Alcotest.(check string) "dip sequence digest" "4c824e04d77a6bef2fbd76c36e911736"
+  Alcotest.(check string) "dip sequence digest" "93291963f5b31eb1621b9d82e60e86ab"
     (Digest.to_hex (Digest.string (dip_string r)))
 
 let suite =
