@@ -38,8 +38,9 @@ let sections =
   (* Selectable but not part of a default run: "satsmoke" is the tiny
      SAT-core suite behind the [bench-sat-smoke] CI alias, a subset of
      "sat"; "evalsmoke" likewise for the compiled-kernel suite behind
-     [bench-eval-smoke]. *)
-  let extras = [ "satsmoke"; "evalsmoke" ] in
+     [bench-eval-smoke]; "satsimp" is the inprocessing on/off comparison
+     behind [bench-sat-simp-smoke] (BENCH_sat_simp.json). *)
+  let extras = [ "satsmoke"; "evalsmoke"; "satsimp" ] in
   let chosen =
     List.filter (fun s -> List.mem s all || List.mem s extras) requested
   in
@@ -588,6 +589,12 @@ let sat_core ~smoke =
      else "SAT core: miter suite + DIMACS replays");
   Sat_bench.run ~smoke
 
+let sat_simp ~smoke =
+  header
+    (if smoke then "SAT inprocessing: on/off smoke comparison (fast CI check)"
+     else "SAT inprocessing: on/off comparison");
+  Sat_bench.run_simp ~smoke
+
 (* ------------------------------------------------------------------ *)
 (* Compiled netlist kernel: simulation + constraint-generation rates   *)
 (* (BENCH_eval.json).                                                  *)
@@ -612,8 +619,11 @@ let () =
   if want "exact" then exact ();
   if want "ablation" then ablation ();
   if want "smoke" then smoke ();
+  (* "sat" already includes the inprocessing on/off suite via
+     [Sat_bench.run]; "satsimp" runs just that suite standalone. *)
   if want "sat" then sat_core ~smoke:false;
   if want "satsmoke" then sat_core ~smoke:true;
+  if want "satsimp" then sat_simp ~smoke:true;
   if want "eval" then eval_core ~smoke:false;
   if want "evalsmoke" then eval_core ~smoke:true;
   if want "micro" then micro ();

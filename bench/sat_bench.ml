@@ -24,6 +24,7 @@ module Dimacs = LL.Sat.Dimacs
 module Tseitin = LL.Sat.Tseitin
 module Circuit = LL.Netlist.Circuit
 module Oracle = LL.Attack.Oracle
+module Sat_attack = LL.Attack.Sat_attack
 module Prng = LL.Util.Prng
 module Timer = LL.Util.Timer
 module Tel = LL.Telemetry.Telemetry
@@ -44,10 +45,30 @@ type record = {
   major_words : float;
   promoted_words : float;
   round_s : float array;  (* per-solve durations, from "sat.solve" spans *)
+  round_restarts : int array;  (* per-solve restart deltas, chronological *)
+  round_propagations : int array;  (* per-solve propagation deltas *)
+  simp_subsumed : int;
+  simp_self_subsumed : int;
+  simp_eliminated_vars : int;
+  simp_vivified : int;
   lbd_mean : float;
 }
 
 let records : record list ref = ref []
+
+(* Wraps [Solver.solve] to log the restart/propagation delta of each
+   incremental round; workloads thread [per_round] through and return it
+   so records expose the per-round trajectory next to the per-round wall
+   times ("round_s") recovered from telemetry spans. *)
+let tracked_solve per_round solver =
+  let s0 = Solver.stats solver in
+  let r = Solver.solve solver in
+  let s1 = Solver.stats solver in
+  per_round :=
+    ( s1.Solver.restarts - s0.Solver.restarts,
+      s1.Solver.propagations - s0.Solver.propagations )
+    :: !per_round;
+  r
 
 (* [f] builds the solver and runs the workload; Gc deltas cover both so
    encoding allocations are visible too (they are part of what an attack
@@ -58,7 +79,7 @@ let measure ~name ~kind f =
   Tel.enable ();
   let g0 = Gc.quick_stat () in
   let t0 = Timer.monotonic () in
-  let solver, result = f () in
+  let solver, result, per_round = f () in
   let wall = Timer.monotonic () -. t0 in
   let g1 = Gc.quick_stat () in
   let snap = Tel.snapshot () in
@@ -76,6 +97,7 @@ let measure ~name ~kind f =
     | _ -> 0.0
   in
   let st = Solver.stats solver in
+  let rounds = Array.of_list (List.rev per_round) in
   let r =
     {
       name;
@@ -96,6 +118,12 @@ let measure ~name ~kind f =
       major_words = g1.Gc.major_words -. g0.Gc.major_words;
       promoted_words = g1.Gc.promoted_words -. g0.Gc.promoted_words;
       round_s;
+      round_restarts = Array.map fst rounds;
+      round_propagations = Array.map snd rounds;
+      simp_subsumed = st.Solver.simp_subsumed;
+      simp_self_subsumed = st.Solver.simp_self_subsumed;
+      simp_eliminated_vars = st.Solver.simp_eliminated_vars;
+      simp_vivified = st.Solver.simp_vivified;
       lbd_mean;
     }
   in
@@ -123,12 +151,13 @@ let miter_workload ~rounds locked () =
     | _ -> assert false
   in
   LL.Sat.Solver.add_clause solver [ diff ];
+  let per_round = ref [] in
   let sat_rounds = ref 0 in
   let finished = ref false in
   let i = ref 0 in
   while (not !finished) && !i < rounds do
     incr i;
-    match Solver.solve solver with
+    match tracked_solve per_round solver with
     | Solver.Unsat -> finished := true
     | Solver.Sat ->
         incr sat_rounds;
@@ -139,7 +168,9 @@ let miter_workload ~rounds locked () =
                 (fun l -> if Solver.value solver l then Lit.negate l else l)
                 input_lits))
   done;
-  (solver, Printf.sprintf "%d sat round(s)%s" !sat_rounds (if !finished then ", closed" else ""))
+  ( solver,
+    Printf.sprintf "%d sat round(s)%s" !sat_rounds (if !finished then ", closed" else ""),
+    !per_round )
 
 let miter_suite ~smoke =
   Printf.printf "\nlocking miters (model-blocking rounds):\n";
@@ -208,8 +239,11 @@ let dimacs_workload cnf () =
   let cnf = Dimacs.parse_string (Dimacs.to_string cnf) in
   let solver = Solver.create () in
   Dimacs.load_into solver cnf;
-  let result = match Solver.solve solver with Solver.Sat -> "sat" | Solver.Unsat -> "unsat" in
-  (solver, result)
+  let per_round = ref [] in
+  let result =
+    match tracked_solve per_round solver with Solver.Sat -> "sat" | Solver.Unsat -> "unsat"
+  in
+  (solver, result, !per_round)
 
 let dimacs_suite ~smoke =
   Printf.printf "\nDIMACS replays:\n";
@@ -230,6 +264,260 @@ let dimacs_suite ~smoke =
       ]
   in
   List.iter (fun (name, f) -> measure ~name ~kind:"dimacs" f) suite
+
+(* ------------------------------------------------------------------ *)
+(* Inprocessing on/off comparison                                      *)
+(*                                                                     *)
+(* Two workload shapes, both run twice — inprocessing enabled and      *)
+(* disabled — and reported as paired records:                          *)
+(*                                                                     *)
+(* - "blocking": model-blocking rounds on a raw (un-synthesized)       *)
+(*   Tseitin miter.  Each solve is trivial, so the comparison isolates *)
+(*   what the first preprocessing session removes: the clause-count    *)
+(*   reduction is the headline number.                                 *)
+(* - "attack": the full oracle-guided SAT attack with [solver_simp]    *)
+(*   toggled.  XOR-locked instances are conflict-heavy, which is where *)
+(*   inprocessing pays for itself; the DIPs/s speedup is the headline  *)
+(*   number.                                                           *)
+(*                                                                     *)
+(* The records land in BENCH_sat.json next to the solver records (and  *)
+(* also standalone in BENCH_sat_simp.json via the bench-sat-simp-smoke *)
+(* alias).                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* One side of a comparison: the same workload run with the inprocessing
+   engine enabled or disabled. *)
+type simp_side = {
+  ss_wall : float;  (* solve-loop wall time (encoding excluded) *)
+  ss_props : int;
+  ss_confls : int;
+  ss_clauses : int;  (* problem clauses attached after the workload *)
+  ss_learnts : int;
+  ss_rounds : int;  (* SAT rounds completed — the DIP-rate analogue *)
+}
+
+let simp_records : string list ref = ref []
+
+let simp_miter_run ~rounds ~simp locked =
+  (* Unlike [miter_workload] the miter is NOT pre-optimized by the synth
+     passes: the raw Tseitin stream is exactly the redundancy the
+     inprocessing engine exists to remove, and leaving it in place gives
+     the on/off comparison a visible clause-count delta. *)
+  let solver = Solver.create ~simp () in
+  let env = Tseitin.create solver in
+  let miter = LL.Attack.Miter.dup_key locked in
+  let input_lits = Tseitin.fresh_lits env (Circuit.num_inputs miter) in
+  let key_lits = Tseitin.fresh_lits env (Circuit.num_keys miter) in
+  let diff =
+    match Tseitin.encode env miter ~input_lits ~key_lits with
+    | [| d |] -> d
+    | _ -> assert false
+  in
+  Solver.add_clause solver [ diff ];
+  let t0 = Timer.monotonic () in
+  let sat_rounds = ref 0 in
+  let finished = ref false in
+  let i = ref 0 in
+  while (not !finished) && !i < rounds do
+    incr i;
+    match Solver.solve solver with
+    | Solver.Unsat -> finished := true
+    | Solver.Sat ->
+        incr sat_rounds;
+        Solver.add_clause solver
+          (Array.to_list
+             (Array.map
+                (fun l -> if Solver.value solver l then Lit.negate l else l)
+                input_lits))
+  done;
+  let wall = Timer.monotonic () -. t0 in
+  let st = Solver.stats solver in
+  ( solver,
+    {
+      ss_wall = wall;
+      ss_props = st.Solver.propagations;
+      ss_confls = st.Solver.conflicts;
+      ss_clauses = Solver.num_clauses solver;
+      ss_learnts = Solver.num_learnts solver;
+      ss_rounds = !sat_rounds;
+    } )
+
+let simp_compare ~name ~rounds locked =
+  let _, off = simp_miter_run ~rounds ~simp:false locked in
+  let on_solver, on = simp_miter_run ~rounds ~simp:true locked in
+  let st = Solver.stats on_solver in
+  let rate w n = if w > 0.0 then float_of_int n /. w else 0.0 in
+  let speedup a b = if b > 0.0 then a /. b else 0.0 in
+  let off_props_s = rate off.ss_wall off.ss_props in
+  let on_props_s = rate on.ss_wall on.ss_props in
+  let off_dips_s = rate off.ss_wall off.ss_rounds in
+  let on_dips_s = rate on.ss_wall on.ss_rounds in
+  let clause_reduction =
+    (* Both sides add the identical clause stream (same encoding, same
+       number of blocking clauses), so any difference in the attached
+       problem-clause count is what subsumption + elimination removed. *)
+    if off.ss_clauses > 0 then
+      float_of_int (off.ss_clauses - on.ss_clauses) /. float_of_int off.ss_clauses
+    else 0.0
+  in
+  Printf.printf
+    "  %-26s off %7.3f s %9d clauses | on %7.3f s %9d clauses (-%.1f%%)\n\
+    \  %-26s wall x%.2f, DIP rounds/s x%.2f, props/s x%.2f; subsumed %d, \
+     strengthened %d, eliminated %d vars, vivified %d\n%!"
+    name off.ss_wall off.ss_clauses on.ss_wall on.ss_clauses
+    (100.0 *. clause_reduction) ""
+    (speedup off.ss_wall on.ss_wall)
+    (speedup on_dips_s off_dips_s)
+    (speedup on_props_s off_props_s)
+    st.Solver.simp_subsumed st.Solver.simp_self_subsumed
+    st.Solver.simp_eliminated_vars st.Solver.simp_vivified;
+  let record =
+    Printf.sprintf
+      "  {\n\
+      \    \"name\": %S,\n\
+      \    \"kind\": \"simp_compare\",\n\
+      \    \"workload\": \"blocking\",\n\
+      \    \"rounds\": %d,\n\
+      \    \"off_wall_s\": %.6f,\n\
+      \    \"off_propagations\": %d,\n\
+      \    \"off_conflicts\": %d,\n\
+      \    \"off_clauses\": %d,\n\
+      \    \"off_learnts\": %d,\n\
+      \    \"off_propagations_per_s\": %.1f,\n\
+      \    \"off_dips_per_s\": %.1f,\n\
+      \    \"on_wall_s\": %.6f,\n\
+      \    \"on_propagations\": %d,\n\
+      \    \"on_conflicts\": %d,\n\
+      \    \"on_clauses\": %d,\n\
+      \    \"on_learnts\": %d,\n\
+      \    \"on_propagations_per_s\": %.1f,\n\
+      \    \"on_dips_per_s\": %.1f,\n\
+      \    \"clause_reduction\": %.4f,\n\
+      \    \"wall_speedup\": %.3f,\n\
+      \    \"dips_per_s_speedup\": %.3f,\n\
+      \    \"propagations_per_s_speedup\": %.3f,\n\
+      \    \"simp_subsumed\": %d,\n\
+      \    \"simp_self_subsumed\": %d,\n\
+      \    \"simp_eliminated_vars\": %d,\n\
+      \    \"simp_vivified\": %d\n\
+      \  }"
+      name rounds off.ss_wall off.ss_props off.ss_confls off.ss_clauses
+      off.ss_learnts off_props_s off_dips_s on.ss_wall on.ss_props on.ss_confls
+      on.ss_clauses on.ss_learnts on_props_s on_dips_s clause_reduction
+      (speedup off.ss_wall on.ss_wall)
+      (speedup on_dips_s off_dips_s)
+      (speedup on_props_s off_props_s)
+      st.Solver.simp_subsumed st.Solver.simp_self_subsumed
+      st.Solver.simp_eliminated_vars st.Solver.simp_vivified
+  in
+  simp_records := record :: !simp_records
+
+(* Full SAT attack (oracle-guided DIP loop) with the solver's
+   inprocessing toggled via [Sat_attack.config.solver_simp].  The DIP
+   trajectories legitimately diverge between the two sides — the
+   simplified clause database steers branching elsewhere — so both DIP
+   counts are reported and the rate (DIPs per second of attack wall
+   time) is the comparable number. *)
+let simp_attack_compare ~name locked ~oracle =
+  let run simp =
+    let config = { Sat_attack.default_config with solver_simp = simp } in
+    let t0 = Timer.monotonic () in
+    let r = Sat_attack.run ~config locked ~oracle in
+    (Timer.monotonic () -. t0, r)
+  in
+  let off_w, off = run false in
+  let on_w, on = run true in
+  let rate w n = if w > 0.0 then float_of_int n /. w else 0.0 in
+  let speedup a b = if b > 0.0 then a /. b else 0.0 in
+  let off_dips_s = rate off_w off.Sat_attack.num_dips in
+  let on_dips_s = rate on_w on.Sat_attack.num_dips in
+  Printf.printf
+    "  %-26s off %7.3f s %4d dips %6d confl | on %7.3f s %4d dips %6d confl  \
+     wall x%.2f, dips/s x%.2f\n%!"
+    name off_w off.Sat_attack.num_dips off.Sat_attack.solver_conflicts on_w
+    on.Sat_attack.num_dips on.Sat_attack.solver_conflicts
+    (speedup off_w on_w)
+    (speedup on_dips_s off_dips_s);
+  let record =
+    Printf.sprintf
+      "  {\n\
+      \    \"name\": %S,\n\
+      \    \"kind\": \"simp_compare\",\n\
+      \    \"workload\": \"attack\",\n\
+      \    \"off_wall_s\": %.6f,\n\
+      \    \"off_dips\": %d,\n\
+      \    \"off_conflicts\": %d,\n\
+      \    \"off_solve_s\": %.6f,\n\
+      \    \"off_dips_per_s\": %.2f,\n\
+      \    \"on_wall_s\": %.6f,\n\
+      \    \"on_dips\": %d,\n\
+      \    \"on_conflicts\": %d,\n\
+      \    \"on_solve_s\": %.6f,\n\
+      \    \"on_dips_per_s\": %.2f,\n\
+      \    \"wall_speedup\": %.3f,\n\
+      \    \"dips_per_s_speedup\": %.3f\n\
+      \  }"
+      name off_w off.Sat_attack.num_dips off.Sat_attack.solver_conflicts
+      off.Sat_attack.solve_time off_dips_s on_w on.Sat_attack.num_dips
+      on.Sat_attack.solver_conflicts on.Sat_attack.solve_time on_dips_s
+      (speedup off_w on_w)
+      (speedup on_dips_s off_dips_s)
+  in
+  simp_records := record :: !simp_records
+
+let write_simp_json () =
+  if !simp_records <> [] then begin
+    LL.Util.Fileio.write_atomic_string "BENCH_sat_simp.json"
+      (Printf.sprintf "[\n%s\n]\n" (String.concat ",\n" (List.rev !simp_records)));
+    Printf.printf "\nwrote BENCH_sat_simp.json (%d record(s))\n"
+      (List.length !simp_records)
+  end
+
+let simp_suite ~smoke =
+  let iscas = LL.Bench_suite.Iscas.get in
+  let sarlock seed k c =
+    (LL.Locking.Sarlock.lock ~prng:(Prng.create seed) ~key_size:k c).LL.Locking.Locked.circuit
+  in
+  let xorlock seed k c =
+    (LL.Locking.Xor_lock.lock ~prng:(Prng.create seed) ~num_keys:k c).LL.Locking.Locked.circuit
+  in
+  Printf.printf "\ninprocessing on/off (model-blocking miters, raw Tseitin):\n";
+  let blocking =
+    if smoke then
+      [
+        ("c432/sarlock8", 64, sarlock 11 8 (iscas "c432"));
+        ("c880/xor16", 64, xorlock 5 16 (iscas "c880"));
+      ]
+    else
+      [
+        ("c432/sarlock8", 128, sarlock 11 8 (iscas "c432"));
+        ("c880/sarlock10", 128, sarlock 7 10 (iscas "c880"));
+        ("c880/xor16", 96, xorlock 5 16 (iscas "c880"));
+        ("c1355/xor12", 64, xorlock 9 12 (iscas "c1355"));
+      ]
+  in
+  List.iter (fun (name, rounds, locked) -> simp_compare ~name ~rounds locked) blocking;
+  Printf.printf "\ninprocessing on/off (full SAT attack, DIP loop):\n";
+  let attack =
+    if smoke then [ ("c880/xor16/s7", xorlock 7 16 (iscas "c880")) ]
+    else
+      [
+        ("c880/xor16/s7", xorlock 7 16 (iscas "c880"));
+        ("c1908/xor16/s5", xorlock 5 16 (iscas "c1908"));
+        ("c2670/xor16/s5", xorlock 5 16 (iscas "c2670"));
+      ]
+  in
+  List.iter
+    (fun (name, locked) ->
+      (* The oracle is the unlocked circuit itself; [iscas] is re-fetched
+         from the instance name prefix. *)
+      let base = String.sub name 0 (String.index name '/') in
+      simp_attack_compare ~name locked ~oracle:(Oracle.of_circuit (iscas base)))
+    attack
+
+let run_simp ~smoke =
+  simp_suite ~smoke;
+  write_simp_json ()
 
 (* ------------------------------------------------------------------ *)
 (* Entry points + JSON                                                 *)
@@ -257,26 +545,41 @@ let record_json r =
     \    \"gc_promoted_words\": %.0f,\n\
     \    \"minor_words_per_conflict\": %.1f,\n\
     \    \"lbd_mean\": %.3f,\n\
-    \    \"round_s\": [%s]\n\
+    \    \"simp_subsumed\": %d,\n\
+    \    \"simp_self_subsumed\": %d,\n\
+    \    \"simp_eliminated_vars\": %d,\n\
+    \    \"simp_vivified\": %d,\n\
+    \    \"round_s\": [%s],\n\
+    \    \"round_restarts\": [%s],\n\
+    \    \"round_propagations\": [%s]\n\
     \  }"
     r.name r.kind r.result r.wall_s r.conflicts r.propagations r.decisions r.restarts
     r.deleted_clauses r.arena_gcs r.arena_words (per_sec r.propagations)
     (per_sec r.conflicts) r.minor_words r.major_words r.promoted_words
     (if r.conflicts > 0 then r.minor_words /. float_of_int r.conflicts else 0.0)
-    r.lbd_mean
+    r.lbd_mean r.simp_subsumed r.simp_self_subsumed r.simp_eliminated_vars
+    r.simp_vivified
     (String.concat ", "
        (Array.to_list (Array.map (Printf.sprintf "%.6f") r.round_s)))
+    (String.concat ", "
+       (Array.to_list (Array.map string_of_int r.round_restarts)))
+    (String.concat ", "
+       (Array.to_list (Array.map string_of_int r.round_propagations)))
 
 let write_json () =
-  if !records <> [] then begin
+  (* Solver records first, then the simp on/off comparison pairs (kind
+     "simp_compare") in one array. *)
+  let parts = List.rev_map record_json !records @ List.rev !simp_records in
+  if parts <> [] then begin
     (* Atomic (temp file + rename): a crashed or interrupted run never
        leaves a truncated BENCH_sat.json behind. *)
     LL.Util.Fileio.write_atomic_string "BENCH_sat.json"
-      (Printf.sprintf "[\n%s\n]\n" (String.concat ",\n" (List.rev_map record_json !records)));
-    Printf.printf "\nwrote BENCH_sat.json (%d record(s))\n" (List.length !records)
+      (Printf.sprintf "[\n%s\n]\n" (String.concat ",\n" parts));
+    Printf.printf "\nwrote BENCH_sat.json (%d record(s))\n" (List.length parts)
   end
 
 let run ~smoke =
   miter_suite ~smoke;
   dimacs_suite ~smoke;
+  simp_suite ~smoke;
   write_json ()

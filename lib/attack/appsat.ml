@@ -110,6 +110,7 @@ let run ?(prng = Prng.create 0xA99) ?(target_error = 0.01) ?(check_every = 5)
     | _ -> assert false
   in
   let act = (Tseitin.fresh_lits env 1).(0) in
+  Solver.freeze_var solver (Lit.var act);
   Solver.add_clause solver [ Lit.negate act; diff ];
   let candidate_key () =
     match Solver.solve ~assumptions:[ Lit.negate act ] solver with

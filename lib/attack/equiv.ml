@@ -34,8 +34,8 @@ let random_counterexample ~samples a b =
   in
   round 0
 
-let sat_decide ?conflict_limit a b =
-  let solver = Solver.create () in
+let sat_decide ?seed ?conflict_limit a b =
+  let solver = Solver.create ?seed () in
   let env = Tseitin.create solver in
   let input_lits = Tseitin.fresh_lits env (Circuit.num_inputs a) in
   let outs1 = Tseitin.encode env a ~input_lits ~key_lits:[||] in
@@ -65,23 +65,23 @@ let validate_pair name a b =
     || Circuit.num_outputs a <> Circuit.num_outputs b
   then invalid_arg (name ^ ": signature mismatch")
 
-let check ?(samples = 8) a b =
+let check ?seed ?(samples = 8) a b =
   validate_pair "Equiv.check" a b;
   match random_counterexample ~samples a b with
   | Some cex -> Counterexample cex
   | None -> (
-      match sat_decide a b with
+      match sat_decide ?seed a b with
       | `Equivalent -> Equivalent
       | `Counterexample cex -> Counterexample cex)
 
 type bounded_verdict = Proved_equivalent | Refuted of bool array | Unknown
 
-let check_bounded ?(samples = 8) ~conflict_limit a b =
+let check_bounded ?seed ?(samples = 8) ~conflict_limit a b =
   validate_pair "Equiv.check_bounded" a b;
   match random_counterexample ~samples a b with
   | Some cex -> Refuted cex
   | None -> (
-      match sat_decide ~conflict_limit a b with
+      match sat_decide ?seed ~conflict_limit a b with
       | `Equivalent -> Proved_equivalent
       | `Counterexample cex -> Refuted cex
       | exception Solver.Conflict_limit -> Unknown)

@@ -3,11 +3,13 @@
 
 type verdict = Equivalent | Counterexample of bool array
 
-val check : ?samples:int -> Ll_netlist.Circuit.t -> Ll_netlist.Circuit.t -> verdict
+val check :
+  ?seed:int -> ?samples:int -> Ll_netlist.Circuit.t -> Ll_netlist.Circuit.t -> verdict
 (** [check a b] for key-free circuits of equal signature.  [samples]
     controls the number of 64-pattern random-simulation rounds tried before
-    falling back to SAT (default 8).  The returned counterexample is an
-    input pattern on which the circuits differ. *)
+    falling back to SAT (default 8); [seed] is passed to the SAT solver's
+    decision randomisation.  The returned counterexample is an input
+    pattern on which the circuits differ. *)
 
 val equal_outputs :
   Ll_netlist.Circuit.t -> Ll_netlist.Circuit.t -> inputs:bool array -> bool
@@ -19,6 +21,7 @@ type bounded_verdict =
   | Unknown  (** resource limit hit before a decision *)
 
 val check_bounded :
+  ?seed:int ->
   ?samples:int ->
   conflict_limit:int ->
   Ll_netlist.Circuit.t ->

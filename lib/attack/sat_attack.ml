@@ -20,6 +20,7 @@ type config = {
   log : (string -> unit) option;
   interrupt : (unit -> bool) option;
   solver_seed : int;
+  solver_simp : bool;
 }
 
 let default_config =
@@ -30,6 +31,7 @@ let default_config =
     log = None;
     interrupt = None;
     solver_seed = 0;
+    solver_simp = true;
   }
 
 type status = Broken | Iteration_limit | Time_limit | Cancelled
@@ -75,7 +77,7 @@ let run_core ~config locked ~oracle =
     invalid_arg "Sat_attack.run: oracle output count mismatch";
   let started = Timer.monotonic () in
   let queries_before = Oracle.query_count oracle in
-  let solver = Solver.create ~seed:config.solver_seed () in
+  let solver = Solver.create ~seed:config.solver_seed ~simp:config.solver_simp () in
   let env = Tseitin.create solver in
   let n_in = Circuit.num_inputs locked and n_key = Circuit.num_keys locked in
   (* The two key-sharing copies are built as one circuit and synthesized
@@ -172,8 +174,11 @@ let run_core ~config locked ~oracle =
           pos;
         !ok
   in
-  (* Guarded difference clause: act -> diff. *)
+  (* Guarded difference clause: act -> diff.  The activation variable is
+     used as an assumption on every solve, so it must survive variable
+     elimination. *)
   let act = (Tseitin.fresh_lits env 1).(0) in
+  Solver.freeze_var solver (Lit.var act);
   Solver.add_clause solver [ Lit.negate act; diff ];
   let solve_time = ref 0.0 in
   let timed_solve assumptions =

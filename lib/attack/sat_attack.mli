@@ -28,6 +28,11 @@ type config = {
           attack derives one seed per sub-task from a
           {!Ll_util.Prng.split} stream so runs are reproducible under any
           scheduling. *)
+  solver_simp : bool;
+      (** enable the solver's inprocessing engine (subsumption, bounded
+          variable elimination, vivification) on the attack's incremental
+          CNF (default [true]; disable for A/B comparison — see the
+          [bench-sat-simp-smoke] alias). *)
 }
 
 val default_config : config

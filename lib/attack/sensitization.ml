@@ -13,7 +13,7 @@ type result = {
   total_time : float;
 }
 
-let run ?initial ?(max_sweeps = 4) locked ~oracle =
+let run ?(seed = 0) ?initial ?(max_sweeps = 4) locked ~oracle =
   let n_key = Circuit.num_keys locked in
   if n_key = 0 then invalid_arg "Sensitization.run: circuit has no keys";
   if Circuit.num_inputs locked <> Oracle.num_inputs oracle then
@@ -28,7 +28,7 @@ let run ?initial ?(max_sweeps = 4) locked ~oracle =
     | None -> Bitvec.create n_key
   in
   (* One shared encoding: two copies over common inputs, keys k0 / k1. *)
-  let solver = Solver.create () in
+  let solver = Solver.create ~seed () in
   let env = Tseitin.create solver in
   let n_in = Circuit.num_inputs locked in
   let input_lits = Tseitin.fresh_lits env n_in in
@@ -47,7 +47,10 @@ let run ?initial ?(max_sweeps = 4) locked ~oracle =
         d)
       outs0 outs1
   in
+  (* [any_diff] is assumed on every query: keep it out of variable
+     elimination's reach. *)
   let any_diff = (Tseitin.fresh_lits env 1).(0) in
+  Solver.freeze_var solver (Lit.var any_diff);
   Solver.add_clause solver (Lit.negate any_diff :: Array.to_list diffs);
   let resolved = Array.make n_key false in
   let sweeps = ref 0 in

@@ -22,12 +22,14 @@ type result = {
 }
 
 val run :
+  ?seed:int ->
   ?initial:Ll_util.Bitvec.t ->
   ?max_sweeps:int ->
   Ll_netlist.Circuit.t ->
   oracle:Oracle.t ->
   result
-(** [run locked ~oracle] — [initial] seeds the candidate key (default all
-    zeros); [max_sweeps] bounds the fixpoint iteration (default 4).
-    Raises [Invalid_argument] on keyless circuits or oracle signature
+(** [run locked ~oracle] — [seed] feeds the SAT solver's decision
+    randomisation; [initial] seeds the candidate key (default all zeros);
+    [max_sweeps] bounds the fixpoint iteration (default 4).  Raises
+    [Invalid_argument] on keyless circuits or oracle signature
     mismatch. *)

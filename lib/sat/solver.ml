@@ -2,20 +2,23 @@
    one-step self-subsumption minimization, Luby restarts and learnt-clause
    deletion.  Structure follows MiniSAT 2.2.
 
-   Clause storage is a flat integer arena (MiniSAT/CaDiCaL style): every
-   clause lives contiguously in one growable [int array] as
+   Clause storage is a flat integer arena (MiniSAT/CaDiCaL style, see
+   {!Arena}): every clause lives contiguously in one growable [int array]
+   and is referred to by its offset (a "cref", a plain [int]).  Watch
+   lists are flat [(blocker, cref)] int pairs, so the propagation inner
+   loop allocates nothing and walks cache-contiguous memory.  [reduce_db]
+   compacts the arena in place — crefs in watches, reasons and the clause
+   lists are relocated through a binary-searched offset map — instead of
+   leaking tombstones behind watch lists.
 
-     [ header | activity | lit_0 ... lit_{n-1} ]
-
-   and is referred to by its offset (a "cref", a plain [int]).  The header
-   packs the clause size, the LBD (capped) and a learnt/mark bit pair; the
-   activity slot stores the 63 low bits of the IEEE-754 pattern of a
-   non-negative float, which round-trips exactly.  Watch lists are flat
-   [(blocker, cref)] int pairs, so the propagation inner loop allocates
-   nothing and walks cache-contiguous memory.  [reduce_db] compacts the
-   arena in place — crefs in watches, reasons and the clause lists are
-   relocated through a binary-searched offset map — instead of leaking
-   tombstones behind watch lists. *)
+   On top of the plain CDCL loop sits an inprocessing engine ({!Simp}):
+   each [solve] call starts with a root simplification session
+   (subsumption, self-subsuming resolution, bounded variable elimination)
+   over clauses added since the previous one, and every few restarts a
+   vivification round shrinks high-activity clauses under a propagation
+   budget.  Variable elimination obeys a frozen-variable protocol
+   ([freeze_var]) so incremental callers can safely re-mention frozen
+   variables, and is disabled entirely while DRUP recording is on. *)
 
 module Tel = Ll_telemetry.Telemetry
 
@@ -31,6 +34,14 @@ let m_decisions = Tel.Metric.counter "sat.decisions"
 let m_propagations = Tel.Metric.counter "sat.propagations"
 
 let m_restarts = Tel.Metric.counter "sat.restarts"
+
+let m_simp_subsumed = Tel.Metric.counter "sat.simp.subsumed"
+
+let m_simp_self_subsumed = Tel.Metric.counter "sat.simp.self_subsumed"
+
+let m_simp_eliminated = Tel.Metric.counter "sat.simp.eliminated_vars"
+
+let m_simp_vivified = Tel.Metric.counter "sat.simp.vivified"
 
 let g_arena_words = Tel.Metric.gauge "sat.arena_words"
 
@@ -55,24 +66,22 @@ type stats = {
   deleted_clauses : int;
   arena_gcs : int;
   arena_words : int;
+  simp_subsumed : int;
+  simp_self_subsumed : int;
+  simp_eliminated_vars : int;
+  simp_vivified : int;
 }
 
 exception Conflict_limit
 
 type proof_event = P_add of Lit.t array | P_delete of Lit.t array
 
-(* Arena clause header: bit 0 = learnt, bit 1 = mark (transient, only set
-   between the mark and sweep phases of [reduce_db]), bits 2..11 = LBD
-   (saturating at 1023; only used for deletion ranking), bits 12.. = size. *)
-let hdr_lbd_max = 0x3ff
+let hdr_size_shift = Arena.hdr_size_shift
 
-let hdr_size_shift = 12
-
-let no_cref = -1
+let no_cref = Arena.no_cref
 
 type t = {
-  mutable arena : int array;
-  mutable arena_len : int;
+  ar : Arena.t;
   clauses : int Vec.t;  (* crefs of problem clauses *)
   learnts : int Vec.t;  (* crefs of retained learnt clauses *)
   mutable watches : int Vec.t array;
@@ -103,6 +112,17 @@ type t = {
   mutable n_gcs : int;
   mutable proof_enabled : bool;
   proof_log : proof_event Vec.t;
+  (* inprocessing *)
+  simp_enabled : bool;
+  simp : Simp.t;
+  mutable frozen : bool array;
+  mutable eliminated : bool array;
+  mutable ext_model : int array;  (* extension values for eliminated vars *)
+  mutable n_eliminated : int;
+  mutable clause_cursor : int;  (* clauses-vector prefix seen by the last session *)
+  mutable last_trail_simp : int;  (* root trail size at the last session *)
+  mutable last_conflicts_simp : int;  (* n_conflicts at the last session *)
+  mutable last_viv_restart : int;
 }
 
 let var_decay = 1.0 /. 0.95
@@ -110,11 +130,10 @@ let clause_decay = 1.0 /. 0.999
 let random_decision_freq = 0.02
 let restart_first = 100
 
-let create ?(seed = 0) () =
+let create ?(seed = 0) ?(simp = true) () =
   let s =
     {
-      arena = Array.make 1024 0;
-      arena_len = 0;
+      ar = Arena.create ();
       clauses = Vec.create ~dummy:no_cref;
       learnts = Vec.create ~dummy:no_cref;
       watches = Array.init 128 (fun _ -> Vec.create ~dummy:0);
@@ -144,6 +163,16 @@ let create ?(seed = 0) () =
       n_gcs = 0;
       proof_enabled = false;
       proof_log = Vec.create ~dummy:(P_add [||]);
+      simp_enabled = simp;
+      simp = Simp.create ();
+      frozen = Array.make 64 false;
+      eliminated = Array.make 64 false;
+      ext_model = Array.make 64 (-1);
+      n_eliminated = 0;
+      clause_cursor = 0;
+      last_trail_simp = 0;
+      last_conflicts_simp = 0;
+      last_viv_restart = 0;
     }
   in
   (* The heap scores through the record so activity-array reallocation in
@@ -157,52 +186,25 @@ let num_clauses s = Vec.length s.clauses
 
 let num_learnts s = Vec.length s.learnts
 
-(* --- Arena primitives --- *)
+(* --- Arena shorthands --- *)
 
-let clause_size s c = s.arena.(c) lsr hdr_size_shift
+let clause_size s c = Arena.size s.ar c
 
-let clause_learnt s c = s.arena.(c) land 1 = 1
+let clause_learnt s c = Arena.learnt s.ar c
 
-let clause_marked s c = s.arena.(c) land 2 = 2
+let clause_marked s c = Arena.marked s.ar c
 
-let mark_clause s c = s.arena.(c) <- s.arena.(c) lor 2
+let mark_clause s c = Arena.mark s.ar c
 
-let clause_lbd s c = (s.arena.(c) lsr 2) land hdr_lbd_max
+let clause_lbd s c = Arena.lbd s.ar c
 
-(* Activities are non-negative, so the IEEE sign bit is always clear and
-   the low 63 bits of the pattern fit an OCaml int exactly. *)
-let clause_act s c = Int64.float_of_bits (Int64.logand (Int64.of_int s.arena.(c + 1)) Int64.max_int)
+let clause_act s c = Arena.act s.ar c
 
-let set_clause_act s c f = s.arena.(c + 1) <- Int64.to_int (Int64.bits_of_float f)
+let set_clause_act s c f = Arena.set_act s.ar c f
 
-let clause_lit s c k = s.arena.(c + 2 + k)
+let clause_lit s c k = Arena.lit s.ar c k
 
-let clause_lits s c = Array.init (clause_size s c) (fun k -> s.arena.(c + 2 + k))
-
-let ensure_arena s extra =
-  let need = s.arena_len + extra in
-  if need > Array.length s.arena then begin
-    let cap = ref (2 * Array.length s.arena) in
-    while !cap < need do
-      cap := 2 * !cap
-    done;
-    let fresh = Array.make !cap 0 in
-    Array.blit s.arena 0 fresh 0 s.arena_len;
-    s.arena <- fresh
-  end
-
-let alloc_clause s lits ~learnt ~lbd =
-  let n = Array.length lits in
-  ensure_arena s (n + 2);
-  let c = s.arena_len in
-  s.arena.(c) <-
-    (n lsl hdr_size_shift) lor (min lbd hdr_lbd_max lsl 2) lor (if learnt then 1 else 0);
-  s.arena.(c + 1) <- 0;
-  for k = 0 to n - 1 do
-    s.arena.(c + 2 + k) <- lits.(k)
-  done;
-  s.arena_len <- c + n + 2;
-  c
+let clause_lits s c = Arena.lits s.ar c
 
 let grow_arrays s needed =
   let old = Array.length s.assigns in
@@ -219,6 +221,9 @@ let grow_arrays s needed =
     s.activity <- grown s.activity 0.0;
     s.polarity <- grown s.polarity false;
     s.seen <- grown s.seen false;
+    s.frozen <- grown s.frozen false;
+    s.eliminated <- grown s.eliminated false;
+    s.ext_model <- grown s.ext_model (-1);
     (* one extra slot: decision levels range over 0..nvars inclusive *)
     let fresh = Array.make (n + 1) 0 in
     Array.blit s.level_stamp 0 fresh 0 (Array.length s.level_stamp);
@@ -252,6 +257,26 @@ let enqueue s l reason =
   s.level.(Lit.var l) <- decision_level s;
   s.reason.(Lit.var l) <- reason;
   Vec.push s.trail l
+
+(* --- Frozen-variable protocol --- *)
+
+let check_var s name v = if v < 0 || v >= s.nvars then invalid_arg name
+
+let freeze_var s v =
+  check_var s "Solver.freeze_var: unknown variable" v;
+  s.frozen.(v) <- true
+
+let unfreeze_var s v =
+  check_var s "Solver.unfreeze_var: unknown variable" v;
+  s.frozen.(v) <- false
+
+let is_frozen s v =
+  check_var s "Solver.is_frozen: unknown variable" v;
+  s.frozen.(v)
+
+let is_eliminated s v =
+  check_var s "Solver.is_eliminated: unknown variable" v;
+  s.eliminated.(v)
 
 (* --- Activity --- *)
 
@@ -290,6 +315,31 @@ let attach_clause s c =
   watch s (Lit.negate l0) ~blocker:l1 c;
   watch s (Lit.negate l1) ~blocker:l0 c
 
+let remove_watch s l c =
+  let ws = s.watches.(l) in
+  let n = Vec.length ws in
+  let i = ref 0 in
+  while !i < n && Vec.unsafe_get ws (!i + 1) <> c do
+    i := !i + 2
+  done;
+  if !i < n then begin
+    Vec.unsafe_set ws !i (Vec.unsafe_get ws (n - 2));
+    Vec.unsafe_set ws (!i + 1) (Vec.unsafe_get ws (n - 1));
+    Vec.shrink ws (n - 2)
+  end
+
+let detach_clause s c =
+  let l0 = clause_lit s c 0 and l1 = clause_lit s c 1 in
+  remove_watch s (Lit.negate l0) c;
+  remove_watch s (Lit.negate l1) c
+
+let clear_reasons_of s c =
+  let n = clause_size s c in
+  for k = 0 to n - 1 do
+    let v = Lit.var (clause_lit s c k) in
+    if s.reason.(v) = c then s.reason.(v) <- no_cref
+  done
+
 (* --- Propagation --- *)
 
 (* The hot loop: walks flat (blocker, cref) pairs and clause literals that
@@ -305,7 +355,7 @@ let propagate s =
     let ws = s.watches.(p) in
     let n = Vec.length ws in
     let assigns = s.assigns in
-    let arena = s.arena in
+    let arena = s.ar.Arena.a in
     let j = ref 0 in
     let i = ref 0 in
     while !i < n do
@@ -497,21 +547,26 @@ let locked s c =
 (* In-place arena compaction.  Builds a sorted (old cref -> new cref) map
    while scanning the arena, relocates every cref in watches, reasons and
    the clause lists through binary search, then slides live clause data
-   down with overlap-safe blits. *)
+   down with overlap-safe blits.  Marked clauses and hole blocks (negative
+   words left by in-place strengthening) are dropped. *)
 let gc_arena_core s =
-  let arena = s.arena in
+  let arena = s.ar.Arena.a in
+  let arena_len = s.ar.Arena.len in
   let old_ofs = Vec.create ~dummy:0 in
   let new_ofs = Vec.create ~dummy:0 in
   let src = ref 0 and dst = ref 0 in
-  while !src < s.arena_len do
+  while !src < arena_len do
     let h = arena.(!src) in
-    let len = (h lsr hdr_size_shift) + 2 in
-    if h land 2 = 0 then begin
-      Vec.push old_ofs !src;
-      Vec.push new_ofs !dst;
-      dst := !dst + len
-    end;
-    src := !src + len
+    if h < 0 then src := !src - h
+    else begin
+      let len = (h lsr hdr_size_shift) + 2 in
+      if h land 2 = 0 then begin
+        Vec.push old_ofs !src;
+        Vec.push new_ofs !dst;
+        dst := !dst + len
+      end;
+      src := !src + len
+    end
   done;
   let live_words = !dst in
   let reloc cref =
@@ -556,23 +611,27 @@ let gc_arena_core s =
   done;
   (* Physical compaction, in increasing address order (dst <= src). *)
   let src = ref 0 and dst = ref 0 in
-  while !src < s.arena_len do
+  while !src < arena_len do
     let h = arena.(!src) in
-    let len = (h lsr hdr_size_shift) + 2 in
-    if h land 2 = 0 then begin
-      if !dst < !src then Array.blit arena !src arena !dst len;
-      dst := !dst + len
-    end;
-    src := !src + len
+    if h < 0 then src := !src - h
+    else begin
+      let len = (h lsr hdr_size_shift) + 2 in
+      if h land 2 = 0 then begin
+        if !dst < !src then Array.blit arena !src arena !dst len;
+        dst := !dst + len
+      end;
+      src := !src + len
+    end
   done;
-  s.arena_len <- live_words;
+  s.ar.Arena.len <- live_words;
+  s.ar.Arena.dead <- 0;
   s.n_gcs <- s.n_gcs + 1
 
 let gc_arena s =
   if Tel.enabled () then begin
-    Tel.span_begin ~a0:s.arena_len "sat.gc_arena";
+    Tel.span_begin ~a0:s.ar.Arena.len "sat.gc_arena";
     gc_arena_core s;
-    Tel.span_end ~v:s.arena_len ()
+    Tel.span_end ~v:s.ar.Arena.len ()
   end
   else gc_arena_core s
 
@@ -616,8 +675,17 @@ let reduce_db s =
 
 (* --- Adding clauses (root level) --- *)
 
-let add_clause_a s lits =
-  if s.ok then begin
+(* Returns the cref of the attached clause, or [no_cref] when the clause
+   was absorbed (tautological, satisfied, unit, or empty).
+
+   A literal over an eliminated variable re-activates it first
+   ([restore_var]): the variable's original clauses are replayed from the
+   eliminated-clause stack, so the incremental contract — any existing
+   variable may appear in later clauses — survives inprocessing.
+   Freezing remains worthwhile: it avoids the restore churn entirely. *)
+let rec add_clause_core s lits =
+  if not s.ok then no_cref
+  else begin
     (* Incremental use: callers add clauses right after a Sat answer, while
        the trail still holds the model.  Return to the root first. *)
     cancel_until s 0;
@@ -628,32 +696,248 @@ let add_clause_a s lits =
     Array.iter
       (fun l ->
         if Lit.var l >= s.nvars then invalid_arg "Solver.add_clause: unknown variable";
+        if s.eliminated.(Lit.var l) then restore_var s (Lit.var l);
         if IS.mem (Lit.negate l) !kept then tautology := true;
         match lit_value s l with
         | 1 -> satisfied := true
         | 0 -> ()
         | _ -> kept := IS.add l !kept)
       lits;
-    if not (!tautology || !satisfied) then begin
+    if !tautology || !satisfied then no_cref
+    else begin
       let lits = Array.of_list (IS.elements !kept) in
       match Array.length lits with
       | 0 ->
           s.ok <- false;
-          log_proof s (P_add [||])
+          log_proof s (P_add [||]);
+          no_cref
       | 1 ->
           enqueue s lits.(0) no_cref;
           if propagate s >= 0 then begin
             s.ok <- false;
             log_proof s (P_add [||])
-          end
+          end;
+          no_cref
       | _ ->
-          let c = alloc_clause s lits ~learnt:false ~lbd:0 in
+          let c = Arena.alloc s.ar lits ~learnt:false ~lbd:0 in
           Vec.push s.clauses c;
-          attach_clause s c
+          attach_clause s c;
+          c
     end
   end
 
+and restore_var s v =
+  Simp.restore s.simp ~var:v
+    ~unelim:(fun u ->
+      if s.eliminated.(u) then begin
+        s.eliminated.(u) <- false;
+        s.n_eliminated <- s.n_eliminated - 1;
+        if s.assigns.(u) < 0 then Heap.insert s.order u
+      end)
+    ~readd:(fun lits -> ignore (add_clause_core s lits))
+
+let add_clause_a s lits = ignore (add_clause_core s lits)
+
 let add_clause s lits = add_clause_a s (Array.of_list lits)
+
+(* --- Simplification host operations --- *)
+
+(* Commit a derived root unit: enqueue and propagate, or record the
+   refutation if it contradicts the current root assignment. *)
+let root_commit_unit s u =
+  match lit_value s u with
+  | 1 -> ()
+  | 0 ->
+      s.ok <- false;
+      log_proof s (P_add [||])
+  | _ ->
+      enqueue s u no_cref;
+      if propagate s >= 0 then begin
+        s.ok <- false;
+        log_proof s (P_add [||])
+      end
+
+(* Drop a clause at the root: detach, clear any reason pointers into it,
+   mark it dead in the arena (the clause vectors are filtered later). *)
+let simp_remove_clause s c =
+  log_proof s (P_delete (clause_lits s c));
+  if clause_size s c >= 2 then detach_clause s c;
+  clear_reasons_of s c;
+  mark_clause s c
+
+(* Remove literal [l] from clause [c] in place (subsumption strengthening
+   or root-false stripping).  The shrunken clause is RUP, so under DRUP it
+   is logged as an addition followed by the deletion of the original. *)
+let simp_strengthen_clause s c l =
+  detach_clause s c;
+  let old = clause_lits s c in
+  let n = Array.length old in
+  let k = ref 0 in
+  while clause_lit s c !k <> l do
+    incr k
+  done;
+  Arena.remove_lit_at s.ar c !k;
+  log_proof s (P_add (clause_lits s c));
+  log_proof s (P_delete old);
+  if n - 1 = 1 then begin
+    let u = clause_lit s c 0 in
+    clear_reasons_of s c;
+    mark_clause s c;
+    root_commit_unit s u
+  end
+  else attach_clause s c
+
+(* Rewrite a (currently detached) clause to the literal subset [keep],
+   produced by vivification.  Root-true literals mean the clause is now
+   redundant; root-false literals are dropped. *)
+let simp_replace_clause s c keep =
+  let old = clause_lits s c in
+  let finish_remove () =
+    log_proof s (P_delete old);
+    clear_reasons_of s c;
+    mark_clause s c
+  in
+  if Array.exists (fun l -> lit_value s l = 1) keep then finish_remove ()
+  else begin
+    let kept = Array.of_list (List.filter (fun l -> lit_value s l <> 0) (Array.to_list keep)) in
+    match Array.length kept with
+    | 0 ->
+        log_proof s (P_add [||]);
+        s.ok <- false;
+        finish_remove ()
+    | 1 ->
+        log_proof s (P_add kept);
+        finish_remove ();
+        root_commit_unit s kept.(0)
+    | m ->
+        for k = 0 to m - 1 do
+          Arena.set_lit s.ar c k kept.(k)
+        done;
+        Arena.set_size s.ar c m;
+        log_proof s (P_add (clause_lits s c));
+        log_proof s (P_delete old);
+        attach_clause s c
+  end
+
+(* Learnt clauses mentioning an eliminated variable could still propagate
+   it, breaking the elimination invariant (the variable must stay free so
+   model extension can choose it).  Purge them at elimination time. *)
+let purge_learnts_of s v =
+  Vec.iter
+    (fun c ->
+      if not (clause_marked s c) then begin
+        let n = clause_size s c in
+        let hit = ref false in
+        for k = 0 to n - 1 do
+          if Lit.var (clause_lit s c k) = v then hit := true
+        done;
+        if !hit then begin
+          log_proof s (P_delete (clause_lits s c));
+          detach_clause s c;
+          clear_reasons_of s c;
+          mark_clause s c
+        end
+      end)
+    s.learnts
+
+let simp_eliminate_var s v =
+  s.eliminated.(v) <- true;
+  s.n_eliminated <- s.n_eliminated + 1;
+  purge_learnts_of s v
+
+let simp_host s =
+  {
+    Simp.nvars = s.nvars;
+    ar = s.ar;
+    clauses = s.clauses;
+    learnts = s.learnts;
+    value = (fun l -> lit_value s l);
+    frozen = (fun v -> s.frozen.(v));
+    assigned = (fun v -> s.assigns.(v) >= 0);
+    proof = s.proof_enabled;
+    solver_ok = (fun () -> s.ok);
+    trail_size = (fun () -> Vec.length s.trail);
+    trail_lit = (fun i -> Vec.get s.trail i);
+    remove_clause = (fun c -> simp_remove_clause s c);
+    strengthen_clause = (fun c l -> simp_strengthen_clause s c l);
+    replace_clause = (fun c keep -> simp_replace_clause s c keep);
+    add_resolvent = (fun lits -> add_clause_core s lits);
+    eliminate_var = (fun v -> simp_eliminate_var s v);
+    detach_clause = (fun c -> detach_clause s c);
+    attach_clause = (fun c -> attach_clause s c);
+    assume =
+      (fun l ->
+        new_decision_level s;
+        enqueue s l no_cref);
+    propagate_ok = (fun () -> propagate s < 0);
+    backtrack = (fun () -> cancel_until s 0);
+    propagation_count = (fun () -> s.n_propagations);
+  }
+
+(* Filter dead crefs out of the clause vectors after a simplification
+   pass, and compact the arena once a quarter of it is waste. *)
+let simp_cleanup s =
+  Vec.filter_in_place (fun c -> not (clause_marked s c)) s.clauses;
+  Vec.filter_in_place (fun c -> not (clause_marked s c)) s.learnts;
+  if s.ar.Arena.dead * 4 > s.ar.Arena.len then gc_arena s
+
+(* Root simplification session at the start of a [solve].  A session
+   rebuilds the occurrence index and re-strips the whole clause database
+   — O(formula) — so it only runs once the problem has grown enough to
+   amortise that: always on the first solve, then when new clauses plus
+   new root units amount to [session_growth] percent of the database AND
+   the solver has actually worked ([session_min_conflicts] conflicts)
+   since the previous session.  The conflict gate scales simplification
+   effort to search effort: incremental workloads whose solves are
+   trivial (e.g. a point-function attack finding one easy DIP per call)
+   never pay for passes they cannot amortise, while conflict-heavy
+   instances keep inprocessing eagerly. *)
+let maybe_simplify s =
+  let nc = Vec.length s.clauses in
+  let grown =
+    nc - s.clause_cursor + (Vec.length s.trail - s.last_trail_simp)
+  in
+  let cfg = Simp.config s.simp in
+  if
+    s.simp_enabled && s.ok && grown > 0
+    && (s.clause_cursor = 0
+       || 100 * grown >= cfg.Simp.session_growth * nc
+          && s.n_conflicts - s.last_conflicts_simp >= cfg.Simp.session_min_conflicts)
+  then begin
+    let run () =
+      Simp.session s.simp (simp_host s) ~new_from:s.clause_cursor;
+      simp_cleanup s;
+      s.clause_cursor <- Vec.length s.clauses;
+      s.last_trail_simp <- Vec.length s.trail;
+      s.last_conflicts_simp <- s.n_conflicts
+    in
+    if Tel.enabled () then begin
+      Tel.span_begin ~a0:(Vec.length s.clauses) "sat.simp";
+      run ();
+      Tel.span_end ~v:(Vec.length s.clauses) ()
+    end
+    else run ()
+  end
+
+(* Restart-boundary inprocessing: vivification under a propagation
+   budget. *)
+let maybe_inprocess s =
+  if
+    s.simp_enabled && s.ok
+    && s.n_restarts - s.last_viv_restart >= (Simp.config s.simp).Simp.inprocess_interval
+  then begin
+    s.last_viv_restart <- s.n_restarts;
+    let run () =
+      Simp.vivify s.simp (simp_host s);
+      simp_cleanup s
+    in
+    if Tel.enabled () then begin
+      Tel.span_begin ~a0:(Vec.length s.learnts) "sat.simp.vivify";
+      run ();
+      Tel.span_end ~v:(Vec.length s.learnts) ()
+    end
+    else run ()
+  end
 
 (* --- Luby restart sequence --- *)
 
@@ -668,7 +952,7 @@ let pick_branch_var s =
   let random_pick =
     if s.nvars > 0 && Ll_util.Prng.float s.prng 1.0 < random_decision_freq then begin
       let v = Ll_util.Prng.int s.prng s.nvars in
-      if s.assigns.(v) < 0 then Some v else None
+      if s.assigns.(v) < 0 && not s.eliminated.(v) then Some v else None
     end
     else None
   in
@@ -679,7 +963,7 @@ let pick_branch_var s =
         if Heap.is_empty s.order then None
         else
           let v = Heap.remove_max s.order in
-          if s.assigns.(v) < 0 then Some v else next ()
+          if s.assigns.(v) < 0 && not s.eliminated.(v) then Some v else next ()
       in
       next ()
 
@@ -694,7 +978,7 @@ let record_learnt s lits lbd =
   match Array.length lits with
   | 1 -> enqueue s lits.(0) no_cref
   | _ ->
-      let c = alloc_clause s lits ~learnt:true ~lbd in
+      let c = Arena.alloc s.ar lits ~learnt:true ~lbd in
       Vec.push s.learnts c;
       attach_clause s c;
       bump_clause s c;
@@ -751,34 +1035,69 @@ let search s ~assumptions ~conflict_budget ~max_learnts ~conflict_limit =
   done;
   Option.get !outcome
 
+(* Complete a Sat model over eliminated variables by replaying the
+   eliminated-clause stack (values land in [ext_model], consulted by
+   [value]). *)
+let extend_model s =
+  if s.n_eliminated > 0 then begin
+    Array.fill s.ext_model 0 (Array.length s.ext_model) (-1);
+    Simp.extend_model s.simp
+      ~value:(fun v -> if s.assigns.(v) >= 0 then s.assigns.(v) else s.ext_model.(v))
+      ~set:(fun v b -> s.ext_model.(v) <- b)
+  end
+
 let solve_core ~assumptions ~conflict_limit s =
   if not s.ok then Unsat
   else begin
     cancel_until s 0;
     let assumptions = Array.of_list assumptions in
+    (* Assumption variables: re-activate any that were eliminated, and
+       freeze them for the duration of this solve so the simplification
+       session below cannot eliminate them from under the search
+       (MiniSAT SimpSolver's "extra frozen" discipline). *)
+    let extra_frozen = ref [] in
     Array.iter
       (fun l ->
-        if Lit.var l >= s.nvars then invalid_arg "Solver.solve: unknown assumption variable")
+        let v = Lit.var l in
+        if v >= s.nvars then invalid_arg "Solver.solve: unknown assumption variable";
+        if s.eliminated.(v) then restore_var s v;
+        if not s.frozen.(v) then begin
+          s.frozen.(v) <- true;
+          extra_frozen := v :: !extra_frozen
+        end)
       assumptions;
-    let max_learnts = ref (max 1000.0 (0.3 *. float_of_int (Vec.length s.clauses))) in
-    let rec run attempt =
-      let budget = int_of_float (luby 2.0 attempt *. float_of_int restart_first) in
-      match
-        search s ~assumptions ~conflict_budget:budget ~max_learnts:!max_learnts ~conflict_limit
-      with
-      | O_sat -> Sat
-      | O_unsat ->
-          cancel_until s 0;
-          Unsat
-      | O_restart ->
-          s.n_restarts <- s.n_restarts + 1;
-          Tel.instant ~a0:s.n_restarts "sat.restart";
-          max_learnts := !max_learnts *. 1.05;
-          run (attempt + 1)
-    in
-    let result = run 0 in
-    (* On Sat the trail is kept as the model until the next mutation. *)
-    result
+    Fun.protect
+      ~finally:(fun () -> List.iter (fun v -> s.frozen.(v) <- false) !extra_frozen)
+    @@ fun () ->
+    maybe_simplify s;
+    if not s.ok then Unsat
+    else begin
+      let max_learnts = ref (max 1000.0 (0.3 *. float_of_int (Vec.length s.clauses))) in
+      let rec run attempt =
+        let budget = int_of_float (luby 2.0 attempt *. float_of_int restart_first) in
+        match
+          search s ~assumptions ~conflict_budget:budget ~max_learnts:!max_learnts
+            ~conflict_limit
+        with
+        | O_sat -> Sat
+        | O_unsat ->
+            cancel_until s 0;
+            Unsat
+        | O_restart ->
+            s.n_restarts <- s.n_restarts + 1;
+            Tel.instant ~a0:s.n_restarts "sat.restart";
+            maybe_inprocess s;
+            if not s.ok then Unsat
+            else begin
+              max_learnts := !max_learnts *. 1.05;
+              run (attempt + 1)
+            end
+      in
+      let result = run 0 in
+      (* On Sat the trail is kept as the model until the next mutation. *)
+      if result = Sat then extend_model s;
+      result
+    end
   end
 
 let solve ?(assumptions = []) ?(conflict_limit = 0) s =
@@ -787,6 +1106,11 @@ let solve ?(assumptions = []) ?(conflict_limit = 0) s =
     and d0 = s.n_decisions
     and p0 = s.n_propagations
     and r0 = s.n_restarts in
+    let st = Simp.stats s.simp in
+    let sub0 = st.Simp.subsumed
+    and ssub0 = st.Simp.self_subsumed
+    and el0 = st.Simp.eliminated_vars
+    and viv0 = st.Simp.vivified in
     Tel.span_begin ~a0:(Vec.length s.clauses) ~a1:s.nvars "sat.solve";
     let flush () =
       Tel.Metric.incr m_solves;
@@ -794,8 +1118,12 @@ let solve ?(assumptions = []) ?(conflict_limit = 0) s =
       Tel.Metric.add m_decisions (s.n_decisions - d0);
       Tel.Metric.add m_propagations (s.n_propagations - p0);
       Tel.Metric.add m_restarts (s.n_restarts - r0);
+      Tel.Metric.add m_simp_subsumed (st.Simp.subsumed - sub0);
+      Tel.Metric.add m_simp_self_subsumed (st.Simp.self_subsumed - ssub0);
+      Tel.Metric.add m_simp_eliminated (st.Simp.eliminated_vars - el0);
+      Tel.Metric.add m_simp_vivified (st.Simp.vivified - viv0);
       Tel.Metric.observe h_conflicts_per_solve (float_of_int (s.n_conflicts - c0));
-      Tel.Metric.set g_arena_words (float_of_int s.arena_len)
+      Tel.Metric.set g_arena_words (float_of_int s.ar.Arena.len)
     in
     match solve_core ~assumptions ~conflict_limit s with
     | result ->
@@ -813,13 +1141,18 @@ let value s l =
   match lit_value s l with
   | 1 -> true
   | 0 -> false
-  | _ -> invalid_arg "Solver.value: literal unassigned in model"
+  | _ ->
+      let v = Lit.var l in
+      if v < s.nvars && s.eliminated.(v) && s.ext_model.(v) >= 0 then
+        s.ext_model.(v) lxor (l land 1) = 1
+      else invalid_arg "Solver.value: literal unassigned in model"
 
 let model_var s v = value s (Lit.pos v)
 
 let ok s = s.ok
 
 let stats s =
+  let st = Simp.stats s.simp in
   {
     conflicts = s.n_conflicts;
     decisions = s.n_decisions;
@@ -828,9 +1161,16 @@ let stats s =
     learnt_literals = s.n_learnt_literals;
     deleted_clauses = s.n_deleted;
     arena_gcs = s.n_gcs;
-    arena_words = s.arena_len;
+    arena_words = s.ar.Arena.len;
+    simp_subsumed = st.Simp.subsumed;
+    simp_self_subsumed = st.Simp.self_subsumed;
+    simp_eliminated_vars = st.Simp.eliminated_vars;
+    simp_vivified = st.Simp.vivified;
   }
 
-let enable_proof s = s.proof_enabled <- true
+let enable_proof s =
+  if s.n_eliminated > 0 then
+    invalid_arg "Solver.enable_proof: variables were already eliminated; enable before solving";
+  s.proof_enabled <- true
 
 let proof s = Vec.to_list s.proof_log

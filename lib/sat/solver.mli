@@ -15,7 +15,28 @@
      activity | literals] slices of one int array, referenced by offset),
     so propagation walks cache-local memory and allocates nothing;
     learnt-clause deletion compacts the arena in place.  See the "SAT
-    core" section of the architecture notes for the layout. *)
+    core" section of the architecture notes for the layout.
+
+    {2 Inprocessing and the frozen-variable protocol}
+
+    Unless created with [~simp:false], the solver runs a {!Simp}
+    simplification session at the start of every [solve] (subsumption,
+    self-subsuming resolution, bounded variable elimination) and a
+    vivification round every few restarts.  Variable elimination rewrites
+    the formula in a way that only preserves models {e projected onto the
+    surviving variables}, so the solver keeps every eliminated clause on
+    a stack.  Mentioning an eliminated variable in a later clause or
+    assumption transparently {e restores} it (its original clauses are
+    replayed), preserving the incremental contract; callers with
+    long-lived interface variables should still {!freeze_var} them to
+    avoid the eliminate/restore churn (circuit encoders freeze inputs,
+    key bits and outputs; attack loops freeze their
+    assumption/activation literals).  Models returned after elimination
+    are automatically extended over the eliminated variables, so
+    {!value} remains total on a [Sat] answer.
+    While DRUP recording is enabled ({!enable_proof}), elimination is
+    disabled entirely — every other simplification is
+    equivalence-preserving and is logged as RUP additions/deletions. *)
 
 type t
 
@@ -30,6 +51,10 @@ type stats = {
   deleted_clauses : int;
   arena_gcs : int;  (** clause-arena compactions performed by [reduce_db] *)
   arena_words : int;  (** live words in the clause arena (headers + literals) *)
+  simp_subsumed : int;  (** clauses removed by subsumption *)
+  simp_self_subsumed : int;  (** literals removed by self-subsuming resolution *)
+  simp_eliminated_vars : int;  (** variables eliminated by BVE *)
+  simp_vivified : int;  (** clauses shrunk by vivification *)
 }
 
 (** DRUP proof events, in derivation order.  Each added clause is a
@@ -38,10 +63,11 @@ type stats = {
     formula.  Verify with {!Drup.check_refutation}. *)
 type proof_event = P_add of Lit.t array | P_delete of Lit.t array
 
-val create : ?seed:int -> unit -> t
+val create : ?seed:int -> ?simp:bool -> unit -> t
 (** [seed] randomises variable tie-breaking very slightly (2% random
     decisions), matching common solver defaults.  The default seed gives
-    deterministic behaviour. *)
+    deterministic behaviour.  [simp] (default [true]) enables the
+    inprocessing engine; pass [false] for a plain CDCL solver. *)
 
 val new_var : t -> int
 (** Allocate a fresh variable and return its index. *)
@@ -58,20 +84,40 @@ val num_learnts : t -> int
 val add_clause : t -> Lit.t list -> unit
 (** Add a clause over existing variables.  May be called between [solve]
     calls.  Adding an empty (or root-falsified) clause makes the instance
-    permanently unsatisfiable. *)
+    permanently unsatisfiable.  Mentioning an eliminated variable
+    restores it first (see the inprocessing notes above). *)
 
 val add_clause_a : t -> Lit.t array -> unit
+
+val freeze_var : t -> int -> unit
+(** Exempt a variable from elimination.  Call before the solve that could
+    eliminate it; freezing is the caller's promise registry for variables
+    that future clauses or assumptions may mention. *)
+
+val unfreeze_var : t -> int -> unit
+(** Retract {!freeze_var}: the variable becomes eligible for elimination
+    at the next simplification session. *)
+
+val is_frozen : t -> int -> bool
+
+val is_eliminated : t -> int -> bool
+(** True while the variable is eliminated by simplification.  Mentioning
+    it in a new clause or assumption restores it; encoders use this flag
+    to re-encode a cached gate instead of triggering a restore. *)
 
 val solve : ?assumptions:Lit.t list -> ?conflict_limit:int -> t -> result
 (** Decide satisfiability under the given assumptions.  [conflict_limit]
     bounds the search ([Unsat] is then only reported when proven; hitting
-    the limit raises {!Conflict_limit}). *)
+    the limit raises {!Conflict_limit}).  Assumption variables are frozen
+    for the duration of the call (and restored first if previously
+    eliminated). *)
 
 exception Conflict_limit
 
 val value : t -> Lit.t -> bool
 (** Model value of a literal.  Only meaningful after a [Sat] answer, for
-    variables that existed during that solve. *)
+    variables that existed during that solve.  Total even for eliminated
+    variables: their values come from the model-extension overlay. *)
 
 val model_var : t -> int -> bool
 
@@ -81,8 +127,10 @@ val ok : t -> bool
 val stats : t -> stats
 
 val enable_proof : t -> unit
-(** Start recording DRUP events (call before solving; recording covers
-    clauses learnt afterwards). *)
+(** Start recording DRUP events (call before the first solve; recording
+    covers clauses learnt afterwards).  Disables variable elimination for
+    the lifetime of the solver; raises [Invalid_argument] if variables
+    were already eliminated by an earlier solve. *)
 
 val proof : t -> proof_event list
 (** Recorded events, oldest first.  Empty when recording was never

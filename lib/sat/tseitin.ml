@@ -74,10 +74,14 @@ let force_equal env a b =
 
 let add = Solver.add_clause
 
+(* A cached gate output is only reusable while its variable survives
+   inprocessing: variable elimination may have resolved the definition
+   clauses away.  On an eliminated hit, re-encode the gate onto a fresh
+   variable (the fanins are checked bottom-up, so they are valid). *)
 let cached env key build =
   match Cache.find_opt env.cache key with
-  | Some l -> l
-  | None ->
+  | Some l when not (Solver.is_eliminated env.solver (Lit.var l)) -> l
+  | _ ->
       let out = Lit.pos (Solver.new_var env.solver) in
       build out;
       Cache.replace env.cache key out;
@@ -169,11 +173,19 @@ let mk_lut env table fanin_lits =
         add env.solver (rhs :: guard)
       done)
 
+let freeze_all env lits =
+  Array.iter (fun l -> Solver.freeze_var env.solver (Lit.var l)) lits
+
 let encode env c ~input_lits ~key_lits =
   if Array.length input_lits <> Circuit.num_inputs c then
     invalid_arg "Tseitin.encode: input literal count mismatch";
   if Array.length key_lits <> Circuit.num_keys c then
     invalid_arg "Tseitin.encode: key literal count mismatch";
+  (* Interface variables are re-mentioned by later clauses (miters, DIP
+     constraints, model queries): exempt them from variable elimination.
+     Internal gate variables stay eliminable. *)
+  freeze_all env input_lits;
+  freeze_all env key_lits;
   let lit_of_node = Array.make (Circuit.num_nodes c) 0 in
   let next_input = ref 0 and next_key = ref 0 in
   Array.iteri
@@ -205,7 +217,9 @@ let encode env c ~input_lits ~key_lits =
       in
       lit_of_node.(i) <- l)
     c.Circuit.nodes;
-  Array.map (fun (_, j) -> lit_of_node.(j)) c.Circuit.outputs
+  let outs = Array.map (fun (_, j) -> lit_of_node.(j)) c.Circuit.outputs in
+  freeze_all env outs;
+  outs
 
 (* ------------------------------------------------------------------ *)
 (* Direct emitter over a cofactored flat program                       *)
@@ -214,6 +228,7 @@ let encode env c ~input_lits ~key_lits =
 let encode_cofactored env (p : Compiled.t) (s : Compiled.scratch) ~key_lits =
   if Array.length key_lits <> p.Compiled.num_keys then
     invalid_arg "Tseitin.encode_cofactored: key literal count mismatch";
+  freeze_all env key_lits;
   Tel.span_begin "kernel.encode";
   let op = p.Compiled.op and arg = p.Compiled.arg in
   let off = p.Compiled.fanin_off and idx = p.Compiled.fanin_idx in
@@ -338,6 +353,7 @@ let encode_cofactored env (p : Compiled.t) (s : Compiled.scratch) ~key_lits =
         | _ -> Lit.negate (lit_true env))
       p.Compiled.outputs
   in
+  freeze_all env outs;
   Tel.Metric.incr m_encodes;
   Tel.span_end ~v:!encoded ();
   outs

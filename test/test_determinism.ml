@@ -24,8 +24,8 @@ let base_circuit () =
   random_circuit ~seed:5 ~num_inputs:6 ~num_outputs:3 ~gates:30 ()
 
 let sarlock4_golden_dips =
-  "010111;001100;011100;111100;101100;101000;111000;011000;000100;100100;100000;110000;\
-   110100;000001;010001"
+  "011001;011101;001101;010101;110101;110001;101101;111101;101001;111001;100001;000001;\
+   010001;100101;000101"
 
 let test_sarlock_golden () =
   let c = base_circuit () in
@@ -44,7 +44,7 @@ let test_xor_golden () =
   let locked = LL.Locking.Xor_lock.lock ~prng:(Prng.create 9) ~num_keys:5 c in
   let run () = attack locked.LL.Locking.Locked.circuit ~oracle:(Oracle.of_circuit c) in
   let r1 = run () in
-  check_golden "xor5" ~dips:"100010;000011" ~key:"00110" r1;
+  check_golden "xor5" ~dips:"001001;000011" ~key:"00110" r1;
   let r2 = run () in
   Alcotest.(check string) "identical rerun" (dip_string r1) (dip_string r2)
 
@@ -55,7 +55,10 @@ let test_xor_golden () =
    compiled-kernel cofactor emitter: the cone collapses to the same key
    function but the clause/variable stream differs, which legitimately
    steers the solver to a different (equally valid) DIP order.  DIP
-   count, key and Broken status are unchanged. *)
+   count, key and Broken status are unchanged.  Re-pinned again when the
+   inprocessing engine (subsumption + BVE + vivification) landed: the
+   simplified clause database steers branching differently while the
+   formula stays equisatisfiable — count, key and status still hold. *)
 let test_c432_sarlock_golden () =
   let c = LL.Bench_suite.Iscas.get "c432" in
   let locked = LL.Locking.Sarlock.lock ~prng:(Prng.create 11) ~key_size:6 c in
@@ -63,7 +66,7 @@ let test_c432_sarlock_golden () =
   Alcotest.(check bool) "broken" true (r.Sat_attack.status = Sat_attack.Broken);
   Alcotest.(check int) "dip count" 63 r.Sat_attack.num_dips;
   Alcotest.(check string) "key" "111000" (key_string r);
-  Alcotest.(check string) "dip sequence digest" "93291963f5b31eb1621b9d82e60e86ab"
+  Alcotest.(check string) "dip sequence digest" "9e86d0f4df9a9f4d3fa6960749fe9b5f"
     (Digest.to_hex (Digest.string (dip_string r)))
 
 let suite =

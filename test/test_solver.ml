@@ -223,12 +223,15 @@ let test_arena_gc_unsat_pressure () =
 let test_model_correct_under_arena_gc () =
   (* Hard satisfiable 3-SAT near the phase transition: the arena is
      compacted mid-search, relocating crefs in watch lists and reasons.
-     The final model must still satisfy every original clause. *)
+     The final model must still satisfy every original clause.
+     Inprocessing is disabled so the instance stays hard enough that
+     reduce_db reliably triggers compaction (the simp-enabled path is
+     exercised by the simp test suite). *)
   List.iter
     (fun seed ->
       let nvars = 180 in
       let g = Prng.create seed in
-      let s = Solver.create () in
+      let s = Solver.create ~simp:false () in
       let vs = fresh_vars s nvars in
       let clauses =
         List.init (int_of_float (4.2 *. float_of_int nvars)) (fun _ ->

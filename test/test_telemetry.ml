@@ -304,8 +304,8 @@ let test_jsonl_parses () =
 (* --- determinism: tracing must not change attack behaviour --- *)
 
 let sarlock4_golden_dips =
-  "010111;001100;011100;111100;101100;101000;111000;011000;000100;100100;100000;110000;\
-   110100;000001;010001"
+  "011001;011101;001101;010101;110101;110001;101101;111101;101001;111001;100001;000001;\
+   010001;100101;000101"
 
 let dip_string (r : Sat_attack.result) =
   String.concat ";" (List.map Bitvec.to_string r.Sat_attack.dips)
