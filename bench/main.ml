@@ -39,8 +39,10 @@ let sections =
      SAT-core suite behind the [bench-sat-smoke] CI alias, a subset of
      "sat"; "evalsmoke" likewise for the compiled-kernel suite behind
      [bench-eval-smoke]; "satsimp" is the inprocessing on/off comparison
-     behind [bench-sat-simp-smoke] (BENCH_sat_simp.json). *)
-  let extras = [ "satsmoke"; "evalsmoke"; "satsimp" ] in
+     behind [bench-sat-simp-smoke] (BENCH_sat_simp.json); "dipbatch" is
+     the batched-DIP q sweep behind [bench-dip-batch-smoke]
+     (BENCH_dip_batch.json). *)
+  let extras = [ "satsmoke"; "evalsmoke"; "satsimp"; "dipbatch" ] in
   let chosen =
     List.filter (fun s -> List.mem s all || List.mem s extras) requested
   in
@@ -143,6 +145,67 @@ let split_sched_bench ~section ~name ~n locked ~oracle =
   Tel.disable ();
   let num_tasks = Array.length steal.Split_attack.tasks in
   let traj = dip_trajectories snap num_tasks in
+  (* Batched-DIP sweep over the same workload: the serial runner with the
+     pipeline pinned at each q.  The q = 1 run must be byte-identical to
+     the plain serial run above (same DIP sequences per task) — that is
+     the pipeline's compatibility invariant, recorded as a boolean. *)
+  let dip_qs = [| 1; 4; 16; 64 |] in
+  let batch_runs =
+    Array.map
+      (fun q ->
+        let config =
+          { Sat_attack.default_config with
+            dip_batch =
+              { Sat_attack.q; q_max = q; adaptive = false; oracle_pool = None }
+          }
+        in
+        let r, wall, _, _ = time (fun () -> Split_attack.run ~config ~n locked ~oracle) in
+        (wall, r))
+      dip_qs
+  in
+  let total f (s : Split_attack.t) =
+    Array.fold_left (fun acc t -> acc + f t.Split_attack.result) 0 s.Split_attack.tasks
+  in
+  let batch_wall = Array.map fst batch_runs in
+  let batch_dips =
+    Array.map (fun (_, s) -> total (fun r -> r.Sat_attack.num_dips) s) batch_runs
+  in
+  let batch_rounds =
+    Array.map (fun (_, s) -> total (fun r -> r.Sat_attack.rounds) s) batch_runs
+  in
+  let batch_dips_s =
+    Array.init (Array.length batch_runs) (fun i ->
+        if batch_wall.(i) > 0.0 then float_of_int batch_dips.(i) /. batch_wall.(i)
+        else 0.0)
+  in
+  let dip_sequences (s : Split_attack.t) =
+    Array.map
+      (fun (t : Split_attack.task) ->
+        t.result.Sat_attack.dips |> List.map Bitvec.to_string |> String.concat ",")
+      s.Split_attack.tasks
+  in
+  let q1_matches_serial = dip_sequences (snd batch_runs.(0)) = dip_sequences serial in
+  (* Cross-q key equality is NOT an invariant here: a cofactor sub-space
+     usually has several unlocking keys and different DIP sets may settle
+     on different ones.  What must hold is that every sub-attack at every
+     q still closes with a key. *)
+  let batch_all_broken =
+    Array.for_all
+      (fun (_, s) ->
+        Array.for_all
+          (fun (t : Split_attack.task) ->
+            t.result.Sat_attack.status = Sat_attack.Broken)
+          s.Split_attack.tasks)
+      batch_runs
+  in
+  Printf.printf "  %-16s dip batch:%s  q1==serial %b, all broken %b\n%!" name
+    (String.concat ""
+       (Array.to_list
+          (Array.mapi
+             (fun i q ->
+               Printf.sprintf " q%d %.3fs/%dr" q batch_wall.(i) batch_rounds.(i))
+             dip_qs)))
+    q1_matches_serial batch_all_broken;
   let task_dips =
     Array.map (fun (t : Split_attack.task) -> t.result.Sat_attack.num_dips) traced.Split_attack.tasks
   in
@@ -194,7 +257,14 @@ let split_sched_bench ~section ~name ~n locked ~oracle =
       \    \"trace_events\": %d,\n\
       \    \"trace_dropped_events\": %d,\n\
       \    \"task_dips\": %s,\n\
-      \    \"task_iters_s\": [%s]\n\
+      \    \"task_iters_s\": [%s],\n\
+      \    \"dip_batch_qs\": %s,\n\
+      \    \"dip_batch_wall_s\": %s,\n\
+      \    \"dip_batch_dips\": %s,\n\
+      \    \"dip_batch_rounds\": %s,\n\
+      \    \"dip_batch_dips_per_s\": %s,\n\
+      \    \"dip_batch_q1_matches_serial\": %b,\n\
+      \    \"dip_batch_all_broken\": %b\n\
       \  }"
       section name n num_tasks domains serial_wall static_wall steal_wall traced_wall
       (Split_attack.min_task_time steal)
@@ -210,6 +280,9 @@ let split_sched_bench ~section ~name ~n locked ~oracle =
       snap.Tel.dropped_events
       (json_int_array task_dips)
       (String.concat ", " (Array.to_list (Array.map json_float_array traj)))
+      (json_int_array dip_qs) (json_float_array batch_wall)
+      (json_int_array batch_dips) (json_int_array batch_rounds)
+      (json_float_array batch_dips_s) q1_matches_serial batch_all_broken
   in
   split_records := record :: !split_records
 
@@ -595,6 +668,12 @@ let sat_simp ~smoke =
      else "SAT inprocessing: on/off comparison");
   Sat_bench.run_simp ~smoke
 
+let sat_dip_batch ~smoke =
+  header
+    (if smoke then "Batched DIP pipeline: q sweep (fast CI check)"
+     else "Batched DIP pipeline: q sweep");
+  Sat_bench.run_dip_batch ~smoke
+
 (* ------------------------------------------------------------------ *)
 (* Compiled netlist kernel: simulation + constraint-generation rates   *)
 (* (BENCH_eval.json).                                                  *)
@@ -624,6 +703,7 @@ let () =
   if want "sat" then sat_core ~smoke:false;
   if want "satsmoke" then sat_core ~smoke:true;
   if want "satsimp" then sat_simp ~smoke:true;
+  if want "dipbatch" then sat_dip_batch ~smoke:true;
   if want "eval" then eval_core ~smoke:false;
   if want "evalsmoke" then eval_core ~smoke:true;
   if want "micro" then micro ();

@@ -5,6 +5,7 @@ module Timer = Ll_util.Timer
 module Solver = Ll_sat.Solver
 module Tseitin = Ll_sat.Tseitin
 module Lit = Ll_sat.Lit
+module Pool = Ll_runtime.Pool
 module Tel = Ll_telemetry.Telemetry
 
 let m_dips = Tel.Metric.counter "attack.dips"
@@ -12,6 +13,21 @@ let m_dips = Tel.Metric.counter "attack.dips"
 let m_oracle_queries = Tel.Metric.counter "attack.oracle_queries"
 
 let h_dip_solve = Tel.Metric.histogram "attack.dip_solve_s"
+
+let h_batch_dips = Tel.Metric.histogram "attack.batch_dips"
+
+type dip_batch = {
+  q : int;
+  q_max : int;
+  adaptive : bool;
+  oracle_pool : Pool.t option;
+}
+
+let default_dip_batch = { q = 1; q_max = 1; adaptive = false; oracle_pool = None }
+
+let batched ?pool ?(adaptive = true) ?(q_max = 64) q =
+  if q < 1 || q > 64 then invalid_arg "Sat_attack.batched: q must be in [1, 64]";
+  { q; q_max = min 64 (max q q_max); adaptive; oracle_pool = pool }
 
 type config = {
   simplify_constraints : bool;
@@ -21,6 +37,7 @@ type config = {
   interrupt : (unit -> bool) option;
   solver_seed : int;
   solver_simp : bool;
+  dip_batch : dip_batch;
 }
 
 let default_config =
@@ -32,6 +49,7 @@ let default_config =
     interrupt = None;
     solver_seed = 0;
     solver_simp = true;
+    dip_batch = default_dip_batch;
   }
 
 type status = Broken | Iteration_limit | Time_limit | Cancelled
@@ -41,11 +59,122 @@ type result = {
   key : Bitvec.t option;
   dips : Bitvec.t list;
   num_dips : int;
+  rounds : int;
   oracle_queries : int;
   total_time : float;
   solve_time : float;
   solver_conflicts : int;
 }
+
+(* ------------------------------------------------------------------ *)
+(* Shared preparation                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Everything about the locked circuit that every (sub-)attack instance
+   needs and that no instance mutates: the synthesized key-duplicated
+   miter, the key-dependence split of the outputs, the compiled key cone
+   for per-DIP cofactoring and the compiled key-independent cone for
+   oracle consistency checks.  The split attack builds this once and runs
+   one instance per cofactor cube; scratch buffers are per-run (and hence
+   per-domain), never shared. *)
+type prep = {
+  p_locked : Circuit.t;
+  p_miter : Circuit.t;
+  p_n_in : int;
+  p_n_key : int;
+  p_output_key_dep : bool array;
+  p_all_dep : bool;
+  p_cone_prog : Compiled.t;
+  p_indep : (Compiled.t * int array) option;
+}
+
+let prepare locked =
+  if Circuit.num_keys locked = 0 then
+    invalid_arg "Sat_attack.prepare: circuit has no keys";
+  let n_in = Circuit.num_inputs locked and n_key = Circuit.num_keys locked in
+  (* The two key-sharing copies are built as one circuit and synthesized
+     before encoding: structural hashing merges all key-independent logic
+     shared by the copies, which shrinks the miter dramatically (for
+     point-function schemes it collapses to the key cones). *)
+  let miter = Ll_synth.Optimize.run (Miter.dup_key locked) in
+  assert (Circuit.num_keys miter = 2 * n_key);
+  (* Per-DIP constraints only bind the key: restrict the circuit, once, to
+     the outputs in the transitive fanout of a key input.  Key-independent
+     outputs collapse to the oracle response on every DIP anyway (they
+     contribute no clauses), so re-simplifying them each iteration is pure
+     overhead; they are instead checked against the oracle by one linear
+     simulation pass per DIP, which preserves the Broken diagnosis when an
+     inconsistent oracle contradicts key-free logic. *)
+  let output_key_dep =
+    let kc = Ll_netlist.Cone.key_controlled locked in
+    Array.map (fun j -> kc.(j)) (Circuit.output_nodes locked)
+  in
+  let all_dep = Array.for_all (fun b -> b) output_key_dep in
+  (* A pathological lock can leave every output key-independent (the key
+     drives only logic outside the output cones); the split would then
+     build an empty key cone, so fall back to the whole-circuit path: the
+     optimized miter has no key-dependent difference, the first solve is
+     UNSAT, and the attack closes immediately (any key unlocks). *)
+  let all_dep = all_dep || not (Array.exists (fun b -> b) output_key_dep) in
+  let key_cone =
+    if all_dep then locked
+    else
+      let outputs =
+        Array.to_list locked.Circuit.outputs
+        |> List.filteri (fun i _ -> output_key_dep.(i))
+        |> Array.of_list
+      in
+      Ll_synth.Sweep.run
+        (Circuit.create ~name:locked.Circuit.name ~nodes:locked.Circuit.nodes
+           ~node_names:locked.Circuit.node_names ~outputs)
+  in
+  (* The key cone is compiled once; every DIP then runs one in-place
+     ternary cofactor sweep over the flat program (no intermediate
+     circuits) before the emitter adds its constraints. *)
+  let cone_prog = Compiled.compile key_cone in
+  let indep =
+    if all_dep then None
+    else begin
+      let outputs =
+        Array.to_list locked.Circuit.outputs
+        |> List.filteri (fun i _ -> not output_key_dep.(i))
+        |> Array.of_list
+      in
+      let indep_cone =
+        Ll_synth.Sweep.run
+          (Circuit.create ~name:locked.Circuit.name ~nodes:locked.Circuit.nodes
+             ~node_names:locked.Circuit.node_names ~outputs)
+      in
+      let prog = Compiled.compile indep_cone in
+      let pos =
+        Array.to_list output_key_dep
+        |> List.mapi (fun i dep -> (i, dep))
+        |> List.filter_map (fun (i, dep) -> if dep then None else Some i)
+        |> Array.of_list
+      in
+      Some (prog, pos)
+    end
+  in
+  {
+    p_locked = locked;
+    p_miter = miter;
+    p_n_in = n_in;
+    p_n_key = n_key;
+    p_output_key_dep = output_key_dep;
+    p_all_dep = all_dep;
+    p_cone_prog = cone_prog;
+    p_indep = indep;
+  }
+
+let prep_circuit prep = prep.p_locked
+
+let prep_inputs prep = prep.p_n_in
+
+let prep_gates prep = Circuit.gate_count prep.p_miter
+
+(* ------------------------------------------------------------------ *)
+(* Per-DIP constraint emission                                        *)
+(* ------------------------------------------------------------------ *)
 
 (* Force an encoded circuit's outputs to the observed oracle response. *)
 let constrain_outputs env outs response =
@@ -69,101 +198,106 @@ let add_dip_constraint env ~cofactored ~locked ~key_lits ~dip ~response ~cone_re
       let outs = Tseitin.encode env locked ~input_lits ~key_lits in
       constrain_outputs env outs response
 
-let run_core ~config locked ~oracle =
-  if Circuit.num_keys locked = 0 then invalid_arg "Sat_attack.run: circuit has no keys";
+(* ------------------------------------------------------------------ *)
+(* The batched DIP pipeline                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* One round of the attack is an explicit four-phase state machine:
+
+     Solve -> Enumerate -> Oracle_sweep -> Encode -> Solve -> ...
+
+   [Solve] runs the main miter solve under the activation assumption and
+   either finishes the attack (Unsat: extract the key) or hands its model
+   to [Enumerate], which blocks each found input assignment under a fresh
+   per-round guard literal and re-solves until up to [q] distinct DIPs are
+   in hand.  [Oracle_sweep] answers all of them in one packed pass
+   (optionally on a runtime pool, overlapped with the per-DIP ternary
+   cofactor sweeps), and [Encode] appends every model-blocking constraint
+   as one arena batch, retires the round's guard and updates the adaptive
+   [q].  Each phase is a [step_*] function over the mutable session below:
+   the driver is a trivial loop, and a future resumable-job daemon can
+   interleave sessions at phase granularity. *)
+
+type round_state = {
+  mutable b_dips : bool array array;  (** models found this round, [0..b_k) *)
+  mutable b_k : int;
+  mutable b_budget : int;  (** enumeration target for this round *)
+  mutable b_en : Lit.t option;  (** per-round enumeration guard *)
+  mutable b_early_unsat : bool;  (** enumeration ran dry before the budget *)
+  mutable b_enum_time : float;  (** time in enumeration solves *)
+  mutable b_main_dt : float;  (** time of this round's main solve *)
+  mutable b_wit1 : bool array array;  (** witness key A per model (adaptive) *)
+  mutable b_wit2 : bool array array;  (** witness key B per model (adaptive) *)
+  mutable b_responses : bool array array;
+}
+
+type phase = Solve | Enumerate | Oracle_sweep | Encode | Finished of result
+
+let run_prepared_core ~config prep ~condition ~oracle =
+  let locked = prep.p_locked in
   if Circuit.num_inputs locked <> Oracle.num_inputs oracle then
     invalid_arg "Sat_attack.run: oracle input count mismatch";
   if Circuit.num_outputs locked <> Oracle.num_outputs oracle then
     invalid_arg "Sat_attack.run: oracle output count mismatch";
+  let db = config.dip_batch in
+  if db.q < 1 || db.q > 64 || db.q_max < db.q || db.q_max > 64 then
+    invalid_arg "Sat_attack.run: dip_batch q must satisfy 1 <= q <= q_max <= 64";
+  let n_in = prep.p_n_in and n_key = prep.p_n_key in
+  let pinned = Array.make n_in None in
+  List.iter
+    (fun (pos, b) ->
+      if pos < 0 || pos >= n_in then invalid_arg "Sat_attack.run: condition position";
+      if pinned.(pos) <> None then invalid_arg "Sat_attack.run: duplicate condition";
+      pinned.(pos) <- Some b)
+    condition;
+  let free_pos =
+    Array.to_list pinned
+    |> List.mapi (fun i v -> (i, v))
+    |> List.filter_map (fun (i, v) -> match v with None -> Some i | Some _ -> None)
+    |> Array.of_list
+  in
   let started = Timer.monotonic () in
-  let queries_before = Oracle.query_count oracle in
   let solver = Solver.create ~seed:config.solver_seed ~simp:config.solver_simp () in
   let env = Tseitin.create solver in
-  let n_in = Circuit.num_inputs locked and n_key = Circuit.num_keys locked in
-  (* The two key-sharing copies are built as one circuit and synthesized
-     before encoding: structural hashing merges all key-independent logic
-     shared by the copies, which shrinks the miter dramatically (for
-     point-function schemes it collapses to the key cones). *)
-  let miter = Ll_synth.Optimize.run (Miter.dup_key locked) in
-  assert (Circuit.num_keys miter = 2 * n_key);
   let input_lits = Tseitin.fresh_lits env n_in in
   let key_lits = Tseitin.fresh_lits env (2 * n_key) in
   let key1 = Array.sub key_lits 0 n_key in
   let key2 = Array.sub key_lits n_key n_key in
   let diff =
-    match Tseitin.encode env miter ~input_lits ~key_lits with
+    match Tseitin.encode env prep.p_miter ~input_lits ~key_lits with
     | [| d |] -> d
     | _ -> assert false
   in
-  (* Per-DIP constraints only bind the key: restrict the circuit, once, to
-     the outputs in the transitive fanout of a key input.  Key-independent
-     outputs collapse to the oracle response on every DIP anyway (they
-     contribute no clauses), so re-simplifying them each iteration is pure
-     overhead; they are instead checked against the oracle by one linear
-     simulation pass per DIP, which preserves the Broken diagnosis when an
-     inconsistent oracle contradicts key-free logic. *)
-  let output_key_dep =
-    let kc = Ll_netlist.Cone.key_controlled locked in
-    Array.map (fun j -> kc.(j)) (Circuit.output_nodes locked)
+  (* The cofactor cube: pinned primary inputs become root units, so the
+     shared miter encoding — built once by {!prepare} for all cubes — is
+     specialised by the solver instead of by re-synthesizing and
+     re-encoding a cofactored circuit per cube. *)
+  List.iter (fun (pos, b) -> Tseitin.force env input_lits.(pos) b) condition;
+  (* Guarded difference clause: act -> diff.  The activation variable is
+     used as an assumption on every solve, so it must survive variable
+     elimination. *)
+  let act = (Tseitin.fresh_lits env 1).(0) in
+  Solver.freeze_var solver (Lit.var act);
+  Solver.add_clause solver [ Lit.negate act; diff ];
+  (* Scratches for the in-place ternary cofactor sweeps — one per in-flight
+     DIP of a batch, grown on demand, owned by this run's domain. *)
+  let scratches = ref [||] in
+  let scratch_for i =
+    if i >= Array.length !scratches then begin
+      let old = !scratches in
+      scratches :=
+        Array.init (i + 1) (fun j ->
+            if j < Array.length old then old.(j) else Compiled.scratch prep.p_cone_prog)
+    end;
+    (!scratches).(i)
   in
-  let all_outputs_key_dep = Array.for_all (fun b -> b) output_key_dep in
-  let key_cone =
-    if all_outputs_key_dep then locked
-    else
-      let outputs =
-        Array.to_list locked.Circuit.outputs
-        |> List.filteri (fun i _ -> output_key_dep.(i))
-        |> Array.of_list
-      in
-      Ll_synth.Sweep.run
-        (Circuit.create ~name:locked.Circuit.name ~nodes:locked.Circuit.nodes
-           ~node_names:locked.Circuit.node_names ~outputs)
-  in
-  let cone_response_of response =
-    if all_outputs_key_dep then response
-    else
-      Array.to_list response
-      |> List.filteri (fun i _ -> output_key_dep.(i))
-      |> Array.of_list
-  in
-  (* The key cone is compiled once; every DIP then runs one in-place
-     ternary cofactor sweep over the flat program (no intermediate
-     circuits) before the emitter adds its constraints. *)
-  let cofactor_ctx =
-    if config.simplify_constraints then begin
-      let prog = Compiled.compile key_cone in
-      Some (prog, Compiled.scratch prog)
-    end
-    else None
-  in
-  (* Key-independent outputs are checked against the oracle by simulating
-     just their cone — compiled once, with per-run scratch — rather than
-     the whole locked circuit per DIP. *)
-  let indep_check =
-    if all_outputs_key_dep then None
-    else begin
-      let outputs =
-        Array.to_list locked.Circuit.outputs
-        |> List.filteri (fun i _ -> not output_key_dep.(i))
-        |> Array.of_list
-      in
-      let indep_cone =
-        Ll_synth.Sweep.run
-          (Circuit.create ~name:locked.Circuit.name ~nodes:locked.Circuit.nodes
-             ~node_names:locked.Circuit.node_names ~outputs)
-      in
-      let prog = Compiled.compile indep_cone in
-      let pos =
-        Array.to_list output_key_dep
-        |> List.mapi (fun i dep -> (i, dep))
-        |> List.filter_map (fun (i, dep) -> if dep then None else Some i)
-        |> Array.of_list
-      in
-      Some (prog, Compiled.scratch prog, Array.make n_key false, pos)
-    end
+  let indep =
+    match prep.p_indep with
+    | None -> None
+    | Some (prog, pos) -> Some (prog, Compiled.scratch prog, Array.make n_key false, pos)
   in
   let indep_outputs_match dip response =
-    match indep_check with
+    match indep with
     | None -> true
     | Some (prog, scratch, zero_keys, pos) ->
         Compiled.eval_into prog scratch ~inputs:dip ~keys:zero_keys;
@@ -174,18 +308,19 @@ let run_core ~config locked ~oracle =
           pos;
         !ok
   in
-  (* Guarded difference clause: act -> diff.  The activation variable is
-     used as an assumption on every solve, so it must survive variable
-     elimination. *)
-  let act = (Tseitin.fresh_lits env 1).(0) in
-  Solver.freeze_var solver (Lit.var act);
-  Solver.add_clause solver [ Lit.negate act; diff ];
+  let cone_response_of response =
+    if prep.p_all_dep then response
+    else
+      Array.to_list response
+      |> List.filteri (fun i _ -> prep.p_output_key_dep.(i))
+      |> Array.of_list
+  in
   let solve_time = ref 0.0 in
   let timed_solve assumptions =
     let r, dt = Timer.time (fun () -> Solver.solve ~assumptions solver) in
     solve_time := !solve_time +. dt;
     if Tel.enabled () then Tel.Metric.observe h_dip_solve dt;
-    r
+    (r, dt)
   in
   let over_time () =
     match config.time_limit with
@@ -198,88 +333,339 @@ let run_core ~config locked ~oracle =
   let interrupted () =
     match config.interrupt with Some f -> f () | None -> false
   in
-  let finish status key dips =
+  let queries_made = ref 0 in
+  (* Session state of the machine. *)
+  let dips_rev = ref [] in
+  let num_dips = ref 0 in
+  let rounds = ref 0 in
+  let cur_q = ref (min db.q db.q_max) in
+  let batching = db.q_max > 1 in
+  let round =
     {
-      status;
-      key;
-      dips = List.rev dips;
-      num_dips = List.length dips;
-      oracle_queries = Oracle.query_count oracle - queries_before;
-      total_time = Timer.monotonic () -. started;
-      solve_time = !solve_time;
-      solver_conflicts = (Solver.stats solver).Solver.conflicts;
+      b_dips = [||];
+      b_k = 0;
+      b_budget = 1;
+      b_en = None;
+      b_early_unsat = false;
+      b_enum_time = 0.0;
+      b_main_dt = 0.0;
+      b_wit1 = [||];
+      b_wit2 = [||];
+      b_responses = [||];
     }
   in
-  let rec loop i dips =
-    if over_iterations i then finish Iteration_limit None dips
-    else if over_time () then finish Time_limit None dips
-    else if interrupted () then finish Cancelled None dips
+  let phase = ref Solve in
+  let finish status key =
+    phase :=
+      Finished
+        {
+          status;
+          key;
+          dips = List.rev !dips_rev;
+          num_dips = !num_dips;
+          rounds = !rounds;
+          oracle_queries = !queries_made;
+          total_time = Timer.monotonic () -. started;
+          solve_time = !solve_time;
+          solver_conflicts = (Solver.stats solver).Solver.conflicts;
+        }
+  in
+  let model_of lits = Array.map (fun l -> Solver.value solver l) lits in
+  (* --- Solve: the main miter solve under the activation guard. --- *)
+  let step_solve () =
+    if over_iterations !num_dips then finish Iteration_limit None
+    else if over_time () then finish Time_limit None
+    else if interrupted () then finish Cancelled None
     else begin
-      (* One span per DIP iteration: a0 = iteration index; closed with
-         v = the cofactored cone's symbolic (key-dependent) node count
-         (Sat) or -1 (Unsat, i.e. the final solve that proves no DIP
-         remains). *)
-      if Tel.enabled () then Tel.span_begin ~a0:i "attack.dip";
+      (* One span per round: a0 = round index; closed with v = the
+         cofactored cone's symbolic (key-dependent) node count (Sat) or -1
+         (Unsat, i.e. the final solve that proves no DIP remains). *)
+      if Tel.enabled () then Tel.span_begin ~a0:!rounds "attack.dip";
       match timed_solve [ act ] with
-      | Solver.Unsat ->
+      | Solver.Unsat, _ ->
           (* No DIP left: extract any surviving key. *)
           let key =
             match timed_solve [ Lit.negate act ] with
-            | Solver.Sat ->
+            | Solver.Sat, _ ->
                 Some (Bitvec.init n_key (fun k -> Solver.value solver key1.(k)))
-            | Solver.Unsat -> None
+            | Solver.Unsat, _ -> None
           in
           if Tel.enabled () then Tel.span_end ~v:(-1) ();
-          finish Broken key dips
-      | Solver.Sat ->
-          let dip = Array.map (fun l -> Solver.value solver l) input_lits in
-          let response = Oracle.query oracle dip in
-          Tel.Metric.incr m_oracle_queries;
-          if not (indep_outputs_match dip response) then
-            (* The oracle contradicts key-independent logic: no key can
-               reproduce it.  Poison the solver so the attack reports
-               Broken with no surviving key, as the unrestricted encoding
-               would have. *)
-            Solver.add_clause solver [];
-          (* One in-place ternary sweep suffices: with every primary input
-             pinned, the key cone collapses to key logic without building
-             any intermediate circuit. *)
-          let cofactored =
-            match cofactor_ctx with
-            | Some (prog, scratch) ->
-                Compiled.cofactor_into prog scratch ~inputs:dip;
-                Some (prog, scratch)
-            | None -> None
+          finish Broken key
+      | Solver.Sat, dt ->
+          let budget =
+            match config.max_iterations with
+            | Some m -> max 1 (min !cur_q (m - !num_dips))
+            | None -> !cur_q
           in
-          let cone_response = cone_response_of response in
-          add_dip_constraint env ~cofactored ~locked ~key_lits:key1 ~dip ~response
-            ~cone_response;
-          add_dip_constraint env ~cofactored ~locked ~key_lits:key2 ~dip ~response
-            ~cone_response;
-          Tel.Metric.incr m_dips;
-          if Tel.log_active () then
-            Tel.log_line
-              (Printf.sprintf "iter %d: dip=%s response=%s" (i + 1)
-                 (Bitvec.to_string (Bitvec.of_bool_array dip))
-                 (Bitvec.to_string (Bitvec.of_bool_array response)));
-          if Tel.enabled () then begin
-            let cone_size =
-              match cofactored with
-              | Some (_, scratch) -> Compiled.unknown_count scratch
-              | None -> Circuit.gate_count locked
-            in
-            Tel.span_end ~v:cone_size ()
+          round.b_dips <- Array.make budget [||];
+          round.b_dips.(0) <- model_of input_lits;
+          round.b_k <- 1;
+          round.b_budget <- budget;
+          round.b_en <- None;
+          round.b_early_unsat <- false;
+          round.b_enum_time <- 0.0;
+          round.b_main_dt <- dt;
+          if db.adaptive && budget > 1 then begin
+            round.b_wit1 <- Array.make budget [||];
+            round.b_wit2 <- Array.make budget [||];
+            round.b_wit1.(0) <- model_of key1;
+            round.b_wit2.(0) <- model_of key2
           end;
-          loop (i + 1) (Bitvec.of_bool_array dip :: dips)
+          phase := Enumerate
     end
   in
-  loop 0 []
+  (* --- Enumerate: block each model under a per-round guard and re-solve
+     until the budget is met or the miter runs dry. --- *)
+  let block en model =
+    let cl = Array.make (Array.length free_pos + 1) (Lit.negate en) in
+    Array.iteri
+      (fun j p ->
+        cl.(j + 1) <- (if model.(p) then Lit.negate input_lits.(p) else input_lits.(p)))
+      free_pos;
+    Solver.add_clause_a solver cl
+  in
+  let step_enumerate () =
+    if round.b_budget > 1 then begin
+      if Tel.enabled () then Tel.span_begin ~a0:round.b_budget "attack.enumerate";
+      (* The guard is an assumption of every enumeration solve, so it gets
+         the same frozen-literal protocol as [act]; it is released (and
+         unfrozen) when the round's constraints are encoded. *)
+      let en = (Tseitin.fresh_lits env 1).(0) in
+      Solver.freeze_var solver (Lit.var en);
+      round.b_en <- Some en;
+      block en round.b_dips.(0);
+      let continue_enum = ref true in
+      while
+        !continue_enum && round.b_k < round.b_budget
+        && not (over_time ())
+        && not (interrupted ())
+      do
+        match timed_solve [ act; en ] with
+        | Solver.Unsat, dt ->
+            round.b_enum_time <- round.b_enum_time +. dt;
+            round.b_early_unsat <- true;
+            continue_enum := false
+        | Solver.Sat, dt ->
+            round.b_enum_time <- round.b_enum_time +. dt;
+            let d = model_of input_lits in
+            round.b_dips.(round.b_k) <- d;
+            if db.adaptive then begin
+              round.b_wit1.(round.b_k) <- model_of key1;
+              round.b_wit2.(round.b_k) <- model_of key2
+            end;
+            block en d;
+            round.b_k <- round.b_k + 1
+      done;
+      if round.b_k < Array.length round.b_dips then begin
+        round.b_dips <- Array.sub round.b_dips 0 round.b_k;
+        if db.adaptive then begin
+          round.b_wit1 <- Array.sub round.b_wit1 0 round.b_k;
+          round.b_wit2 <- Array.sub round.b_wit2 0 round.b_k
+        end
+      end;
+      if Tel.enabled () then Tel.span_end ~v:round.b_k ()
+    end
+    else if round.b_k < Array.length round.b_dips then
+      round.b_dips <- Array.sub round.b_dips 0 round.b_k;
+    phase := Oracle_sweep
+  in
+  (* --- Oracle_sweep: one packed pass answers the whole batch; when a
+     pool is given the sweep runs there while this domain performs the
+     per-DIP ternary cofactor sweeps, so neither waits on the other. --- *)
+  let cofactor_all () =
+    if config.simplify_constraints then
+      for j = 0 to round.b_k - 1 do
+        Compiled.cofactor_into prep.p_cone_prog (scratch_for j) ~inputs:round.b_dips.(j)
+      done
+  in
+  let step_oracle () =
+    let k = round.b_k in
+    if batching && Tel.enabled () then Tel.span_begin ~a0:k "attack.oracle_batch";
+    let responses =
+      match db.oracle_pool with
+      | Some pool when k > 1 ->
+          let handle = Pool.submit pool (fun _ctx -> Oracle.query_batch oracle round.b_dips) in
+          cofactor_all ();
+          (match Pool.await handle with
+          | Pool.Done r -> r
+          | Pool.Cancelled -> Oracle.query_batch oracle round.b_dips
+          | Pool.Failed e -> raise e)
+      | _ ->
+          let r = Oracle.query_batch oracle round.b_dips in
+          cofactor_all ();
+          r
+    in
+    queries_made := !queries_made + k;
+    Tel.Metric.add m_oracle_queries k;
+    if batching && Tel.enabled () then Tel.span_end ~v:k ();
+    round.b_responses <- responses;
+    phase := Encode
+  in
+  (* --- Adaptive q: a batch member is useful when its witness key pair
+     still reproduces the oracle on every earlier DIP of the same batch —
+     i.e. the enumeration produced information the earlier constraints
+     would not already have ruled out.  Low yield (or running dry) shrinks
+     q; high yield with enumeration cheap relative to the main solve grows
+     it. --- *)
+  let batch_yield () =
+    let k = round.b_k in
+    let prog = Compiled.cached locked in
+    let scratch = Compiled.local_scratch prog in
+    let n_out = Circuit.num_outputs locked in
+    let pack get =
+      Array.init n_in (fun p ->
+          let w = ref 0L in
+          for l = 0 to k - 1 do
+            if get l p then w := Int64.logor !w (Int64.shift_left 1L l)
+          done;
+          !w)
+    in
+    let in_lanes = pack (fun l p -> round.b_dips.(l).(p)) in
+    let resp_lanes =
+      Array.init n_out (fun o ->
+          let w = ref 0L in
+          for l = 0 to k - 1 do
+            if round.b_responses.(l).(o) then w := Int64.logor !w (Int64.shift_left 1L l)
+          done;
+          !w)
+    in
+    let useful = ref 1 in
+    for j = 1 to k - 1 do
+      let mask = Int64.sub (Int64.shift_left 1L j) 1L in
+      let agrees key =
+        let key_lanes = Array.map (fun b -> if b then -1L else 0L) key in
+        Compiled.eval_lanes_into prog scratch ~inputs:in_lanes ~keys:key_lanes;
+        let ok = ref true in
+        for o = 0 to n_out - 1 do
+          if
+            Int64.logand
+              (Int64.logxor (Compiled.output_lanes prog scratch o) resp_lanes.(o))
+              mask
+            <> 0L
+          then ok := false
+        done;
+        !ok
+      in
+      if agrees round.b_wit1.(j) && agrees round.b_wit2.(j) then incr useful
+    done;
+    !useful
+  in
+  let adapt () =
+    if db.adaptive then begin
+      let k = round.b_k in
+      let useful = if k <= 1 then k else batch_yield () in
+      if round.b_early_unsat then cur_q := max 1 ((k + 1) / 2)
+      else if 2 * useful < k then cur_q := max 1 (!cur_q / 2)
+      else begin
+        let mean_enum =
+          if k > 1 then round.b_enum_time /. float_of_int (k - 1) else 0.0
+        in
+        if 4 * useful >= 3 * k && mean_enum <= round.b_main_dt then
+          cur_q := min db.q_max (!cur_q * 2)
+      end
+    end
+  in
+  (* --- Encode: consistency-check and append every DIP constraint of the
+     round; the whole batch flushes as one arena append. --- *)
+  let step_encode () =
+    let k = round.b_k in
+    if batching && Tel.enabled () then Tel.span_begin ~a0:k "attack.encode_batch";
+    for j = 0 to k - 1 do
+      if not (indep_outputs_match round.b_dips.(j) round.b_responses.(j)) then
+        (* The oracle contradicts key-independent logic: no key can
+           reproduce it.  Poison the solver so the attack reports Broken
+           with no surviving key, as the unrestricted encoding would
+           have. *)
+        Solver.add_clause solver []
+    done;
+    let encode_one j =
+      let dip = round.b_dips.(j) and response = round.b_responses.(j) in
+      let cofactored =
+        if config.simplify_constraints then Some (prep.p_cone_prog, scratch_for j)
+        else None
+      in
+      let cone_response = cone_response_of response in
+      add_dip_constraint env ~cofactored ~locked ~key_lits:key1 ~dip ~response
+        ~cone_response;
+      add_dip_constraint env ~cofactored ~locked ~key_lits:key2 ~dip ~response
+        ~cone_response
+    in
+    if k > 1 then
+      Tseitin.with_batch env (fun () ->
+          for j = 0 to k - 1 do
+            encode_one j
+          done)
+    else encode_one 0;
+    (* Retire the round's guard: a unit kills every blocking clause, and
+       unfreezing lets inprocessing reclaim the variable. *)
+    (match round.b_en with
+    | Some en ->
+        Solver.add_clause solver [ Lit.negate en ];
+        Solver.unfreeze_var solver (Lit.var en);
+        round.b_en <- None
+    | None -> ());
+    Tel.Metric.add m_dips k;
+    if Tel.log_active () then
+      for j = 0 to k - 1 do
+        Tel.log_line
+          (Printf.sprintf "iter %d: dip=%s response=%s"
+             (!num_dips + j + 1)
+             (Bitvec.to_string (Bitvec.of_bool_array round.b_dips.(j)))
+             (Bitvec.to_string (Bitvec.of_bool_array round.b_responses.(j))))
+      done;
+    for j = 0 to k - 1 do
+      (* Sub-attacks report DIPs over their free inputs, in original
+         relative order — the cube part is implied by the condition. *)
+      let d = round.b_dips.(j) in
+      let narrow =
+        if Array.length free_pos = n_in then d else Array.map (fun p -> d.(p)) free_pos
+      in
+      dips_rev := Bitvec.of_bool_array narrow :: !dips_rev
+    done;
+    num_dips := !num_dips + k;
+    rounds := !rounds + 1;
+    if batching && Tel.enabled () then Tel.span_end ~v:k ();
+    if Tel.enabled () then begin
+      if batching then Tel.Metric.observe h_batch_dips (float_of_int k);
+      let cone_size =
+        if config.simplify_constraints then Compiled.unknown_count (scratch_for (k - 1))
+        else Circuit.gate_count locked
+      in
+      Tel.span_end ~v:cone_size ()
+    end;
+    adapt ();
+    phase := Solve
+  in
+  let rec drive () =
+    match !phase with
+    | Finished r -> r
+    | Solve ->
+        step_solve ();
+        drive ()
+    | Enumerate ->
+        step_enumerate ();
+        drive ()
+    | Oracle_sweep ->
+        step_oracle ();
+        drive ()
+    | Encode ->
+        step_encode ();
+        drive ()
+  in
+  drive ()
 
 (* A caller-supplied [log] callback becomes a telemetry log subscriber for
    the dynamic extent of the attack on this domain: attack iterations emit
    {!Tel.log_line}, which both feeds the callback and (when enabled) lands
    in the event trace. *)
-let run ?(config = default_config) locked ~oracle =
+let run_prepared ?(config = default_config) prep ~condition ~oracle =
   match config.log with
-  | Some sink -> Tel.with_log_subscriber sink (fun () -> run_core ~config locked ~oracle)
-  | None -> run_core ~config locked ~oracle
+  | Some sink ->
+      Tel.with_log_subscriber sink (fun () ->
+          run_prepared_core ~config prep ~condition ~oracle)
+  | None -> run_prepared_core ~config prep ~condition ~oracle
+
+let run ?(config = default_config) locked ~oracle =
+  if Circuit.num_keys locked = 0 then invalid_arg "Sat_attack.run: circuit has no keys";
+  run_prepared ~config (prepare locked) ~condition:[] ~oracle

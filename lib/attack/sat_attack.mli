@@ -9,17 +9,52 @@
 
     The miter's "find a difference" clause is guarded by an activation
     literal, so the final key extraction reuses the same incremental solver
-    with the guard released. *)
+    with the guard released.
+
+    {2 Batched DIP pipeline}
+
+    Each round of the DIP loop may extract up to [q] distinct DIPs from
+    one solver session (AppSAT-style model enumeration under a per-round
+    guard assumption), answer all of them in one 64-lane packed oracle
+    sweep, and append all their key constraints as one contiguous arena
+    batch — amortizing oracle and encoding cost across the batch while
+    the set of eliminated keys per round only grows.  At [q = 1] the
+    pipeline is the classic loop, byte-identical to earlier releases
+    (same clause stream, same DIP sequence). *)
+
+type dip_batch = {
+  q : int;  (** DIPs enumerated per round (initial value when adaptive) *)
+  q_max : int;  (** upper bound for adaptive growth; [q <= q_max <= 64] *)
+  adaptive : bool;
+      (** shrink [q] when enumerated DIPs stop being distinguishing (their
+          witness keys were already ruled out by earlier members of the
+          same batch) or the miter runs dry mid-batch; grow it when the
+          batch yield is high and enumeration solves are cheap relative to
+          the round's main solve *)
+  oracle_pool : Ll_runtime.Pool.t option;
+      (** run each round's packed oracle sweep on this pool, overlapped
+          with the per-DIP cofactor sweeps on the attack's domain.  Must
+          not be the pool executing the attack itself (the sweep is
+          awaited from inside the attack). *)
+}
+
+val default_dip_batch : dip_batch
+(** [q = 1], non-adaptive, no pool: the classic one-DIP-per-solve loop. *)
+
+val batched : ?pool:Ll_runtime.Pool.t -> ?adaptive:bool -> ?q_max:int -> int -> dip_batch
+(** [batched q] — a batched configuration starting at [q] DIPs per round,
+    adaptive by default, [q_max] defaulting to 64.  Raises
+    [Invalid_argument] unless [1 <= q <= 64]. *)
 
 type config = {
   simplify_constraints : bool;
       (** Constant-propagate each DIP constraint before encoding it (the
           standard preprocessing; disable for the ablation study). *)
   max_iterations : int option;  (** DIP budget; [None] = unlimited *)
-  time_limit : float option;  (** wall-clock seconds; checked between iterations *)
-  log : (string -> unit) option;  (** per-iteration progress callback *)
+  time_limit : float option;  (** wall-clock seconds; checked between rounds *)
+  log : (string -> unit) option;  (** per-DIP progress callback *)
   interrupt : (unit -> bool) option;
-      (** cooperative cancellation hook, polled between iterations; when it
+      (** cooperative cancellation hook, polled between rounds; when it
           returns [true] the attack stops with status {!Cancelled}.  Used by
           the parallel split attack to abandon sub-attacks early once a
           sibling has failed. *)
@@ -33,6 +68,8 @@ type config = {
           variable elimination, vivification) on the attack's incremental
           CNF (default [true]; disable for A/B comparison — see the
           [bench-sat-simp-smoke] alias). *)
+  dip_batch : dip_batch;
+      (** batched DIP pipeline control (default {!default_dip_batch}). *)
 }
 
 val default_config : config
@@ -48,6 +85,9 @@ type result = {
   key : Ll_util.Bitvec.t option;  (** present when [status = Broken] *)
   dips : Ll_util.Bitvec.t list;  (** in discovery order *)
   num_dips : int;
+  rounds : int;
+      (** batch rounds executed (main solves that found a DIP); equals
+          [num_dips] at [q = 1] *)
   oracle_queries : int;
   total_time : float;
   solve_time : float;  (** time inside the SAT solver *)
@@ -57,3 +97,38 @@ type result = {
 val run : ?config:config -> Ll_netlist.Circuit.t -> oracle:Oracle.t -> result
 (** [run locked ~oracle] — [locked] must carry key ports and match the
     oracle's input/output counts.  Raises [Invalid_argument] otherwise. *)
+
+(** {2 Shared preparation}
+
+    The cofactor sub-attacks of {!Split_attack} all work on the same
+    locked circuit: the synthesized key-duplicated miter, the output
+    key-dependence split and the compiled key cone are identical across
+    cubes.  {!prepare} computes them once; {!run_prepared} runs one attack
+    instance against a prepared circuit, pinning a cube's inputs as root
+    units in the (shared, immutable) miter encoding. *)
+
+type prep
+(** Immutable per-circuit preparation, safe to share across domains. *)
+
+val prepare : Ll_netlist.Circuit.t -> prep
+(** Raises [Invalid_argument] when the circuit has no key ports. *)
+
+val prep_circuit : prep -> Ll_netlist.Circuit.t
+(** The locked circuit the prep was built from. *)
+
+val prep_inputs : prep -> int
+(** Primary input count of the prepared circuit. *)
+
+val prep_gates : prep -> int
+(** Gate count of the shared synthesized miter. *)
+
+val run_prepared :
+  ?config:config -> prep -> condition:(int * bool) list -> oracle:Oracle.t -> result
+(** [run_prepared prep ~condition ~oracle] attacks the cofactor of the
+    prepared circuit under [condition] (primary input positions pinned to
+    constants; [[]] is the full attack, identical to {!run}).  The oracle
+    is the {e full-width} oracle of the original circuit — queries carry
+    the pinned values.  Reported [dips] contain only the free input
+    positions, in their original relative order.  Raises
+    [Invalid_argument] on oracle port mismatches, out-of-range or
+    duplicate condition positions, or an invalid [dip_batch]. *)

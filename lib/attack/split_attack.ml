@@ -65,19 +65,34 @@ let task_seeds ~seed num_tasks =
 
 let base_config = function Some c -> c | None -> Sat_attack.default_config
 
-let run_task ?(index = -1) ~config ~locked ~oracle condition =
+(* The attack pool must not double as the oracle-sweep pool: the sweep is
+   awaited from inside a running task, and awaiting a task of the pool
+   one's own task runs on can deadlock.  Sub-attacks scheduled on [pool]
+   therefore run their sweeps inline when the two coincide. *)
+let strip_own_pool base pool =
+  match base.Sat_attack.dip_batch.Sat_attack.oracle_pool with
+  | Some p when p == pool ->
+      { base with
+        Sat_attack.dip_batch =
+          { base.Sat_attack.dip_batch with Sat_attack.oracle_pool = None }
+      }
+  | _ -> base
+
+(* One cofactor sub-attack over the shared preparation: the miter is
+   synthesized, analysed and compiled exactly once per split attack (in
+   {!Sat_attack.prepare}); each cube only pins its inputs as root units in
+   a fresh solver. *)
+let run_task ?(index = -1) ~config ~prep ~oracle condition =
   let t0 = Timer.monotonic () in
   if Tel.enabled () then
     Tel.span_begin ~a0:index ~note:(condition_string condition) "split.task";
   Tel.Metric.incr m_subtasks;
   match
-    let conditional = Cofactor.apply locked condition in
-    let sub_oracle = Oracle.restrict oracle condition in
-    let result = Sat_attack.run ~config conditional ~oracle:sub_oracle in
+    let result = Sat_attack.run_prepared ~config prep ~condition ~oracle in
     {
       condition;
-      sub_inputs = Circuit.num_inputs conditional;
-      sub_gates = Circuit.gate_count conditional;
+      sub_inputs = Sat_attack.prep_inputs prep - List.length condition;
+      sub_gates = Sat_attack.prep_gates prep;
       result;
       task_time = Timer.monotonic () -. t0;
     }
@@ -102,6 +117,7 @@ let cancelled_task ~locked condition =
         key = None;
         dips = [];
         num_dips = 0;
+        rounds = 0;
         oracle_queries = 0;
         total_time = 0.0;
         solve_time = 0.0;
@@ -128,6 +144,7 @@ let prepare ?inputs ~n locked =
 
 let run ?config ?inputs ?(seed = 0) ~n locked ~oracle =
   let split_inputs, conditions = prepare ?inputs ~n locked in
+  let aprep = Sat_attack.prepare locked in
   let base = base_config config in
   let seeds = task_seeds ~seed (Array.length conditions) in
   let t0 = Timer.monotonic () in
@@ -137,7 +154,7 @@ let run ?config ?inputs ?(seed = 0) ~n locked ~oracle =
           (fun i cond ->
             run_task ~index:i
               ~config:{ base with Sat_attack.solver_seed = seeds.(i) }
-              ~locked ~oracle cond)
+              ~prep:aprep ~oracle cond)
           conditions
       in
       { split_inputs; tasks; wall_time = Timer.monotonic () -. t0; domains_used = 1 })
@@ -145,6 +162,7 @@ let run ?config ?inputs ?(seed = 0) ~n locked ~oracle =
 let run_parallel_core ?config ?inputs ?num_domains ?pool ?(seed = 0)
     ?(cancel_on_failure = false) ~n locked ~oracle =
   let split_inputs, conditions = prepare ?inputs ~n locked in
+  let aprep = Sat_attack.prepare locked in
   let num_tasks = Array.length conditions in
   let base = base_config config in
   let seeds = task_seeds ~seed num_tasks in
@@ -160,6 +178,7 @@ let run_parallel_core ?config ?inputs ?num_domains ?pool ?(seed = 0)
         in
         (true, Pool.create ~num_domains:(max 1 (min d num_tasks)) ())
   in
+  let base = strip_own_pool base pool in
   (* Shared abort flag for [cancel_on_failure]: set by the first fatal
      sub-task, observed both by pending tasks (which then return a
      cancelled placeholder without running the solver) and by running
@@ -193,7 +212,7 @@ let run_parallel_core ?config ?inputs ?num_domains ?pool ?(seed = 0)
               solver_seed = seeds.(i)
             }
           in
-          let task = run_task ~index:i ~config ~locked ~oracle cond in
+          let task = run_task ~index:i ~config ~prep:aprep ~oracle cond in
           if cancel_on_failure && fatal task then begin
             Atomic.set abort true;
             Array.iter Pool.cancel !handles_ref
@@ -227,6 +246,7 @@ let run_parallel ?config ?inputs ?num_domains ?pool ?seed ?cancel_on_failure ~n 
 
 let run_parallel_static ?config ?inputs ?num_domains ?(seed = 0) ~n locked ~oracle =
   let split_inputs, conditions = prepare ?inputs ~n locked in
+  let aprep = Sat_attack.prepare locked in
   let num_tasks = Array.length conditions in
   let base = base_config config in
   let seeds = task_seeds ~seed num_tasks in
@@ -258,7 +278,7 @@ let run_parallel_static ?config ?inputs ?num_domains ?(seed = 0) ~n locked ~orac
               Some
                 (run_task ~index:i
                    ~config:{ base with Sat_attack.log; solver_seed = seeds.(i) }
-                   ~locked ~oracle conditions.(i));
+                   ~prep:aprep ~oracle conditions.(i));
             go (i + domains)
           end
         in

@@ -49,11 +49,31 @@ type env = {
   solver : Solver.t;
   mutable true_lit : Lit.t option;
   cache : Lit.t Cache.t;
+  (* When [Some acc], emitted clauses are buffered (in reverse) instead of
+     added, and flushed by {!with_batch} as one contiguous arena append. *)
+  mutable pending : Lit.t array list option;
 }
 
-let create solver = { solver; true_lit = None; cache = Cache.create 4096 }
+let create solver = { solver; true_lit = None; cache = Cache.create 4096; pending = None }
 
 let solver env = env.solver
+
+let emit env lits =
+  match env.pending with
+  | None -> Solver.add_clause_a env.solver lits
+  | Some acc -> env.pending <- Some (lits :: acc)
+
+let with_batch env f =
+  match env.pending with
+  | Some _ -> f () (* already inside a batch: nest transparently *)
+  | None ->
+      env.pending <- Some [];
+      Fun.protect
+        ~finally:(fun () ->
+          let acc = match env.pending with Some a -> a | None -> [] in
+          env.pending <- None;
+          Solver.add_clause_batch env.solver (List.rev acc))
+        f
 
 let fresh_lits env n = Array.init n (fun _ -> Lit.pos (Solver.new_var env.solver))
 
@@ -62,17 +82,17 @@ let lit_true env =
   | Some l -> l
   | None ->
       let l = Lit.pos (Solver.new_var env.solver) in
-      Solver.add_clause env.solver [ l ];
+      emit env [| l |];
       env.true_lit <- Some l;
       l
 
-let force env l v = Solver.add_clause env.solver [ (if v then l else Lit.negate l) ]
+let force env l v = emit env [| (if v then l else Lit.negate l) |]
 
 let force_equal env a b =
-  Solver.add_clause env.solver [ Lit.negate a; b ];
-  Solver.add_clause env.solver [ a; Lit.negate b ]
+  emit env [| Lit.negate a; b |];
+  emit env [| a; Lit.negate b |]
 
-let add = Solver.add_clause
+let add env ls = emit env (Array.of_list ls)
 
 (* A cached gate output is only reusable while its variable survives
    inprocessing: variable elimination may have resolved the definition
@@ -109,29 +129,27 @@ let sorted_uniq (xs : int array) =
 let mk_and env xs =
   let key = { Key.tag = tag_and; tbl = ""; fan = sorted_uniq xs } in
   cached env key (fun out ->
-      let s = env.solver in
-      Array.iter (fun x -> add s [ Lit.negate out; x ]) xs;
-      add s (out :: Array.to_list (Array.map Lit.negate xs)))
+      Array.iter (fun x -> add env [ Lit.negate out; x ]) xs;
+      add env (out :: Array.to_list (Array.map Lit.negate xs)))
 
 (* out <-> OR(xs) *)
 let mk_or env xs =
   let key = { Key.tag = tag_or; tbl = ""; fan = sorted_uniq xs } in
   cached env key (fun out ->
-      let s = env.solver in
-      Array.iter (fun x -> add s [ out; Lit.negate x ]) xs;
-      add s (Lit.negate out :: Array.to_list xs))
+      Array.iter (fun x -> add env [ out; Lit.negate x ]) xs;
+      add env (Lit.negate out :: Array.to_list xs))
 
 (* out <-> a XOR b *)
-let encode_xor2 s out a b =
-  add s [ Lit.negate out; a; b ];
-  add s [ Lit.negate out; Lit.negate a; Lit.negate b ];
-  add s [ out; Lit.negate a; b ];
-  add s [ out; a; Lit.negate b ]
+let encode_xor2 env out a b =
+  add env [ Lit.negate out; a; b ];
+  add env [ Lit.negate out; Lit.negate a; Lit.negate b ];
+  add env [ out; Lit.negate a; b ];
+  add env [ out; a; Lit.negate b ]
 
 let mk_xor2 env a b =
   let lo = min a b and hi = max a b in
   cached env { Key.tag = tag_xor; tbl = ""; fan = [| lo; hi |] } (fun out ->
-      encode_xor2 env.solver out lo hi)
+      encode_xor2 env out lo hi)
 
 let mk_xor env xs =
   let n = Array.length xs in
@@ -147,14 +165,13 @@ let mk_xor env xs =
 (* out <-> if s then hi else lo *)
 let mk_mux env sel lo hi =
   cached env { Key.tag = tag_mux; tbl = ""; fan = [| sel; lo; hi |] } (fun out ->
-      let s = env.solver in
-      add s [ Lit.negate sel; Lit.negate hi; out ];
-      add s [ Lit.negate sel; hi; Lit.negate out ];
-      add s [ sel; Lit.negate lo; out ];
-      add s [ sel; lo; Lit.negate out ];
+      add env [ Lit.negate sel; Lit.negate hi; out ];
+      add env [ Lit.negate sel; hi; Lit.negate out ];
+      add env [ sel; Lit.negate lo; out ];
+      add env [ sel; lo; Lit.negate out ];
       (* Redundant but propagation-strengthening clauses. *)
-      add s [ Lit.negate lo; Lit.negate hi; out ];
-      add s [ lo; hi; Lit.negate out ])
+      add env [ Lit.negate lo; Lit.negate hi; out ];
+      add env [ lo; hi; Lit.negate out ])
 
 let mk_lut env table fanin_lits =
   let k = Array.length fanin_lits in
@@ -170,7 +187,7 @@ let mk_lut env table fanin_lits =
               if (idx lsr i) land 1 = 1 then Lit.negate fanin_lits.(i) else fanin_lits.(i))
         in
         let rhs = if Bitvec.get table idx then out else Lit.negate out in
-        add env.solver (rhs :: guard)
+        add env (rhs :: guard)
       done)
 
 let freeze_all env lits =

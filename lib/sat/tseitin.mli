@@ -74,3 +74,15 @@ val force : env -> Lit.t -> bool -> unit
 
 val force_equal : env -> Lit.t -> Lit.t -> unit
 (** Add clauses making two literals equal. *)
+
+val with_batch : env -> (unit -> 'a) -> 'a
+(** [with_batch env f] buffers every clause emitted by [f] (through this
+    env: both encoders, the gate constructors, {!force}) and flushes them
+    on exit — exception included — as one {!Solver.add_clause_batch}
+    contiguous arena append, in emission order.  Nested calls are
+    transparent: only the outermost batch flushes.
+
+    Unit clauses emitted inside the batch do not propagate until the
+    flush, so a batch may retain clauses that immediate emission would
+    have absorbed as root-satisfied; the formula is the same but the
+    clause stream can differ.  Do not solve inside [f]. *)

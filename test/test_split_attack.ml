@@ -159,6 +159,28 @@ let test_deterministic_across_domain_counts () =
         serial (fingerprint par))
     [ 1; 2; 4 ]
 
+let test_dip_sequences_byte_identical () =
+  (* The hoisted shared preparation (one synthesized miter + compiled key
+     cone per split attack) must not perturb the sub-attacks: serial and
+     pooled runners produce byte-identical per-task DIP sequences at the
+     default q = 1 pipeline. *)
+  let c = random_circuit ~seed:144 ~num_inputs:8 () in
+  let locked = (LL.Locking.Sarlock.lock ~key_size:5 c).circuit in
+  let oracle = Oracle.of_circuit c in
+  let sequences (s : Split_attack.t) =
+    Array.map
+      (fun (t : Split_attack.task) ->
+        t.result.Sat_attack.dips |> List.map Bitvec.to_string |> String.concat ",")
+      s.Split_attack.tasks
+  in
+  let serial = Split_attack.run ~n:2 locked ~oracle in
+  let pooled = Split_attack.run_parallel ~num_domains:3 ~n:2 locked ~oracle in
+  Array.iter
+    (fun seq -> Alcotest.(check bool) "non-empty sequence" true (seq <> ""))
+    (sequences serial);
+  Alcotest.(check (array string)) "byte-identical DIP sequences"
+    (sequences serial) (sequences pooled)
+
 let test_shared_pool_reuse () =
   (* One pool serving several attacks: results equal the private-pool run
      and the pool stays usable. *)
@@ -273,6 +295,8 @@ let suite =
     Alcotest.test_case "parallel matches sequential" `Quick test_parallel_matches_sequential;
     Alcotest.test_case "deterministic across domain counts" `Quick
       test_deterministic_across_domain_counts;
+    Alcotest.test_case "dip sequences byte identical" `Quick
+      test_dip_sequences_byte_identical;
     Alcotest.test_case "shared pool reuse" `Quick test_shared_pool_reuse;
     Alcotest.test_case "cancel on failure" `Quick test_cancel_on_failure;
     Alcotest.test_case "parallel log flushed in task order" `Quick
