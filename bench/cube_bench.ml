@@ -1,0 +1,202 @@
+(* Adaptive cube-and-conquer benchmark rig: BENCH_cube.json.
+
+   Compares the paper's fixed-N split attack (Algorithm 1: 2^N cofactors
+   chosen up front) against the adaptive engine (Cube_attack: start from
+   2^n0 cubes, re-split any cofactor whose session exceeds a difficulty
+   budget, share learned DIP constraints with the descendants) on the
+   same locked instances.  One record per instance:
+
+   - a fixed-N sweep (wall time and total #DIP per N), the budget-free
+     baseline whose DIP sequences are pinned by the test suite;
+   - the adaptive run (n0 = 0, so the engine chooses the effective N by
+     measurement alone) with its cube-tree shape: re-splits, final leaf
+     count, deepest cube, share-import volume;
+   - the adaptive/best-fixed wall ratio — the acceptance number: adaptive
+     must match or beat the best fixed N without being told which N that
+     is;
+   - a verification verdict for the composed multi-key netlist
+     (Fig. 1(b), variable-arity).
+
+   All instances are seed-fixed.  Both engines run on one shared pool, so
+   scheduler overheads cancel out of the comparison. *)
+
+module LL = Logiclock
+module Circuit = LL.Netlist.Circuit
+module Oracle = LL.Attack.Oracle
+module Sat_attack = LL.Attack.Sat_attack
+module Split_attack = LL.Attack.Split_attack
+module Cube_attack = LL.Attack.Cube_attack
+module Prng = LL.Util.Prng
+module Timer = LL.Util.Timer
+
+let fixed_ns = [| 0; 1; 2 |]
+
+let records : string list ref = ref []
+
+let verify ~original ~locked attack =
+  match LL.Attack.Compose.of_cube_attack ~optimize:false locked attack with
+  | None -> "no-keys"
+  | Some composed -> (
+      (* Bounded: compositions of many large copies can make a complete
+         proof impractical; the bound is the same one table2 uses. *)
+      match LL.Attack.Equiv.check_bounded ~conflict_limit:300_000 original composed with
+      | LL.Attack.Equiv.Proved_equivalent -> "equivalent"
+      | LL.Attack.Equiv.Refuted _ -> "MISMATCH"
+      | LL.Attack.Equiv.Unknown -> "equivalent(sim-only)")
+
+let cube_compare ~pool ~name ~budget original locked =
+  let oracle = Oracle.of_circuit original in
+  let fixed n =
+    let t0 = Timer.monotonic () in
+    let s = Split_attack.run_parallel ~pool ~n locked ~oracle in
+    let dips =
+      Array.fold_left
+        (fun acc t -> acc + t.Split_attack.result.Sat_attack.num_dips)
+        0 s.Split_attack.tasks
+    in
+    (Timer.monotonic () -. t0, dips)
+  in
+  let fixed_runs = Array.map fixed fixed_ns in
+  let fixed_wall = Array.map fst fixed_runs in
+  let fixed_dips = Array.map snd fixed_runs in
+  let best = ref 0 in
+  Array.iteri (fun i w -> if w < fixed_wall.(!best) then best := i) fixed_wall;
+  let config = { Cube_attack.default_config with n0 = 0; budget } in
+  let t0 = Timer.monotonic () in
+  let a = Cube_attack.run_parallel ~pool ~config locked ~oracle in
+  let adaptive_wall = Timer.monotonic () -. t0 in
+  let max_depth =
+    Array.fold_left (fun m c -> max m c.Cube_attack.depth) 0 a.Cube_attack.cubes
+  in
+  let ratio =
+    if fixed_wall.(!best) > 0.0 then adaptive_wall /. fixed_wall.(!best) else 0.0
+  in
+  let composed = verify ~original ~locked a in
+  Array.iteri
+    (fun i n ->
+      Printf.printf "  %-26s fixed N=%d %8.3f s %6d dips%s\n%!" name n
+        fixed_wall.(i) fixed_dips.(i)
+        (if i = !best then "   <- best fixed" else ""))
+    fixed_ns;
+  Printf.printf
+    "  %-26s adaptive  %8.3f s %6d dips   %d resplit(s), %d leaves, depth %d, %d \
+     imported   x%.2f of best fixed   %s\n%!"
+    name adaptive_wall (Cube_attack.total_dips a) (Cube_attack.resplits a)
+    (Array.length (Cube_attack.leaves a))
+    max_depth
+    (Cube_attack.imported_entries a)
+    ratio composed;
+  let ints a = String.concat ", " (Array.to_list (Array.map string_of_int a)) in
+  let floats fmt a =
+    String.concat ", " (Array.to_list (Array.map (Printf.sprintf fmt) a))
+  in
+  let record =
+    Printf.sprintf
+      "  {\n\
+      \    \"name\": %S,\n\
+      \    \"kind\": \"cube\",\n\
+      \    \"fixed_ns\": [%s],\n\
+      \    \"fixed_wall_s\": [%s],\n\
+      \    \"fixed_dips\": [%s],\n\
+      \    \"best_fixed_n\": %d,\n\
+      \    \"best_fixed_wall_s\": %.6f,\n\
+      \    \"adaptive_wall_s\": %.6f,\n\
+      \    \"adaptive_dips\": %d,\n\
+      \    \"adaptive_resplits\": %d,\n\
+      \    \"adaptive_leaves\": %d,\n\
+      \    \"adaptive_max_depth\": %d,\n\
+      \    \"adaptive_imported_entries\": %d,\n\
+      \    \"adaptive_vs_best_fixed\": %.3f,\n\
+      \    \"budget_conflicts\": %d,\n\
+      \    \"budget_dips\": %d,\n\
+      \    \"budget_growth\": %.2f,\n\
+      \    \"composed\": %S\n\
+      \  }"
+      name (ints fixed_ns) (floats "%.6f" fixed_wall) (ints fixed_dips) !best
+      fixed_wall.(!best) adaptive_wall (Cube_attack.total_dips a)
+      (Cube_attack.resplits a)
+      (Array.length (Cube_attack.leaves a))
+      max_depth
+      (Cube_attack.imported_entries a)
+      ratio
+      (match budget.Cube_attack.conflicts with Some c -> c | None -> -1)
+      (match budget.Cube_attack.dips with Some d -> d | None -> -1)
+      budget.Cube_attack.growth composed
+  in
+  records := record :: !records
+
+(* Per-instance budgets: the conflict criterion is the difficulty signal
+   for conflict-heavy locks (XOR/LUT), the DIP criterion for
+   point-function locks (SARLock) whose cofactors stream trivial DIPs
+   with almost no conflicts.  Values are sized so the small instances
+   demonstrate both behaviours: a budget the instance never reaches
+   (adaptive discovers N = 0 is enough) and one it exceeds (the engine
+   re-splits and shares). *)
+let suite ~smoke =
+  let sarlock seed k c =
+    (LL.Locking.Sarlock.lock ~prng:(Prng.create seed) ~key_size:k c)
+      .LL.Locking.Locked.circuit
+  in
+  let xorlock seed k c =
+    (LL.Locking.Xor_lock.lock ~prng:(Prng.create seed) ~num_keys:k c)
+      .LL.Locking.Locked.circuit
+  in
+  let lutlock seed c =
+    (LL.Locking.Lut_lock.lock ~prng:(Prng.create seed) ~stage1_luts:4
+       ~stage1_inputs:3 c)
+      .LL.Locking.Locked.circuit
+  in
+  let budget ?conflicts ?dips ?(growth = 2.0) () =
+    { Cube_attack.default_budget with conflicts; dips; growth }
+  in
+  let base =
+    [
+      (* xor16 never reaches the budget: adaptive must discover that not
+         splitting at all is optimal. *)
+      ("c880/xor16", "c880", xorlock 5 16, budget ~conflicts:4096 ());
+      (* sarlock8 exceeds a 32-DIP budget at every level: a full re-split
+         cascade to depth 3, each hand-off carrying the shared
+         constraints.  The instance solves in milliseconds, so the ratio
+         here mostly measures per-cube overhead — the wall-clock payoff
+         of the same budget shape is the sarlock12 entry below. *)
+      ("c432/sarlock8", "c432", sarlock 11 8, budget ~dips:32 ~growth:1.0 ());
+    ]
+  in
+  let full =
+    [
+      (* The acceptance instance.  Point-function locks are uniformly
+         hard across cofactors and the per-DIP solve cost grows with the
+         clause database, so deep splits win.  A small constant DIP
+         budget (growth = 1) lets the engine probe its way down cheaply:
+         every cube pays at most the budget before handing the region —
+         and its constraints — to two children, and the leaves settle at
+         the depth where a region fits the budget; sharing keeps the
+         total DIP count at the fixed-N optimum while the tree reaches a
+         granularity the fixed sweep never tries. *)
+      ("c3540/sarlock12", "c3540", sarlock 21 12, budget ~dips:128 ~growth:1.0 ());
+      ("c1908/xor16", "c1908", xorlock 5 16, budget ~conflicts:4096 ());
+      (* Splitting a LUT lock multiplies total DIPs (each cofactor needs
+         its own); the right budget is one the instance never reaches. *)
+      ("c880/lut4x3", "c880", lutlock 13, budget ~conflicts:16384 ());
+    ]
+  in
+  if smoke then base else base @ full
+
+let write_json () =
+  if !records <> [] then begin
+    (* Atomic (temp file + rename): a crashed or interrupted run never
+       leaves a truncated BENCH_cube.json behind. *)
+    LL.Util.Fileio.write_atomic_string "BENCH_cube.json"
+      (Printf.sprintf "[\n%s\n]\n" (String.concat ",\n" (List.rev !records)));
+    Printf.printf "\nwrote BENCH_cube.json (%d record(s))\n" (List.length !records)
+  end
+
+let run ~smoke =
+  Printf.printf "\nadaptive cube-and-conquer vs fixed-N split (shared pool):\n";
+  let iscas = LL.Bench_suite.Iscas.get in
+  LL.Runtime.Pool.with_pool (fun pool ->
+      List.iter
+        (fun (name, base, lock, budget) ->
+          cube_compare ~pool ~name ~budget (iscas base) (lock (iscas base)))
+        (suite ~smoke));
+  write_json ()

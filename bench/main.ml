@@ -41,8 +41,12 @@ let sections =
      [bench-eval-smoke]; "satsimp" is the inprocessing on/off comparison
      behind [bench-sat-simp-smoke] (BENCH_sat_simp.json); "dipbatch" is
      the batched-DIP q sweep behind [bench-dip-batch-smoke]
-     (BENCH_dip_batch.json). *)
-  let extras = [ "satsmoke"; "evalsmoke"; "satsimp"; "dipbatch" ] in
+     (BENCH_dip_batch.json); "cube" is the adaptive cube-and-conquer vs
+     fixed-N comparison (BENCH_cube.json), "cubesmoke" its seconds-scale
+     subset behind [bench-cube-smoke]. *)
+  let extras =
+    [ "satsmoke"; "evalsmoke"; "satsimp"; "dipbatch"; "cube"; "cubesmoke" ]
+  in
   let chosen =
     List.filter (fun s -> List.mem s all || List.mem s extras) requested
   in
@@ -685,6 +689,16 @@ let eval_core ~smoke =
      else "Compiled kernel: simulation and per-DIP constraint generation");
   Eval_bench.run ~smoke
 
+(* ------------------------------------------------------------------ *)
+(* Adaptive cube-and-conquer vs fixed-N split (BENCH_cube.json).       *)
+(* ------------------------------------------------------------------ *)
+
+let cube ~smoke =
+  header
+    (if smoke then "Adaptive cube-and-conquer: smoke comparison (fast CI check)"
+     else "Adaptive cube-and-conquer vs fixed-N split");
+  Cube_bench.run ~smoke
+
 let () =
   Printf.printf "logiclock benchmark harness — paper: DAC'24 LBR, One-Key Premise\n";
   Printf.printf "host: %d core(s) recommended by the runtime\n"
@@ -706,6 +720,8 @@ let () =
   if want "dipbatch" then sat_dip_batch ~smoke:true;
   if want "eval" then eval_core ~smoke:false;
   if want "evalsmoke" then eval_core ~smoke:true;
+  if want "cube" then cube ~smoke:false;
+  if want "cubesmoke" then cube ~smoke:true;
   if want "micro" then micro ();
   if want "table2" then table2 ();
   write_split_json ()

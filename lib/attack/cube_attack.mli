@@ -1,0 +1,153 @@
+(** Adaptive cube-and-conquer over the cofactor space.
+
+    The paper's Algorithm 1 fixes [N] split inputs up front; attack
+    difficulty, however, varies wildly across cofactors and instances.
+    This engine starts from a small seed cube set ([2^n0] cofactors over
+    the top fan-out-ranked inputs), monitors each cofactor's difficulty
+    online through the {!Sat_attack.progress} hook (solver conflicts,
+    DIP count, wall time), and {e re-splits} any cofactor that exceeds
+    its budget into two child cubes by pinning the next ranked input —
+    so the effective [N] is chosen per region of the input space, by
+    measurement instead of up front.
+
+    Re-splitting wastes nothing: with [share] on, every DIP constraint a
+    preempted cube has already learned (and paid solves and oracle
+    queries for) is exported in portable form ({!Sat_attack.Share}) and
+    imported by each descendant whose cube contains the DIP, through one
+    contiguous {!Ll_sat.Solver.import_clauses} arena append at session
+    start.  Budgets scale by [growth] per extra depth, so the recursion
+    terminates; at [n0 + max_extra_depth] a cube runs to completion with
+    no budget.
+
+    Every cube pins a {e prefix} of the fan-out rank, so the final cube
+    set is a depth-pruned binary tree — exactly the shape
+    {!Compose.build_cubes} turns into a variable-arity MUX tree
+    (Fig. 1(b), generalized to non-uniform leaf depths).
+
+    {b Determinism.} A cube's solver seed is a pure function of the root
+    [seed] and its pin path; conflict/DIP budgets read deterministic
+    solver counters; banks only flow parent to descendant.  Serial and
+    parallel runs therefore produce byte-identical cube trees, DIP
+    sequences and keys under any domain count or stealing (unless a
+    wall-clock budget [wall_s] is set).  Per-iteration [log] lines are
+    buffered per cube and flushed in canonical cube order after the
+    run. *)
+
+type budget = {
+  conflicts : int option;
+      (** preempt a cube once its session exceeds this many solver
+          conflicts (deterministic; the main difficulty signal for
+          conflict-heavy locks like XOR/LUT) *)
+  dips : int option;
+      (** preempt after this many DIPs found by the session itself —
+          imported constraints do not count (the difficulty signal for
+          point-function locks like SARLock/Anti-SAT, whose cofactors
+          generate many trivial DIPs but few conflicts) *)
+  wall_s : float option;
+      (** wall-clock budget in seconds; {b non-deterministic} — re-split
+          decisions then depend on machine speed.  [None] (default)
+          keeps runs reproducible *)
+  growth : float;
+      (** budget multiplier per level below [n0] (>= 1): children get
+          [growth] times their parent's budget, so deep cubes eventually
+          run to completion *)
+}
+
+val default_budget : budget
+(** [conflicts = Some 2000], [dips = Some 64], [wall_s = None],
+    [growth = 2.0]. *)
+
+type config = {
+  n0 : int;  (** seed split width: the attack starts from [2^n0] cubes *)
+  budget : budget;
+  max_extra_depth : int;
+      (** hard depth cap at [n0 + max_extra_depth] (clamped to leave one
+          free input): cubes at the cap run with no budget *)
+  share : bool;  (** cross-cofactor clause sharing (default on) *)
+  base : Sat_attack.config;
+      (** per-cube attack configuration.  [solver_seed], [stop],
+          [share_out], [share_in] and [log] are managed by the engine
+          and ignored; [interrupt], limits and [dip_batch] apply to
+          every cube *)
+}
+
+val default_config : config
+(** [n0 = 1], {!default_budget}, [max_extra_depth = 8], sharing on,
+    {!Sat_attack.default_config} base. *)
+
+type cube = {
+  task : Cube_prep.task;  (** the cube's attack session result *)
+  depth : int;  (** number of pinned inputs *)
+  resplit_input : int option;
+      (** [Some i]: the budget preempted this cube ([Stopped]) and it was
+          re-split on input [i]; its two children carry on.  [None]: a
+          leaf of the final cube tree *)
+  priority : int;
+      (** scheduling priority it ran at (parent's conflict count) *)
+}
+
+type t = {
+  seed_inputs : int array;  (** the [n0] seed split inputs, rank order *)
+  cubes : cube array;
+      (** the whole cube tree in canonical (path-lexicographic) order:
+          parents precede children, 0-branches precede 1-branches *)
+  wall_time : float;
+  domains_used : int;
+}
+
+val leaves : t -> cube array
+(** The final partition of the input space, canonical order. *)
+
+val keys : t -> ((int * bool) list * Ll_util.Bitvec.t) array option
+(** Per-leaf [(condition, key)] pairs, canonical order — the input to
+    {!Compose.build_cubes}.  [None] when any leaf failed. *)
+
+type verdict =
+  | Keys of ((int * bool) list * Ll_util.Bitvec.t) array
+  | Incomplete of Cube_prep.failure_counts
+      (** failure accounting over the {e leaves} (a re-split cube's
+          [Stopped] result was superseded, not failed).  A leaf the
+          solver proved unkeyable ([unsat_no_key]) is never re-split or
+          retried — re-splitting cannot help an inconsistent oracle *)
+
+val verdict : t -> verdict
+
+val resplits : t -> int
+(** Number of cubes the budget preempted (= internal tree nodes). *)
+
+val imported_entries : t -> int
+(** Total share entries imported across all cubes. *)
+
+val total_dips : t -> int
+(** Sum of per-cube DIP counts (imported constraints excluded). *)
+
+val max_task_time : t -> float
+
+val run :
+  ?config:config ->
+  ?seed:int ->
+  Ll_netlist.Circuit.t ->
+  oracle:Oracle.t ->
+  t
+(** Serial reference runner (depth-first over the cube tree).  Raises
+    [Invalid_argument] on an invalid configuration ([n0] outside
+    [0..6] or not leaving a free input, [growth < 1], non-positive
+    budgets). *)
+
+val run_parallel :
+  ?config:config ->
+  ?num_domains:int ->
+  ?pool:Ll_runtime.Pool.t ->
+  ?seed:int ->
+  Ll_netlist.Circuit.t ->
+  oracle:Oracle.t ->
+  t
+(** Pooled runner: cubes are submitted with hardest-first priorities
+    ({!Ll_runtime.Pool.submit}'s heap; a re-split cube's children carry
+    its conflict count), and workers spawn children directly from inside
+    the pool, so re-split work starts without waiting for a global
+    barrier.  When [pool] is given it is used and left running;
+    otherwise a private pool of [num_domains] workers (default
+    recommended count) is created and shut down around the call.
+    Results are byte-identical to {!run} (see the determinism note
+    above). *)

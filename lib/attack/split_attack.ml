@@ -1,20 +1,14 @@
 module Circuit = Ll_netlist.Circuit
 module Bitvec = Ll_util.Bitvec
-module Prng = Ll_util.Prng
 module Timer = Ll_util.Timer
 module Cofactor = Ll_synth.Cofactor
 module Pool = Ll_runtime.Pool
 module Tel = Ll_telemetry.Telemetry
 
-let m_subtasks = Tel.Metric.counter "split.tasks"
-
-(* "3=1,5=0": the fixed-input pattern of a cofactor sub-attack, used to
-   tag its trace span. *)
-let condition_string cond =
-  String.concat ","
-    (List.map (fun (i, b) -> Printf.sprintf "%d=%c" i (if b then '1' else '0')) cond)
-
-type task = {
+(* The per-cofactor machinery (spans, seeding, cancellation placeholders,
+   failure classification) is shared with the adaptive engine through
+   {!Cube_prep}, so the fixed-N path and the re-split path cannot drift. *)
+type task = Cube_prep.task = {
   condition : (int * bool) list;
   sub_inputs : int;
   sub_gates : int;
@@ -37,6 +31,16 @@ let keys t =
     Some (Array.of_list (List.map Option.get collected))
   else None
 
+type verdict = Keys of Bitvec.t array | Incomplete of Cube_prep.failure_counts
+
+let verdict t =
+  match keys t with
+  | Some ks -> Keys ks
+  | None ->
+      Incomplete
+        (Cube_prep.classify
+           (Array.to_list (Array.map (fun task -> task.result) t.tasks)))
+
 let task_times t = Array.map (fun task -> task.task_time) t.tasks
 
 let max_task_time t = Array.fold_left max 0.0 (task_times t)
@@ -55,81 +59,17 @@ let recommended_effort ?cores locked =
   let rec log2 n = if n <= 1 then 0 else 1 + log2 (n / 2) in
   min (log2 cores) (max 0 (Circuit.num_inputs locked - 1))
 
-(* Per-sub-task solver seeds, split from one root stream in task-index
-   order.  Both the serial and the pooled runner derive seeds this way, so
-   their results are byte-identical and independent of how tasks are
-   scheduled across domains. *)
-let task_seeds ~seed num_tasks =
-  let root = Prng.create seed in
-  Array.init num_tasks (fun _ -> Int64.to_int (Prng.bits64 (Prng.split root)))
+let task_seeds = Cube_prep.task_seeds
 
-let base_config = function Some c -> c | None -> Sat_attack.default_config
+let base_config = Cube_prep.base_config
 
-(* The attack pool must not double as the oracle-sweep pool: the sweep is
-   awaited from inside a running task, and awaiting a task of the pool
-   one's own task runs on can deadlock.  Sub-attacks scheduled on [pool]
-   therefore run their sweeps inline when the two coincide. *)
-let strip_own_pool base pool =
-  match base.Sat_attack.dip_batch.Sat_attack.oracle_pool with
-  | Some p when p == pool ->
-      { base with
-        Sat_attack.dip_batch =
-          { base.Sat_attack.dip_batch with Sat_attack.oracle_pool = None }
-      }
-  | _ -> base
+let strip_own_pool = Cube_prep.strip_own_pool
 
-(* One cofactor sub-attack over the shared preparation: the miter is
-   synthesized, analysed and compiled exactly once per split attack (in
-   {!Sat_attack.prepare}); each cube only pins its inputs as root units in
-   a fresh solver. *)
-let run_task ?(index = -1) ~config ~prep ~oracle condition =
-  let t0 = Timer.monotonic () in
-  if Tel.enabled () then
-    Tel.span_begin ~a0:index ~note:(condition_string condition) "split.task";
-  Tel.Metric.incr m_subtasks;
-  match
-    let result = Sat_attack.run_prepared ~config prep ~condition ~oracle in
-    {
-      condition;
-      sub_inputs = Sat_attack.prep_inputs prep - List.length condition;
-      sub_gates = Sat_attack.prep_gates prep;
-      result;
-      task_time = Timer.monotonic () -. t0;
-    }
-  with
-  | task ->
-      if Tel.enabled () then Tel.span_end ~v:task.result.Sat_attack.num_dips ();
-      task
-  | exception e ->
-      if Tel.enabled () then Tel.span_end ~v:(-1) ~note:"exception" ();
-      raise e
+let run_task = Cube_prep.run_task
 
-(* A sub-task cancelled before it started: no cofactoring happened and no
-   solver ran, only the shape of the record is filled in. *)
-let cancelled_task ~locked condition =
-  {
-    condition;
-    sub_inputs = Circuit.num_inputs locked - List.length condition;
-    sub_gates = 0;
-    result =
-      {
-        Sat_attack.status = Sat_attack.Cancelled;
-        key = None;
-        dips = [];
-        num_dips = 0;
-        rounds = 0;
-        oracle_queries = 0;
-        total_time = 0.0;
-        solve_time = 0.0;
-        solver_conflicts = 0;
-      };
-    task_time = 0.0;
-  }
+let cancelled_task = Cube_prep.cancelled_task
 
-let fatal (task : task) =
-  match task.result.Sat_attack.status with
-  | Sat_attack.Iteration_limit | Sat_attack.Time_limit -> true
-  | Sat_attack.Broken | Sat_attack.Cancelled -> false
+let fatal = Cube_prep.fatal
 
 let prepare ?inputs ~n locked =
   let split_inputs =

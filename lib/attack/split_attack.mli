@@ -14,7 +14,7 @@
     order, so the serial and every parallel run return byte-identical
     per-task results regardless of domain count or stealing. *)
 
-type task = {
+type task = Cube_prep.task = {
   condition : (int * bool) list;  (** pinned input positions and values *)
   sub_inputs : int;  (** free inputs of the conditional netlist *)
   sub_gates : int;  (** gate count after cofactor synthesis *)
@@ -32,6 +32,18 @@ type t = {
 val keys : t -> Ll_util.Bitvec.t array option
 (** The key list [K] of Algorithm 1 — [None] when any task failed to
     converge (hit a limit). *)
+
+type verdict =
+  | Keys of Ll_util.Bitvec.t array  (** every task produced a key *)
+  | Incomplete of Cube_prep.failure_counts
+      (** per-status failure accounting: a cube the solver proved
+          unkeyable ([unsat_no_key], an inconsistent oracle — pointless
+          to retry) is reported apart from one that merely never ran
+          ([cancelled]) or hit a limit *)
+
+val verdict : t -> verdict
+(** Like {!keys}, but a failed attack says {e why} per status instead of
+    collapsing every non-key outcome into [None]. *)
 
 val max_task_time : t -> float
 (** Runtime of the slowest sub-task — the paper's headline metric

@@ -31,6 +31,12 @@ type t = {
   lock : Mutex.t;
   wake : Condition.t;  (* signalled on submit, completion and shutdown *)
   deques : job Deque.t array;
+  (* Shared binary max-heap of prioritized jobs: (priority, submission id,
+     job), ordered priority-descending with submission order as the FIFO
+     tie-break.  Workers drain it before their own deque, so "hardest
+     first" holds globally, not per worker.  Protected by [lock]. *)
+  mutable prio_heap : (int * int * job) array;
+  mutable prio_len : int;
   mutable domains : unit Domain.t array;
   mutable next_deque : int;  (* round-robin submission cursor *)
   mutable n_submitted : int;
@@ -54,22 +60,79 @@ type 'a handle = {
 
 let num_domains pool = Array.length pool.deques
 
-(* Called with [pool.lock] held.  Own deque first (LIFO), then steal the
-   oldest task of the first non-empty victim, scanning in index order
-   after the worker's own slot so the choice is stable. *)
+(* --- Priority heap (lock held for all operations) --- *)
+
+let heap_before (p1, s1, _) (p2, s2, _) = p1 > p2 || (p1 = p2 && s1 < s2)
+
+let heap_push pool entry =
+  if pool.prio_len = Array.length pool.prio_heap then begin
+    let grown =
+      Array.make (max 8 (2 * Array.length pool.prio_heap)) entry
+    in
+    Array.blit pool.prio_heap 0 grown 0 pool.prio_len;
+    pool.prio_heap <- grown
+  end;
+  let h = pool.prio_heap in
+  let i = ref pool.prio_len in
+  pool.prio_len <- pool.prio_len + 1;
+  h.(!i) <- entry;
+  let continue = ref true in
+  while !continue && !i > 0 do
+    let parent = (!i - 1) / 2 in
+    if heap_before h.(!i) h.(parent) then begin
+      let tmp = h.(parent) in
+      h.(parent) <- h.(!i);
+      h.(!i) <- tmp;
+      i := parent
+    end
+    else continue := false
+  done
+
+let heap_pop pool =
+  if pool.prio_len = 0 then None
+  else begin
+    let h = pool.prio_heap in
+    let (_, _, top) = h.(0) in
+    pool.prio_len <- pool.prio_len - 1;
+    h.(0) <- h.(pool.prio_len);
+    let i = ref 0 in
+    let continue = ref true in
+    while !continue do
+      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+      let best = ref !i in
+      if l < pool.prio_len && heap_before h.(l) h.(!best) then best := l;
+      if r < pool.prio_len && heap_before h.(r) h.(!best) then best := r;
+      if !best <> !i then begin
+        let tmp = h.(!best) in
+        h.(!best) <- h.(!i);
+        h.(!i) <- tmp;
+        i := !best
+      end
+      else continue := false
+    done;
+    Some top
+  end
+
+(* Called with [pool.lock] held.  Highest-priority pending job first, then
+   the worker's own deque (LIFO), then steal the oldest task of the first
+   non-empty victim, scanning in index order after the worker's own slot
+   so the choice is stable. *)
 let try_take pool w =
-  match Deque.pop_back pool.deques.(w) with
+  match heap_pop pool with
   | Some job -> Some (job, false)
-  | None ->
-      let n = Array.length pool.deques in
-      let rec scan k =
-        if k >= n then None
-        else
-          match Deque.pop_front pool.deques.((w + k) mod n) with
-          | Some job -> Some (job, true)
-          | None -> scan (k + 1)
-      in
-      scan 1
+  | None -> (
+      match Deque.pop_back pool.deques.(w) with
+      | Some job -> Some (job, false)
+      | None ->
+          let n = Array.length pool.deques in
+          let rec scan k =
+            if k >= n then None
+            else
+              match Deque.pop_front pool.deques.((w + k) mod n) with
+              | Some job -> Some (job, true)
+              | None -> scan (k + 1)
+          in
+          scan 1)
 
 let worker pool w () =
   Mutex.lock pool.lock;
@@ -119,6 +182,8 @@ let create ?num_domains ?(seed = 0) () =
       lock = Mutex.create ();
       wake = Condition.create ();
       deques = Array.init n (fun _ -> Deque.create ());
+      prio_heap = [||];
+      prio_len = 0;
       domains = [||];
       next_deque = 0;
       n_submitted = 0;
@@ -137,7 +202,7 @@ let create ?num_domains ?(seed = 0) () =
   pool.spawn_seconds <- dt;
   pool
 
-let submit pool fn =
+let submit ?priority pool fn =
   Mutex.lock pool.lock;
   if pool.stopping then begin
     Mutex.unlock pool.lock;
@@ -168,10 +233,13 @@ let submit pool fn =
     }
   in
   pool.n_submitted <- pool.n_submitted + 1;
-  let d = pool.deques.(pool.next_deque) in
-  Deque.push_back d job;
-  if Deque.length d > pool.max_queue then pool.max_queue <- Deque.length d;
-  pool.next_deque <- (pool.next_deque + 1) mod Array.length pool.deques;
+  (match priority with
+  | Some p -> heap_push pool (p, job.job_id, job)
+  | None ->
+      let d = pool.deques.(pool.next_deque) in
+      Deque.push_back d job;
+      if Deque.length d > pool.max_queue then pool.max_queue <- Deque.length d;
+      pool.next_deque <- (pool.next_deque + 1) mod Array.length pool.deques);
   Condition.broadcast pool.wake;
   Mutex.unlock pool.lock;
   handle

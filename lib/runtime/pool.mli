@@ -55,8 +55,18 @@ val create : ?num_domains:int -> ?seed:int -> unit -> t
 
 val num_domains : t -> int
 
-val submit : t -> (ctx -> 'a) -> 'a handle
-(** Enqueue a task.  Raises [Invalid_argument] after {!shutdown}. *)
+val submit : ?priority:int -> t -> (ctx -> 'a) -> 'a handle
+(** Enqueue a task.  Raises [Invalid_argument] after {!shutdown}.
+
+    Without [priority] the task lands in the round-robin deques described
+    above.  With [priority] it goes to a pool-global max-heap that every
+    worker drains {e before} its own deque: prioritized tasks run
+    hardest-first (higher value first, submission order as the FIFO
+    tie-break) regardless of which worker frees up.  Priorities are
+    scheduling {e hints} only — they affect wall time, never results;
+    callers must not rely on execution order for correctness.  The
+    adaptive cube-and-conquer attack uses them to start the most
+    conflict-laden cubes first so the longest chains finish earliest. *)
 
 val await : 'a handle -> 'a outcome
 (** Block until the task reaches a terminal state. *)

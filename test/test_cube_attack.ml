@@ -1,0 +1,401 @@
+(* The adaptive cube-and-conquer attack: golden cube trees pinned under a
+   fixed seed (any change to re-split heuristics, budgets, clause sharing
+   or solver behaviour that perturbs them must be deliberate and
+   re-pinned), serial == parallel determinism, and differential checks of
+   the composed multi-key netlist against the original design. *)
+
+open Helpers
+module Oracle = LL.Attack.Oracle
+module Sat_attack = LL.Attack.Sat_attack
+module Cube_prep = LL.Attack.Cube_prep
+module Split_attack = LL.Attack.Split_attack
+module Cube_attack = LL.Attack.Cube_attack
+module Compose = LL.Attack.Compose
+module Equiv = LL.Attack.Equiv
+
+(* One line per cube in canonical tree order:
+   condition|status|#DIP|#imported|resplit-input. *)
+let fingerprint (t : Cube_attack.t) =
+  Array.to_list t.Cube_attack.cubes
+  |> List.map (fun (c : Cube_attack.cube) ->
+         let r = c.task.Cube_prep.result in
+         Printf.sprintf "%s|%s|%d|%d|%s"
+           (Cube_prep.condition_string c.task.condition)
+           (match r.Sat_attack.status with
+           | Sat_attack.Broken -> "broken"
+           | Sat_attack.Iteration_limit -> "iter"
+           | Sat_attack.Time_limit -> "time"
+           | Sat_attack.Cancelled -> "cancelled"
+           | Sat_attack.Stopped -> "stopped")
+           r.Sat_attack.num_dips r.Sat_attack.imported
+           (match c.resplit_input with Some i -> string_of_int i | None -> "-"))
+  |> String.concat ";"
+
+let dip_sequences (t : Cube_attack.t) =
+  Array.map
+    (fun (c : Cube_attack.cube) ->
+      c.Cube_attack.task.Cube_prep.result.Sat_attack.dips
+      |> List.map Bitvec.to_string |> String.concat ",")
+    t.Cube_attack.cubes
+
+let composed_equivalent original locked attack =
+  match Compose.of_cube_attack locked attack with
+  | None -> false
+  | Some composed -> (
+      match Equiv.check original composed with
+      | Equiv.Equivalent -> true
+      | Equiv.Counterexample _ -> false)
+
+(* A DIP budget forces re-splits on SARLock, whose point-function
+   cofactors generate a stream of trivial DIPs but almost no conflicts. *)
+let sarlock_config =
+  {
+    Cube_attack.default_config with
+    n0 = 1;
+    budget =
+      { Cube_attack.default_budget with conflicts = None; dips = Some 4 };
+  }
+
+let sarlock_fixture () =
+  let c = random_circuit ~seed:150 ~num_inputs:8 () in
+  let locked = (LL.Locking.Sarlock.lock ~key_size:6 c).circuit in
+  (c, locked, Oracle.of_circuit c)
+
+(* Pinned golden: the exact adaptive cube tree (conditions, statuses,
+   per-cube DIP and import counts, re-split inputs) for sarlock6 under
+   seed 0 and a dips=4 budget. *)
+let sarlock_golden =
+  "1=0|stopped|4|0|2;1=0,2=0|stopped|8|1|4;1=0,2=0,4=0|broken|2|6|-;\
+   1=0,2=0,4=1|broken|5|3|-;1=0,2=1|stopped|8|3|4;1=0,2=1,4=0|broken|2|6|-;\
+   1=0,2=1,4=1|broken|3|5|-;1=1|stopped|4|0|2;1=1,2=0|stopped|8|2|4;\
+   1=1,2=0,4=0|broken|3|5|-;1=1,2=0,4=1|broken|2|5|-;1=1,2=1|stopped|8|2|4;\
+   1=1,2=1,4=0|broken|3|5|-;1=1,2=1,4=1|broken|3|5|-"
+
+let test_sarlock_adaptive_golden () =
+  let c, locked, oracle = sarlock_fixture () in
+  let t = Cube_attack.run ~config:sarlock_config locked ~oracle in
+  Alcotest.(check string) "cube tree" sarlock_golden (fingerprint t);
+  Alcotest.(check bool) "resplits happened" true (Cube_attack.resplits t > 0);
+  Alcotest.(check bool) "constraints were shared" true
+    (Cube_attack.imported_entries t > 0);
+  (match Cube_attack.verdict t with
+  | Cube_attack.Keys _ -> ()
+  | Cube_attack.Incomplete _ -> Alcotest.fail "expected keys");
+  Alcotest.(check bool) "composed equivalent" true
+    (composed_equivalent c locked t);
+  (* Run-to-run: no hidden global state. *)
+  let t2 = Cube_attack.run ~config:sarlock_config locked ~oracle in
+  Alcotest.(check string) "identical rerun" (fingerprint t) (fingerprint t2)
+
+(* A conflict budget drives the XOR-lock path: XOR cofactors are
+   conflict-heavy and DIP-sparse, the opposite difficulty signature. *)
+let xor_config =
+  {
+    Cube_attack.default_config with
+    n0 = 1;
+    budget =
+      { Cube_attack.default_budget with conflicts = Some 8; dips = None };
+  }
+
+let xor_fixture () =
+  let c = random_circuit ~seed:151 ~num_inputs:8 ~num_outputs:3 ~gates:50 () in
+  let locked = (LL.Locking.Xor_lock.lock ~prng:(Prng.create 3) ~num_keys:10 c).circuit in
+  (c, locked, Oracle.of_circuit c)
+
+let test_xor_adaptive_deterministic () =
+  let c, locked, oracle = xor_fixture () in
+  let t = Cube_attack.run ~config:xor_config locked ~oracle in
+  (match Cube_attack.verdict t with
+  | Cube_attack.Keys _ -> ()
+  | Cube_attack.Incomplete _ -> Alcotest.fail "expected keys");
+  Alcotest.(check bool) "composed equivalent" true
+    (composed_equivalent c locked t);
+  let t2 = Cube_attack.run ~config:xor_config locked ~oracle in
+  Alcotest.(check string) "identical rerun" (fingerprint t) (fingerprint t2);
+  Alcotest.(check (array string)) "identical DIP sequences" (dip_sequences t)
+    (dip_sequences t2)
+
+let test_serial_matches_parallel () =
+  (* Acceptance: the adaptive cube tree, DIP sequences and keys are
+     byte-identical between the serial runner and the pooled runner at
+     every domain count — re-splits and clause banks only depend on each
+     cube's path, never on scheduling. *)
+  let _, locked, oracle = sarlock_fixture () in
+  let serial = Cube_attack.run ~config:sarlock_config locked ~oracle in
+  List.iter
+    (fun num_domains ->
+      let par =
+        Cube_attack.run_parallel ~config:sarlock_config ~num_domains locked
+          ~oracle
+      in
+      Alcotest.(check int) "domains recorded" num_domains
+        par.Cube_attack.domains_used;
+      Alcotest.(check string)
+        (Printf.sprintf "identical tree at %d domains" num_domains)
+        (fingerprint serial) (fingerprint par);
+      Alcotest.(check (array string))
+        (Printf.sprintf "identical DIP sequences at %d domains" num_domains)
+        (dip_sequences serial) (dip_sequences par))
+    [ 1; 2; 4 ]
+
+let test_parallel_log_canonical_order () =
+  (* Buffered logs flush in canonical cube order: serial and parallel
+     runs emit byte-identical log streams. *)
+  let _, locked, oracle = sarlock_fixture () in
+  let capture run =
+    let lines = ref [] in
+    let config =
+      {
+        sarlock_config with
+        base =
+          {
+            Sat_attack.default_config with
+            log = Some (fun l -> lines := l :: !lines);
+          };
+      }
+    in
+    ignore (run config);
+    List.rev !lines
+  in
+  let serial = capture (fun config -> Cube_attack.run ~config locked ~oracle) in
+  let par =
+    capture (fun config ->
+        Cube_attack.run_parallel ~config ~num_domains:4 locked ~oracle)
+  in
+  Alcotest.(check bool) "something was logged" true (serial <> []);
+  Alcotest.(check (list string)) "identical log streams" serial par
+
+let test_no_budget_matches_split_attack () =
+  (* With every budget criterion off the engine degenerates to the fixed
+     2^n0 split: same cofactors, same per-cube DIP counts as
+     Split_attack at the same n (both pin the top fan-out-ranked
+     inputs). *)
+  let c = random_circuit ~seed:152 ~num_inputs:8 () in
+  let locked = (LL.Locking.Sarlock.lock ~key_size:5 c).circuit in
+  let oracle = Oracle.of_circuit c in
+  let config =
+    {
+      Cube_attack.default_config with
+      n0 = 2;
+      budget =
+        { Cube_attack.default_budget with conflicts = None; dips = None };
+    }
+  in
+  let t = Cube_attack.run ~config locked ~oracle in
+  Alcotest.(check int) "no resplits" 0 (Cube_attack.resplits t);
+  Alcotest.(check int) "2^n0 leaves" 4 (Array.length (Cube_attack.leaves t));
+  let s = Split_attack.run ~n:2 locked ~oracle in
+  let split_dips =
+    Array.map (fun t -> t.Split_attack.result.Sat_attack.num_dips) s.tasks
+  in
+  let cube_dips =
+    Array.map
+      (fun (c : Cube_attack.cube) ->
+        c.task.Cube_prep.result.Sat_attack.num_dips)
+      (Cube_attack.leaves t)
+  in
+  Array.sort compare split_dips;
+  Array.sort compare cube_dips;
+  Alcotest.(check (array int)) "same per-cofactor #DIP" split_dips cube_dips
+
+let test_share_off_still_correct () =
+  let c, locked, oracle = sarlock_fixture () in
+  let config = { sarlock_config with share = false } in
+  let t = Cube_attack.run ~config locked ~oracle in
+  Alcotest.(check int) "nothing imported" 0 (Cube_attack.imported_entries t);
+  Alcotest.(check bool) "still resplits" true (Cube_attack.resplits t > 0);
+  Alcotest.(check bool) "composed equivalent" true
+    (composed_equivalent c locked t)
+
+let test_sharing_saves_dips () =
+  (* The point of the clause exchange: descendants import the DIP
+     constraints their ancestors paid for, so the shared run re-derives
+     fewer DIPs (and queries the oracle less) than the isolated run. *)
+  let _, locked, oracle = sarlock_fixture () in
+  let shared = Cube_attack.run ~config:sarlock_config locked ~oracle in
+  let isolated =
+    Cube_attack.run
+      ~config:{ sarlock_config with share = false }
+      locked ~oracle
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "shared %d < isolated %d total DIPs"
+       (Cube_attack.total_dips shared)
+       (Cube_attack.total_dips isolated))
+    true
+    (Cube_attack.total_dips shared < Cube_attack.total_dips isolated)
+
+let test_inconsistent_oracle_never_resplit () =
+  (* An oracle no key can match: the locked circuit computes x0 xor k0 on
+     both outputs, the oracle answers x0 and (not x0).  The solver proves
+     the cube unkeyable (Broken, no key); re-splitting cannot help, so
+     the engine must not retry it. *)
+  let b = Builder.create ~name:"incons" () in
+  let x0 = Builder.input b "x0" in
+  let x1 = Builder.input b "x1" in
+  let k0 = Builder.key_input b "k0" in
+  ignore x1;
+  Builder.output b "o1" (Builder.xor2 b x0 k0);
+  Builder.output b "o2" (Builder.xor2 b x0 k0);
+  let locked = Builder.finish b in
+  let oracle =
+    Oracle.of_function ~num_inputs:2 ~num_outputs:2 (fun xs ->
+        [| xs.(0); not xs.(0) |])
+  in
+  let config =
+    {
+      Cube_attack.default_config with
+      n0 = 0;
+      budget = { Cube_attack.default_budget with dips = Some 1 };
+    }
+  in
+  let t = Cube_attack.run ~config locked ~oracle in
+  (* The root stops after its first DIP and re-splits once; each child
+     then proves its cube unkeyable and — despite having budget left and
+     depth headroom — is never re-split again.  Only [Stopped] cubes
+     re-split. *)
+  Alcotest.(check int) "only the pre-proof stop resplits" 1
+    (Cube_attack.resplits t);
+  Array.iter
+    (fun (c : Cube_attack.cube) ->
+      if c.resplit_input <> None then
+        Alcotest.(check bool) "resplit cubes were Stopped" true
+          (c.task.Cube_prep.result.Sat_attack.status = Sat_attack.Stopped))
+    t.Cube_attack.cubes;
+  match Cube_attack.verdict t with
+  | Cube_attack.Keys _ -> Alcotest.fail "expected failure"
+  | Cube_attack.Incomplete counts ->
+      Alcotest.(check int) "both leaves classified unsat_no_key" 2
+        counts.Cube_prep.unsat_no_key
+
+let test_depth_cap_forces_completion () =
+  (* max_extra_depth = 0 turns budgets off at the seed level: every seed
+     cube runs to completion, so the result equals the no-budget run. *)
+  let c, locked, oracle = sarlock_fixture () in
+  let config =
+    { sarlock_config with n0 = 1; max_extra_depth = 0 }
+  in
+  let t = Cube_attack.run ~config locked ~oracle in
+  Alcotest.(check int) "no resplits" 0 (Cube_attack.resplits t);
+  Alcotest.(check int) "seed cubes only" 2 (Array.length t.Cube_attack.cubes);
+  Alcotest.(check bool) "composed equivalent" true
+    (composed_equivalent c locked t)
+
+let test_differential_fuzz () =
+  (* Differential: for a sweep of random circuits and schemes, the
+     adaptive attack under a tight budget must always produce keys whose
+     composition is exhaustively equivalent to the original design. *)
+  let schemes =
+    [
+      ("sarlock", fun c -> (LL.Locking.Sarlock.lock ~key_size:5 c).LL.Locking.Locked.circuit);
+      ("antisat", fun c -> (LL.Locking.Antisat.lock ~width:4 c).LL.Locking.Locked.circuit);
+      ("xor", fun c -> (LL.Locking.Xor_lock.lock ~num_keys:7 c).LL.Locking.Locked.circuit);
+      ("lut", fun c -> (LL.Locking.Lut_lock.lock ~stage1_luts:2 ~stage1_inputs:2 c).LL.Locking.Locked.circuit);
+    ]
+  in
+  List.iteri
+    (fun i (name, lock) ->
+      let c =
+        random_circuit ~seed:(160 + i) ~num_inputs:7 ~num_outputs:2 ~gates:35 ()
+      in
+      let locked = lock c in
+      let oracle = Oracle.of_circuit c in
+      let config =
+        {
+          Cube_attack.default_config with
+          n0 = 1;
+          budget =
+            {
+              Cube_attack.default_budget with
+              conflicts = Some 16;
+              dips = Some 3;
+            };
+        }
+      in
+      let t = Cube_attack.run ~config ~seed:i locked ~oracle in
+      (match Cube_attack.verdict t with
+      | Cube_attack.Keys _ -> ()
+      | Cube_attack.Incomplete _ ->
+          Alcotest.fail (Printf.sprintf "%s: expected keys" name));
+      match Compose.of_cube_attack locked t with
+      | None -> Alcotest.fail (Printf.sprintf "%s: no composition" name)
+      | Some composed ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s: composition exhaustively equivalent" name)
+            true
+            (exhaustively_equal c composed))
+    schemes
+
+let test_shared_pool_reuse () =
+  let _, locked, oracle = sarlock_fixture () in
+  LL.Runtime.Pool.with_pool ~num_domains:2 (fun pool ->
+      let a = Cube_attack.run_parallel ~config:sarlock_config ~pool locked ~oracle in
+      let b = Cube_attack.run_parallel ~config:sarlock_config ~pool locked ~oracle in
+      Alcotest.(check string) "reused pool, same tree" (fingerprint a)
+        (fingerprint b);
+      Alcotest.(check int) "pool width reported" 2 a.Cube_attack.domains_used)
+
+let test_invalid_configs_rejected () =
+  let _, locked, oracle = sarlock_fixture () in
+  let run config = ignore (Cube_attack.run ~config locked ~oracle) in
+  Alcotest.check_raises "n0 too large"
+    (Invalid_argument "Cube_attack: n0 must be in [0, 6]") (fun () ->
+      run { Cube_attack.default_config with n0 = 7 });
+  Alcotest.check_raises "growth below 1"
+    (Invalid_argument "Cube_attack: budget growth must be >= 1.0") (fun () ->
+      run
+        {
+          Cube_attack.default_config with
+          budget = { Cube_attack.default_budget with growth = 0.5 };
+        });
+  Alcotest.check_raises "zero dip budget"
+    (Invalid_argument "Cube_attack: dip budget must be >= 1") (fun () ->
+      run
+        {
+          Cube_attack.default_config with
+          budget = { Cube_attack.default_budget with dips = Some 0 };
+        })
+
+let test_split_attack_verdict () =
+  (* The satellite fix: Cancelled and Broken-without-key are reported
+     distinctly in the merged result. *)
+  let c = random_circuit ~seed:155 ~num_inputs:8 () in
+  let locked = (LL.Locking.Sarlock.lock ~key_size:8 c).circuit in
+  let oracle = Oracle.of_circuit c in
+  let ok = Split_attack.run ~n:1 locked ~oracle in
+  (match Split_attack.verdict ok with
+  | Split_attack.Keys ks -> Alcotest.(check int) "two keys" 2 (Array.length ks)
+  | Split_attack.Incomplete _ -> Alcotest.fail "expected keys");
+  let config = { Sat_attack.default_config with max_iterations = Some 1 } in
+  let failed =
+    Split_attack.run_parallel ~config ~num_domains:1 ~cancel_on_failure:true
+      ~n:2 locked ~oracle
+  in
+  match Split_attack.verdict failed with
+  | Split_attack.Keys _ -> Alcotest.fail "expected failure"
+  | Split_attack.Incomplete counts ->
+      Alcotest.(check int) "one task hit its budget" 1
+        counts.Cube_prep.iteration_limit;
+      Alcotest.(check int) "the rest were cancelled" 3 counts.Cube_prep.cancelled
+
+let suite =
+  [
+    Alcotest.test_case "sarlock adaptive golden" `Quick test_sarlock_adaptive_golden;
+    Alcotest.test_case "xor adaptive deterministic" `Quick
+      test_xor_adaptive_deterministic;
+    Alcotest.test_case "serial matches parallel" `Quick test_serial_matches_parallel;
+    Alcotest.test_case "parallel log canonical order" `Quick
+      test_parallel_log_canonical_order;
+    Alcotest.test_case "no budget matches split attack" `Quick
+      test_no_budget_matches_split_attack;
+    Alcotest.test_case "share off still correct" `Quick test_share_off_still_correct;
+    Alcotest.test_case "sharing saves dips" `Quick test_sharing_saves_dips;
+    Alcotest.test_case "inconsistent oracle never resplit" `Quick
+      test_inconsistent_oracle_never_resplit;
+    Alcotest.test_case "depth cap forces completion" `Quick
+      test_depth_cap_forces_completion;
+    Alcotest.test_case "differential fuzz" `Slow test_differential_fuzz;
+    Alcotest.test_case "shared pool reuse" `Quick test_shared_pool_reuse;
+    Alcotest.test_case "invalid configs rejected" `Quick test_invalid_configs_rejected;
+    Alcotest.test_case "split attack verdict" `Quick test_split_attack_verdict;
+  ]

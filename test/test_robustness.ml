@@ -40,7 +40,7 @@ let test_attack_against_constant_oracle () =
   Alcotest.(check bool) "terminates" true
     (match r.Sat_attack.status with
     | Sat_attack.Broken | Sat_attack.Iteration_limit | Sat_attack.Time_limit
-    | Sat_attack.Cancelled ->
+    | Sat_attack.Cancelled | Sat_attack.Stopped ->
         true)
 
 let test_solver_unsat_is_stable () =

@@ -162,6 +162,42 @@ let test_failed_task_isolated () =
       (* The pool survives a failing task. *)
       Alcotest.(check int) "still serving" 7 (unwrap (Pool.await (Pool.submit pool (fun _ -> 7)))))
 
+let test_priority_order () =
+  (* With one worker pinned inside a blocker, pending prioritized tasks
+     accumulate in the global heap and must run highest-priority first
+     (submission order breaking ties), ahead of any unprioritized deque
+     work. *)
+  Pool.with_pool ~num_domains:1 (fun pool ->
+      let gate = Atomic.make false in
+      let started = Atomic.make false in
+      let blocker =
+        Pool.submit pool (fun _ctx ->
+            Atomic.set started true;
+            while not (Atomic.get gate) do
+              Domain.cpu_relax ()
+            done)
+      in
+      while not (Atomic.get started) do
+        Domain.cpu_relax ()
+      done;
+      let order = ref [] in
+      let record tag = Pool.submit pool (fun _ctx -> order := tag :: !order) in
+      let plain = record "plain" in
+      let submit_prio priority tag =
+        Pool.submit ~priority pool (fun _ctx -> order := tag :: !order)
+      in
+      let a = submit_prio 1 "p1" in
+      let b = submit_prio 5 "p5" in
+      let c = submit_prio 3 "p3" in
+      let d = submit_prio 5 "p5bis" in
+      Atomic.set gate true;
+      List.iter
+        (fun h -> ignore (unwrap (Pool.await h)))
+        [ blocker; plain; a; b; c; d ];
+      Alcotest.(check (list string)) "hardest first, stable ties, heap before deque"
+        [ "p5"; "p5bis"; "p3"; "p1"; "plain" ]
+        (List.rev !order))
+
 let test_shutdown_drains_and_rejects () =
   let pool = Pool.create ~num_domains:2 () in
   let hs = Array.init 10 (fun i -> Pool.submit pool (fun _ctx -> busy_work 10_000 |> ignore; i)) in
@@ -182,6 +218,7 @@ let suite =
       test_prng_streams_scheduling_independent;
     Alcotest.test_case "cancel pending" `Quick test_cancel_pending;
     Alcotest.test_case "cooperative cancel" `Quick test_cooperative_cancel_of_running_task;
+    Alcotest.test_case "priority order" `Quick test_priority_order;
     Alcotest.test_case "failed task isolated" `Quick test_failed_task_isolated;
     Alcotest.test_case "shutdown drains and rejects" `Quick test_shutdown_drains_and_rejects;
   ]

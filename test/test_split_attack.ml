@@ -147,7 +147,8 @@ let test_deterministic_across_domain_counts () =
              | Sat_attack.Broken -> "broken"
              | Sat_attack.Iteration_limit -> "iter"
              | Sat_attack.Time_limit -> "time"
-             | Sat_attack.Cancelled -> "cancelled"))
+             | Sat_attack.Cancelled -> "cancelled"
+             | Sat_attack.Stopped -> "stopped"))
     |> String.concat ";"
   in
   let serial = fingerprint (Split_attack.run ~n:2 locked ~oracle) in
