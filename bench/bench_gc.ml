@@ -1,0 +1,19 @@
+(* Shared GC gauges for the BENCH_*.json emitters.
+
+   Every record carries the [Gc.quick_stat] view at record-build time —
+   major collections and heap words are global (the shared major heap) —
+   plus the workload's own minor-allocation rate, computed from the
+   minor-words delta the emitter measured on its work domain.  These are
+   the same quantities the live sampler publishes as the
+   [gc.major_collections] / [gc.heap_words] / [gc.minor_words_per_s]
+   gauges, so a committed bench record and a scraped snapshot are
+   directly comparable. *)
+
+let json_fields ~minor_words ~wall_s =
+  let g = Gc.quick_stat () in
+  let rate = if wall_s > 0.0 then minor_words /. wall_s else 0.0 in
+  Printf.sprintf
+    "\"gc_major_collections\": %d,\n\
+    \    \"gc_heap_words\": %d,\n\
+    \    \"gc_minor_words_per_s\": %.0f"
+    g.Gc.major_collections g.Gc.heap_words rate

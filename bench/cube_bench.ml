@@ -46,6 +46,8 @@ let verify ~original ~locked attack =
 
 let cube_compare ~pool ~name ~budget original locked =
   let oracle = Oracle.of_circuit original in
+  let g0 = Gc.quick_stat () in
+  let compare_t0 = Timer.monotonic () in
   let fixed n =
     let t0 = Timer.monotonic () in
     let s = Split_attack.run_parallel ~pool ~n locked ~oracle in
@@ -70,6 +72,12 @@ let cube_compare ~pool ~name ~budget original locked =
   in
   let ratio =
     if fixed_wall.(!best) > 0.0 then adaptive_wall /. fixed_wall.(!best) else 0.0
+  in
+  let g1 = Gc.quick_stat () in
+  let gc_json =
+    Bench_gc.json_fields
+      ~minor_words:(g1.Gc.minor_words -. g0.Gc.minor_words)
+      ~wall_s:(Timer.monotonic () -. compare_t0)
   in
   let composed = verify ~original ~locked a in
   Array.iteri
@@ -110,7 +118,8 @@ let cube_compare ~pool ~name ~budget original locked =
       \    \"budget_conflicts\": %d,\n\
       \    \"budget_dips\": %d,\n\
       \    \"budget_growth\": %.2f,\n\
-      \    \"composed\": %S\n\
+      \    \"composed\": %S,\n\
+      \    %s\n\
       \  }"
       name (ints fixed_ns) (floats "%.6f" fixed_wall) (ints fixed_dips) !best
       fixed_wall.(!best) adaptive_wall (Cube_attack.total_dips a)
@@ -121,7 +130,7 @@ let cube_compare ~pool ~name ~budget original locked =
       ratio
       (match budget.Cube_attack.conflicts with Some c -> c | None -> -1)
       (match budget.Cube_attack.dips with Some d -> d | None -> -1)
-      budget.Cube_attack.growth composed
+      budget.Cube_attack.growth composed gc_json
   in
   records := record :: !records
 

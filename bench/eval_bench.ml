@@ -43,6 +43,7 @@ type record = {
   batch_qs : int array;  (* DIP-constraint batch sizes swept below *)
   batch_encode_dips_per_s : float array;  (* kernel path, one entry per q *)
   batch_q64_vs_q1 : float;
+  gc_json : string;  (* shared GC gauges, rendered at record-build time *)
 }
 
 let records : record list ref = ref []
@@ -215,11 +216,15 @@ let batched_constraint_generation ~dips locked =
 (* ------------------------------------------------------------------ *)
 
 let bench ~name ~reps ~dips locked =
+  let g0 = Gc.quick_stat () in
+  let t0 = Timer.monotonic () in
   let interp_ps, scalar_ps, packed_ps = sim_throughput ~reps locked in
   let rebuild_dps, kernel_dps, rebuild_wpd, kernel_wpd =
     constraint_generation ~dips locked
   in
   let batch_dps = batched_constraint_generation ~dips locked in
+  let bench_wall = Timer.monotonic () -. t0 in
+  let g1 = Gc.quick_stat () in
   let last = Array.length batch_dps - 1 in
   let r =
     {
@@ -241,6 +246,10 @@ let bench ~name ~reps ~dips locked =
       batch_encode_dips_per_s = batch_dps;
       batch_q64_vs_q1 =
         (if batch_dps.(0) > 0.0 then batch_dps.(last) /. batch_dps.(0) else 0.0);
+      gc_json =
+        Bench_gc.json_fields
+          ~minor_words:(g1.Gc.minor_words -. g0.Gc.minor_words)
+          ~wall_s:bench_wall;
     }
   in
   records := r :: !records;
@@ -288,7 +297,8 @@ let json_of_record r =
     \    \"kernel_minor_words_per_dip\": %.1f,\n\
     \    \"batch_qs\": [%s],\n\
     \    \"batch_encode_dips_per_s\": [%s],\n\
-    \    \"batch_q64_vs_q1\": %.3f\n\
+    \    \"batch_q64_vs_q1\": %.3f,\n\
+    \    %s\n\
     \  }"
     r.name r.gates r.num_keys r.sim_patterns r.interp_patterns_per_s
     r.scalar_patterns_per_s r.packed_patterns_per_s r.packed_vs_scalar r.dips
@@ -297,7 +307,7 @@ let json_of_record r =
     (String.concat ", " (Array.to_list (Array.map string_of_int r.batch_qs)))
     (String.concat ", "
        (Array.to_list (Array.map (Printf.sprintf "%.1f") r.batch_encode_dips_per_s)))
-    r.batch_q64_vs_q1
+    r.batch_q64_vs_q1 r.gc_json
 
 (* Structural JSON well-formedness: balanced delimiters outside strings.
    Cheap enough to run after every write; the smoke alias relies on it. *)

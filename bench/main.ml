@@ -268,7 +268,8 @@ let split_sched_bench ~section ~name ~n locked ~oracle =
       \    \"dip_batch_rounds\": %s,\n\
       \    \"dip_batch_dips_per_s\": %s,\n\
       \    \"dip_batch_q1_matches_serial\": %b,\n\
-      \    \"dip_batch_all_broken\": %b\n\
+      \    \"dip_batch_all_broken\": %b,\n\
+      \    %s\n\
       \  }"
       section name n num_tasks domains serial_wall static_wall steal_wall traced_wall
       (Split_attack.min_task_time steal)
@@ -287,6 +288,7 @@ let split_sched_bench ~section ~name ~n locked ~oracle =
       (json_int_array dip_qs) (json_float_array batch_wall)
       (json_int_array batch_dips) (json_int_array batch_rounds)
       (json_float_array batch_dips_s) q1_matches_serial batch_all_broken
+      (Bench_gc.json_fields ~minor_words:serial_minor ~wall_s:serial_wall)
   in
   split_records := record :: !split_records
 

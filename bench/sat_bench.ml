@@ -52,6 +52,7 @@ type record = {
   simp_eliminated_vars : int;
   simp_vivified : int;
   lbd_mean : float;
+  gc_json : string;  (* shared GC gauges, rendered at record-build time *)
 }
 
 let records : record list ref = ref []
@@ -125,6 +126,10 @@ let measure ~name ~kind f =
       simp_eliminated_vars = st.Solver.simp_eliminated_vars;
       simp_vivified = st.Solver.simp_vivified;
       lbd_mean;
+      gc_json =
+        Bench_gc.json_fields
+          ~minor_words:(g1.Gc.minor_words -. g0.Gc.minor_words)
+          ~wall_s:wall;
     }
   in
   records := r :: !records;
@@ -343,8 +348,15 @@ let simp_miter_run ~rounds ~simp locked =
     } )
 
 let simp_compare ~name ~rounds locked =
+  let g0 = Gc.quick_stat () in
   let _, off = simp_miter_run ~rounds ~simp:false locked in
   let on_solver, on = simp_miter_run ~rounds ~simp:true locked in
+  let g1 = Gc.quick_stat () in
+  let gc_json =
+    Bench_gc.json_fields
+      ~minor_words:(g1.Gc.minor_words -. g0.Gc.minor_words)
+      ~wall_s:(off.ss_wall +. on.ss_wall)
+  in
   let st = Solver.stats on_solver in
   let rate w n = if w > 0.0 then float_of_int n /. w else 0.0 in
   let speedup a b = if b > 0.0 then a /. b else 0.0 in
@@ -399,7 +411,8 @@ let simp_compare ~name ~rounds locked =
       \    \"simp_subsumed\": %d,\n\
       \    \"simp_self_subsumed\": %d,\n\
       \    \"simp_eliminated_vars\": %d,\n\
-      \    \"simp_vivified\": %d\n\
+      \    \"simp_vivified\": %d,\n\
+      \    %s\n\
       \  }"
       name rounds off.ss_wall off.ss_props off.ss_confls off.ss_clauses
       off.ss_learnts off_props_s off_dips_s on.ss_wall on.ss_props on.ss_confls
@@ -408,7 +421,7 @@ let simp_compare ~name ~rounds locked =
       (speedup on_dips_s off_dips_s)
       (speedup on_props_s off_props_s)
       st.Solver.simp_subsumed st.Solver.simp_self_subsumed
-      st.Solver.simp_eliminated_vars st.Solver.simp_vivified
+      st.Solver.simp_eliminated_vars st.Solver.simp_vivified gc_json
   in
   simp_records := record :: !simp_records
 
@@ -425,8 +438,15 @@ let simp_attack_compare ~name locked ~oracle =
     let r = Sat_attack.run ~config locked ~oracle in
     (Timer.monotonic () -. t0, r)
   in
+  let g0 = Gc.quick_stat () in
   let off_w, off = run false in
   let on_w, on = run true in
+  let g1 = Gc.quick_stat () in
+  let gc_json =
+    Bench_gc.json_fields
+      ~minor_words:(g1.Gc.minor_words -. g0.Gc.minor_words)
+      ~wall_s:(off_w +. on_w)
+  in
   let rate w n = if w > 0.0 then float_of_int n /. w else 0.0 in
   let speedup a b = if b > 0.0 then a /. b else 0.0 in
   let off_dips_s = rate off_w off.Sat_attack.num_dips in
@@ -455,13 +475,15 @@ let simp_attack_compare ~name locked ~oracle =
       \    \"on_solve_s\": %.6f,\n\
       \    \"on_dips_per_s\": %.2f,\n\
       \    \"wall_speedup\": %.3f,\n\
-      \    \"dips_per_s_speedup\": %.3f\n\
+      \    \"dips_per_s_speedup\": %.3f,\n\
+      \    %s\n\
       \  }"
       name off_w off.Sat_attack.num_dips off.Sat_attack.solver_conflicts
       off.Sat_attack.solve_time off_dips_s on_w on.Sat_attack.num_dips
       on.Sat_attack.solver_conflicts on.Sat_attack.solve_time on_dips_s
       (speedup off_w on_w)
       (speedup on_dips_s off_dips_s)
+      gc_json
   in
   simp_records := record :: !simp_records
 
@@ -547,7 +569,9 @@ let dip_batch_sweep ~name locked ~oracle =
     let r = Sat_attack.run ~config locked ~oracle in
     (Timer.monotonic () -. t0, r)
   in
+  let g0 = Gc.quick_stat () in
   let runs = Array.map attack dip_batch_qs in
+  let g1 = Gc.quick_stat () in
   let rate w n = if w > 0.0 then float_of_int n /. w else 0.0 in
   let wall = Array.map fst runs in
   let dips = Array.map (fun (_, r) -> r.Sat_attack.num_dips) runs in
@@ -588,10 +612,14 @@ let dip_batch_sweep ~name locked ~oracle =
       \    \"rounds\": [%s],\n\
       \    \"dips_per_s\": [%s],\n\
       \    \"speedup_vs_q1\": [%s],\n\
-      \    \"keys_match\": %b\n\
+      \    \"keys_match\": %b,\n\
+      \    %s\n\
       \  }"
       name (ints dip_batch_qs) (floats "%.6f" wall) (ints dips) (ints rounds)
       (floats "%.2f" dips_s) (floats "%.3f" speedup) keys_match
+      (Bench_gc.json_fields
+         ~minor_words:(g1.Gc.minor_words -. g0.Gc.minor_words)
+         ~wall_s:(Array.fold_left ( +. ) 0.0 (Array.map fst runs)))
   in
   dip_batch_records := record :: !dip_batch_records
 
@@ -667,7 +695,8 @@ let record_json r =
     \    \"simp_vivified\": %d,\n\
     \    \"round_s\": [%s],\n\
     \    \"round_restarts\": [%s],\n\
-    \    \"round_propagations\": [%s]\n\
+    \    \"round_propagations\": [%s],\n\
+    \    %s\n\
     \  }"
     r.name r.kind r.result r.wall_s r.conflicts r.propagations r.decisions r.restarts
     r.deleted_clauses r.arena_gcs r.arena_words (per_sec r.propagations)
@@ -681,6 +710,7 @@ let record_json r =
        (Array.to_list (Array.map string_of_int r.round_restarts)))
     (String.concat ", "
        (Array.to_list (Array.map string_of_int r.round_propagations)))
+    r.gc_json
 
 let write_json () =
   (* Solver records first, then the simp on/off comparison pairs (kind

@@ -230,19 +230,69 @@ let fanout_cmd =
 (* --- attack --- *)
 
 let attack_cmd =
-  let run locked_spec oracle_spec n parallel max_iters trace metrics =
+  let run locked_spec oracle_spec n parallel max_iters trace metrics watch stream prom
+      ring_size interval =
     let locked = load_design locked_spec in
     let original = load_design oracle_spec in
     let oracle = LL.Attack.Oracle.of_circuit original in
     let config =
       { LL.Attack.Sat_attack.default_config with max_iterations = max_iters }
     in
-    (* Telemetry is collected whenever either output was requested; the
+    let live_wanted = watch || stream <> None || prom <> None in
+    let telemetry_wanted = trace <> None || metrics || live_wanted in
+    (* Telemetry is collected whenever any output was requested; the
        attack itself never branches on it. *)
-    if trace <> None || metrics then LL.Telemetry.Telemetry.enable ();
+    if telemetry_wanted then LL.Telemetry.Telemetry.enable ?ring_capacity:ring_size ();
+    (* Live exposition: the background sampler fans each delta sample to
+       the sinks the flags asked for. *)
+    let subscriptions = ref [] in
+    let stream_sink = Option.map LL.Telemetry.Live.open_sink stream in
+    if live_wanted then begin
+      LL.Attack.Progress.enable ();
+      (match stream_sink with
+      | Some sink ->
+          sink.LL.Telemetry.Live.sink_write
+            (LL.Telemetry.Export.stream_meta_line ~interval_s:interval ());
+          subscriptions :=
+            LL.Telemetry.Live.subscribe (fun s ->
+                sink.LL.Telemetry.Live.sink_write (LL.Telemetry.Export.stream_delta_line s);
+                sink.LL.Telemetry.Live.sink_write
+                  (LL.Attack.Progress.jsonl_line ~t_ns:s.LL.Telemetry.Live.s_t_ns
+                     (LL.Attack.Progress.view ())))
+            :: !subscriptions
+      | None -> ());
+      (match prom with
+      | Some path ->
+          subscriptions :=
+            LL.Telemetry.Live.subscribe (fun s ->
+                LL.Telemetry.Export.write_prometheus path s.LL.Telemetry.Live.s_snap)
+            :: !subscriptions
+      | None -> ());
+      if watch then
+        subscriptions :=
+          LL.Telemetry.Live.subscribe (fun _ ->
+              Printf.eprintf "\r\027[2K%s%!"
+                (LL.Attack.Progress.status_line (LL.Attack.Progress.view ())))
+          :: !subscriptions;
+      LL.Telemetry.Live.start ~interval_s:interval ()
+    end;
     let finish_telemetry () =
-      if trace <> None || metrics then begin
+      if live_wanted then begin
+        (* [stop] publishes one final flush sample before joining, so the
+           stream always carries the end state. *)
+        LL.Telemetry.Live.stop ();
+        List.iter LL.Telemetry.Live.unsubscribe !subscriptions;
+        (match stream_sink with
+        | Some sink -> sink.LL.Telemetry.Live.sink_close ()
+        | None -> ());
+        if watch then prerr_newline ();
+        LL.Attack.Progress.disable ()
+      end;
+      if telemetry_wanted then begin
         let snap = LL.Telemetry.Telemetry.snapshot () in
+        (match LL.Telemetry.Export.drop_warning snap with
+        | Some warning -> prerr_endline warning
+        | None -> ());
         (match trace with
         | Some path ->
             LL.Telemetry.Export.write_chrome_trace path snap;
@@ -328,12 +378,40 @@ let attack_cmd =
     Arg.(value & flag & info [ "metrics" ]
            ~doc:"Print a telemetry summary (counters, histograms, span totals) on stdout.")
   in
+  let watch =
+    Arg.(value & flag & info [ "watch" ]
+           ~doc:"Redraw a live one-line progress dashboard on stderr while the \
+                 attack runs.")
+  in
+  let stream =
+    Arg.(value & opt (some string) None & info [ "stream" ] ~docv:"DEST"
+           ~doc:"Stream line-delimited JSON telemetry (meta, delta and progress \
+                 records) to $(docv): a file path, $(b,-) for stdout, or \
+                 $(b,unix:)$(i,PATH) for a Unix domain socket.")
+  in
+  let prom =
+    Arg.(value & opt (some string) None & info [ "prom" ] ~docv:"FILE"
+           ~doc:"Rewrite $(docv) atomically with a Prometheus text-format \
+                 snapshot on every sampler tick (point a node_exporter \
+                 textfile collector at it).")
+  in
+  let ring_size =
+    Arg.(value & opt (some int) None & info [ "trace-ring-size" ] ~docv:"N"
+           ~doc:"Per-domain trace ring capacity in events (default 32768). \
+                 Raise it when the drop warning reports ring wraparound.")
+  in
+  let interval =
+    Arg.(value & opt float LL.Telemetry.Live.default_interval_s
+         & info [ "sample-interval" ] ~docv:"SECONDS"
+             ~doc:"Live sampler period for --watch/--stream/--prom.")
+  in
   Cmd.v
     (Cmd.info "attack"
        ~doc:"Run the SAT attack (or the multi-key split attack with --n) on a locked design.")
     Term.(const run $ design_arg ~doc:"Locked netlist." 0
           $ design_arg ~doc:"Original design used to simulate the oracle." 1
-          $ n $ parallel $ max_iters $ trace $ metrics)
+          $ n $ parallel $ max_iters $ trace $ metrics $ watch $ stream $ prom
+          $ ring_size $ interval)
 
 let () =
   let doc = "logic locking framework: lock, attack, verify" in

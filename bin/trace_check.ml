@@ -1,14 +1,48 @@
 (* CI validator for Chrome trace files produced by --trace (the
-   [trace-smoke] alias).  Exits non-zero on parse errors, unbalanced or
-   misnested spans, timestamp regressions, or when the trace is shallower
-   than the expected structure. *)
+   [trace-smoke] alias) and, with --stream, for the line-delimited JSON
+   telemetry streams produced by --stream (the [stream-check] alias).
+   Exits non-zero on parse errors, unbalanced or misnested spans,
+   timestamp regressions, or when the trace is shallower than the
+   expected structure. *)
 
 module Trace_check = Logiclock.Telemetry.Trace_check
+
+let check_stream ~min_deltas ~min_progress path =
+  match Trace_check.validate_stream_file path with
+  | Error errors ->
+      List.iter (fun e -> Printf.eprintf "trace_check: %s: %s\n" path e) errors;
+      exit 1
+  | Ok r ->
+      let fail = ref false in
+      List.iter
+        (fun e ->
+          Printf.eprintf "trace_check: %s: %s\n" path e;
+          fail := true)
+        r.Trace_check.sr_errors;
+      if r.Trace_check.sr_deltas < min_deltas then begin
+        Printf.eprintf "trace_check: %s: %d delta record(s) < required %d\n" path
+          r.Trace_check.sr_deltas min_deltas;
+        fail := true
+      end;
+      if r.Trace_check.sr_progress < min_progress then begin
+        Printf.eprintf "trace_check: %s: %d progress record(s) < required %d\n" path
+          r.Trace_check.sr_progress min_progress;
+        fail := true
+      end;
+      if !fail then exit 1;
+      Printf.printf
+        "trace_check: %s OK — %d line(s): %d meta, %d delta, %d progress\n" path
+        r.Trace_check.sr_lines r.Trace_check.sr_meta r.Trace_check.sr_deltas
+        r.Trace_check.sr_progress;
+      exit 0
 
 let () =
   let path = ref None in
   let min_depth = ref 0 in
   let min_tracks = ref 0 in
+  let stream = ref false in
+  let min_deltas = ref 0 in
+  let min_progress = ref 0 in
   let rec parse = function
     | [] -> ()
     | "--min-depth" :: v :: rest ->
@@ -16,6 +50,15 @@ let () =
         parse rest
     | "--min-tracks" :: v :: rest ->
         min_tracks := int_of_string v;
+        parse rest
+    | "--stream" :: rest ->
+        stream := true;
+        parse rest
+    | "--min-deltas" :: v :: rest ->
+        min_deltas := int_of_string v;
+        parse rest
+    | "--min-progress" :: v :: rest ->
+        min_progress := int_of_string v;
         parse rest
     | p :: rest ->
         path := Some p;
@@ -26,9 +69,12 @@ let () =
     match !path with
     | Some p -> p
     | None ->
-        prerr_endline "usage: trace_check [--min-depth N] [--min-tracks N] TRACE.json";
+        prerr_endline
+          "usage: trace_check [--min-depth N] [--min-tracks N] TRACE.json\n\
+          \       trace_check --stream [--min-deltas N] [--min-progress N] STREAM.jsonl";
         exit 2
   in
+  if !stream then check_stream ~min_deltas:!min_deltas ~min_progress:!min_progress path;
   match Trace_check.validate_chrome_trace_file path with
   | Error errors ->
       List.iter (fun e -> Printf.eprintf "trace_check: %s: %s\n" path e) errors;

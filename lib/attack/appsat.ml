@@ -7,6 +7,11 @@ module Solver = Ll_sat.Solver
 module Tseitin = Ll_sat.Tseitin
 module Lit = Ll_sat.Lit
 module Pool = Ll_runtime.Pool
+module Tel = Ll_telemetry.Telemetry
+
+let m_dips = Tel.Metric.counter "appsat.dips"
+
+let m_estimates = Tel.Metric.counter "appsat.error_estimates"
 
 type result = {
   key : Bitvec.t option;
@@ -75,19 +80,21 @@ let estimate_error ?pool ~prng ~samples locked oracle key =
     done;
     !bad
   in
-  let bad =
-    match pool with
-    | None -> Array.fold_left (fun acc b -> acc + count_bad b) 0 batches
-    | Some p ->
-        Pool.map_array p (fun _ctx b -> count_bad b) batches
-        |> Array.fold_left
-             (fun acc -> function
-               | Pool.Done n -> acc + n
-               | Pool.Cancelled -> acc
-               | Pool.Failed e -> raise e)
-             0
-  in
-  float_of_int bad /. float_of_int samples
+  Tel.Metric.incr m_estimates;
+  Tel.with_span ~a0:samples "appsat.estimate" (fun () ->
+      let bad =
+        match pool with
+        | None -> Array.fold_left (fun acc b -> acc + count_bad b) 0 batches
+        | Some p ->
+            Pool.map_array p (fun _ctx b -> count_bad b) batches
+            |> Array.fold_left
+                 (fun acc -> function
+                   | Pool.Done n -> acc + n
+                   | Pool.Cancelled -> acc
+                   | Pool.Failed e -> raise e)
+                 0
+      in
+      float_of_int bad /. float_of_int samples)
 
 let run ?(prng = Prng.create 0xA99) ?(target_error = 0.01) ?(check_every = 5)
     ?(samples = 512) ?(max_iterations = 1000) ?(dip_batch = 1) ?pool locked ~oracle =
@@ -99,6 +106,7 @@ let run ?(prng = Prng.create 0xA99) ?(target_error = 0.01) ?(check_every = 5)
   let started = Timer.now () in
   let queries_before = Oracle.query_count oracle in
   let n_in = Circuit.num_inputs locked and n_key = Circuit.num_keys locked in
+  Progress.set_key_bits n_key;
   let solver = Solver.create () in
   let env = Tseitin.create solver in
   let miter = Ll_synth.Optimize.run (Miter.dup_key locked) in
@@ -201,6 +209,10 @@ let run ?(prng = Prng.create 0xA99) ?(target_error = 0.01) ?(check_every = 5)
             Tseitin.with_batch env (fun () ->
                 Array.iteri (fun j d -> add_constraint d responses.(j)) dips)
           else add_constraint dips.(0) responses.(0);
+          Tel.Metric.add m_dips k;
+          Progress.add_dips k;
+          Progress.add_rounds 1;
+          Progress.add_blocking_clauses k;
           let i' = i + k in
           if i' / check_every > i / check_every then begin
             match candidate_key () with

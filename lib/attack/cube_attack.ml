@@ -284,6 +284,7 @@ let run ?(config = default_config) ?(seed = 0) locked ~oracle =
       (* Depth-first worklist; order is irrelevant to the results (each
          cube's seed, budget and banks depend only on its path). *)
       let rec process (condition, banks, priority) =
+        Progress.cube_created ~depth:(List.length condition);
         let node, resplit = attack_cube sh ~condition ~banks ~priority in
         nodes := node :: !nodes;
         match resplit with
@@ -323,6 +324,7 @@ let run_parallel_core ?(config = default_config) ?num_domains ?pool ?(seed = 0)
   let nodes = ref [] in
   let first_exn = ref None in
   let rec submit_cube condition banks priority =
+    Progress.cube_created ~depth:(List.length condition);
     Mutex.lock lock;
     incr outstanding;
     Mutex.unlock lock;

@@ -60,9 +60,11 @@ let strip_own_pool base pool =
    a fresh solver. *)
 let run_task ?(index = -1) ~config ~prep ~oracle condition =
   let t0 = Timer.monotonic () in
+  let depth = List.length condition in
   if Tel.enabled () then
     Tel.span_begin ~a0:index ~note:(condition_string condition) "split.task";
   Tel.Metric.incr m_subtasks;
+  Progress.cube_started ~depth;
   match
     let result = Sat_attack.run_prepared ~config prep ~condition ~oracle in
     {
@@ -74,9 +76,13 @@ let run_task ?(index = -1) ~config ~prep ~oracle condition =
     }
   with
   | task ->
+      (match task.result.Sat_attack.status with
+      | Sat_attack.Broken -> Progress.cube_solved ~depth
+      | _ -> Progress.cube_stopped ~depth);
       if Tel.enabled () then Tel.span_end ~v:task.result.Sat_attack.num_dips ();
       task
   | exception e ->
+      Progress.cube_stopped ~depth;
       if Tel.enabled () then Tel.span_end ~v:(-1) ~note:"exception" ();
       raise e
 

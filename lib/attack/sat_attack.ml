@@ -315,6 +315,7 @@ let run_prepared_core ~config prep ~condition ~oracle =
     |> Array.of_list
   in
   let started = Timer.monotonic () in
+  Progress.set_key_bits n_key;
   let solver = Solver.create ~seed:config.solver_seed ~simp:config.solver_simp () in
   let env = Tseitin.create solver in
   let input_lits = Tseitin.fresh_lits env n_in in
@@ -504,6 +505,7 @@ let run_prepared_core ~config prep ~condition ~oracle =
      if !clauses_rev <> [] then
        ignore (Solver.import_clauses solver (List.rev !clauses_rev));
      Tel.Metric.add m_share_imported !imported;
+     Progress.add_imported !imported;
      if Tel.enabled () then Tel.span_end ~v:!imported ()
    end);
   (* --- Clause-sharing export: canonical auxiliary ids, assigned in
@@ -880,6 +882,9 @@ let run_prepared_core ~config prep ~condition ~oracle =
     done;
     num_dips := !num_dips + k;
     rounds := !rounds + 1;
+    Progress.add_dips k;
+    Progress.add_rounds 1;
+    Progress.add_blocking_clauses k;
     if batching && Tel.enabled () then Tel.span_end ~v:k ();
     if Tel.enabled () then begin
       if batching then Tel.Metric.observe h_batch_dips (float_of_int k);
@@ -890,6 +895,7 @@ let run_prepared_core ~config prep ~condition ~oracle =
       Tel.span_end ~v:cone_size ()
     end;
     adapt ();
+    Progress.set_q !cur_q;
     phase := Solve
   in
   let rec drive () =

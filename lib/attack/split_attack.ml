@@ -80,6 +80,7 @@ let prepare ?inputs ~n locked =
     | None -> Fanout.select locked ~n
   in
   let conditions = Cofactor.conditions ~split_inputs n in
+  Array.iter (fun c -> Progress.cube_created ~depth:(List.length c)) conditions;
   (split_inputs, conditions)
 
 let run ?config ?inputs ?(seed = 0) ~n locked ~oracle =

@@ -30,8 +30,10 @@ end
 
 module Telemetry = struct
   module Telemetry = Ll_telemetry.Telemetry
+  module Live = Ll_telemetry.Live
   module Export = Ll_telemetry.Export
   module Trace_check = Ll_telemetry.Trace_check
+  module Bench_diff = Ll_telemetry.Bench_diff
 end
 
 module Runtime = struct
@@ -102,6 +104,7 @@ module Attack = struct
   module Random_guess = Ll_attack.Random_guess
   module Sensitization = Ll_attack.Sensitization
   module Appsat = Ll_attack.Appsat
+  module Progress = Ll_attack.Progress
 end
 
 module Pipeline = struct

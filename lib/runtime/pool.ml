@@ -8,6 +8,8 @@ let m_steals = Tel.Metric.counter "pool.steals"
 
 let m_cancelled = Tel.Metric.counter "pool.cancelled"
 
+let g_queue_depth = Tel.Metric.gauge "pool.queue_depth"
+
 type ctx = { ctx_prng : Prng.t; ctx_cancelled : unit -> bool }
 
 let prng c = c.ctx_prng
@@ -240,6 +242,14 @@ let submit ?priority pool fn =
       Deque.push_back d job;
       if Deque.length d > pool.max_queue then pool.max_queue <- Deque.length d;
       pool.next_deque <- (pool.next_deque + 1) mod Array.length pool.deques);
+  if Tel.enabled () then begin
+    (* Backlog visible to the live sampler: queued, not yet taken.  Cheap
+       under the lock already held — a few deque length reads. *)
+    let queued =
+      Array.fold_left (fun acc d -> acc + Deque.length d) pool.prio_len pool.deques
+    in
+    Tel.Metric.set g_queue_depth (float_of_int queued)
+  end;
   Condition.broadcast pool.wake;
   Mutex.unlock pool.lock;
   handle

@@ -1,0 +1,179 @@
+(* Regression gate over BENCH_*.json artifacts.
+
+   Compares a current emitter run against a committed baseline, record by
+   record, field by field.  The field policy encodes what the repo's
+   determinism guarantees actually promise:
+
+   - booleans and strings are behavioural results (matches_serial,
+     keys_match, composed verdicts) — they must be equal;
+   - numeric fields whose name marks them as {e noisy} (wall times,
+     rates, GC/allocation volumes, steal counts, trace volumes) are
+     machine-load dependent — they pass within a symmetric ratio
+     threshold or an absolute slack;
+   - every other numeric field (DIP counts, rounds, conflicts,
+     propagations, task counts) is deterministic for a fixed seed and
+     build — it must be exactly equal, so a silent behaviour change in
+     the solver or attack shows up as a diff failure;
+   - arrays are per-iteration trajectories (task_iters_s, round_s) —
+     ignored unless [compare_arrays] is set;
+   - a field or record missing from the current run fails (an emitter
+     regression); new fields and new records are fine (the schema check
+     covers their documentation). *)
+
+type config = {
+  tol : float;  (* noisy fields: max(current,base)/min <= tol *)
+  abs_tol : float;  (* noisy fields: |current - base| <= abs_tol always passes *)
+  compare_arrays : bool;
+  noisy : string list;  (* substring patterns marking noise-dominated fields *)
+}
+
+let default_noisy =
+  [
+    "wall";
+    "per_s";
+    "_per_";
+    "seconds";
+    "time";
+    "steals";
+    "gc_";
+    "words";
+    "heap";
+    "collections";
+    "trace_";
+    "dropped";
+    "speedup";
+    "_vs_";
+    "ratio";
+    "rate";
+    "best_fixed";
+    "idle";
+    "taken_at";
+  ]
+
+let default_config =
+  { tol = 10.0; abs_tol = 64.0; compare_arrays = false; noisy = default_noisy }
+
+let contains_sub s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m > 0 && go 0
+
+(* Time-like fields also end in "_s" ("serial_wall_s", "task_min_s"); a
+   suffix test keeps that pattern from swallowing names like "fixed_ns". *)
+let ends_with s suffix =
+  let n = String.length s and m = String.length suffix in
+  n >= m && String.sub s (n - m) m = suffix
+
+let noisy_field config name =
+  ends_with name "_s" || List.exists (fun p -> contains_sub name p) config.noisy
+
+type outcome = {
+  records_compared : int;
+  fields_compared : int;
+  failures : string list;  (* empty = gate passes *)
+}
+
+let pass outcome = outcome.failures = []
+
+module J = Trace_check
+
+(* Records are matched by identity fields, not position, so reordering or
+   appending records never breaks a baseline. *)
+let record_key r =
+  let part key =
+    match J.member key r with
+    | Some (J.Str s) -> Some s
+    | Some (J.Num n) -> Some (Printf.sprintf "%g" n)
+    | _ -> None
+  in
+  String.concat "|"
+    (List.filter_map part [ "name"; "kind"; "section"; "workload"; "n" ])
+
+let records_of = function
+  | J.Arr rs -> rs
+  | (J.Obj _ as r) -> [ r ]
+  | _ -> []
+
+let num_ok config ~noisy a b =
+  a = b
+  || noisy
+     && (Float.abs (a -. b) <= config.abs_tol
+        || a > 0.0
+           && b > 0.0
+           && Float.max a b /. Float.min a b <= config.tol)
+
+let diff ?(config = default_config) ~baseline ~current () =
+  let failures = ref [] in
+  let fail fmt = Printf.ksprintf (fun s -> failures := s :: !failures) fmt in
+  let fields = ref 0 in
+  let records = ref 0 in
+  let compare_value key where bval cval =
+    incr fields;
+    match (bval, cval) with
+    | J.Bool a, J.Bool b ->
+      if a <> b then fail "%s.%s: %b -> %b" where key a b
+    | J.Str a, J.Str b -> if a <> b then fail "%s.%s: %S -> %S" where key a b
+    | J.Num a, J.Num b ->
+      let noisy = noisy_field config key in
+      if not (num_ok config ~noisy a b) then
+        if noisy then
+          fail "%s.%s: %g -> %g (beyond x%g / +-%g noise)" where key a b config.tol
+            config.abs_tol
+        else fail "%s.%s: %g -> %g (deterministic field)" where key a b
+    | J.Arr a, J.Arr b ->
+      if config.compare_arrays then begin
+        if List.length a <> List.length b then
+          fail "%s.%s: array length %d -> %d" where key (List.length a) (List.length b)
+      end
+    | J.Null, J.Null -> ()
+    | _ -> fail "%s.%s: type changed" where key
+  in
+  let compare_record key b c =
+    incr records;
+    match b with
+    | J.Obj bfields ->
+      List.iter
+        (fun (fkey, bval) ->
+          match J.member fkey c with
+          | Some cval -> compare_value fkey key bval cval
+          | None -> fail "%s.%s: field missing from current run" key fkey)
+        bfields
+    | _ -> fail "%s: baseline record is not an object" key
+  in
+  let currents = records_of current in
+  List.iter
+    (fun b ->
+      let key = record_key b in
+      match List.find_opt (fun c -> record_key c = key) currents with
+      | Some c -> compare_record key b c
+      | None -> fail "%s: record missing from current run" key)
+    (records_of baseline);
+  { records_compared = !records; fields_compared = !fields; failures = List.rev !failures }
+
+let diff_strings ?config ~baseline ~current () =
+  match (J.parse_json baseline, J.parse_json current) with
+  | b, c -> diff ?config ~baseline:b ~current:c ()
+  | exception J.Parse_error msg ->
+    { records_compared = 0; fields_compared = 0; failures = [ "JSON parse error: " ^ msg ] }
+
+let read_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let contents = really_input_string ic len in
+  close_in ic;
+  contents
+
+let diff_files ?config ~baseline ~current () =
+  match (read_file baseline, read_file current) with
+  | b, c -> diff_strings ?config ~baseline:b ~current:c ()
+  | exception Sys_error msg ->
+    { records_compared = 0; fields_compared = 0; failures = [ msg ] }
+
+let summary outcome =
+  if pass outcome then
+    Printf.sprintf "bench_diff: OK (%d record(s), %d field(s) compared)"
+      outcome.records_compared outcome.fields_compared
+  else
+    Printf.sprintf "bench_diff: %d failure(s) over %d record(s):\n%s"
+      (List.length outcome.failures) outcome.records_compared
+      (String.concat "\n" (List.map (fun f -> "  " ^ f) outcome.failures))

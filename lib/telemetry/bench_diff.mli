@@ -1,0 +1,50 @@
+(** Regression gate over BENCH_*.json artifacts.
+
+    Compares a fresh emitter run against a committed baseline with
+    per-metric noise thresholds, so perf and behaviour regressions
+    surface in [dune runtest] instead of drifting silently.  The policy:
+    booleans/strings and deterministic counters (DIPs, rounds,
+    conflicts) must match exactly; noise-dominated fields (wall times,
+    rates, GC volumes, steals, trace volumes — classified by name) pass
+    within a ratio threshold or absolute slack; per-iteration trajectory
+    arrays are skipped by default; fields or records missing from the
+    current run fail, new ones are allowed. *)
+
+type config = {
+  tol : float;  (** noisy fields: [max/min <= tol] passes (default 10.0) *)
+  abs_tol : float;  (** noisy fields: [|a - b| <= abs_tol] passes (default 64.0) *)
+  compare_arrays : bool;  (** compare array lengths too (default false) *)
+  noisy : string list;  (** substring patterns marking noisy fields *)
+}
+
+val default_config : config
+
+val noisy_field : config -> string -> bool
+(** True when a field name matches a noise pattern (or ends in ["_s"]). *)
+
+type outcome = {
+  records_compared : int;
+  fields_compared : int;
+  failures : string list;  (** empty when the gate passes *)
+}
+
+val pass : outcome -> bool
+
+val diff :
+  ?config:config ->
+  baseline:Trace_check.json ->
+  current:Trace_check.json ->
+  unit ->
+  outcome
+(** Top-level values are arrays of records (a bare object counts as a
+    one-record array); records are matched across files by their
+    identity fields ([name]/[kind]/[section]/[workload]/[n]). *)
+
+val diff_strings : ?config:config -> baseline:string -> current:string -> unit -> outcome
+
+val diff_files : ?config:config -> baseline:string -> current:string -> unit -> outcome
+(** Unreadable files and parse errors are reported as failures, never
+    raised. *)
+
+val summary : outcome -> string
+(** One line on success; the failure list otherwise. *)

@@ -141,6 +141,140 @@ let jsonl_string snap =
 let write_jsonl path snap = Ll_util.Fileio.write_atomic_string path (jsonl_string snap)
 
 (* ------------------------------------------------------------------ *)
+(* Prometheus text exposition format                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Metric names use dots as namespace separators ("attack.dips"); the
+   Prometheus grammar only allows [a-zA-Z0-9_:], so dots (and anything
+   else exotic) become underscores under an "ll_" prefix. *)
+let prom_name name =
+  let b = Buffer.create (String.length name + 3) in
+  Buffer.add_string b "ll_";
+  String.iter
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> Buffer.add_char b c
+      | _ -> Buffer.add_char b '_')
+    name;
+  Buffer.contents b
+
+(* %h-style float rendering for Prometheus: plain decimal, no OCaml
+   artifacts ("inf" must be "+Inf" in bucket labels but is fine as a
+   value). *)
+let prom_float v =
+  if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.9g" v
+
+let prometheus buf (snap : T.snapshot) =
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf s; Buffer.add_char buf '\n') fmt in
+  List.iter
+    (fun (name, v) ->
+      let p = prom_name name in
+      line "# TYPE %s counter" p;
+      line "%s %d" p v)
+    snap.T.counters;
+  List.iter
+    (fun (name, v) ->
+      let p = prom_name name in
+      line "# TYPE %s gauge" p;
+      line "%s %s" p (prom_float v))
+    snap.T.gauges;
+  List.iter
+    (fun (name, (h : T.hist)) ->
+      let p = prom_name name in
+      line "# TYPE %s histogram" p;
+      (* Native buckets count [v <= bound] per bucket; Prometheus buckets
+         are cumulative. *)
+      let acc = ref 0 in
+      Array.iteri
+        (fun i bound ->
+          acc := !acc + h.T.h_counts.(i);
+          line "%s_bucket{le=\"%s\"} %d" p (prom_float bound) !acc)
+        h.T.h_buckets;
+      line "%s_bucket{le=\"+Inf\"} %d" p h.T.h_count;
+      line "%s_sum %s" p (prom_float h.T.h_sum);
+      line "%s_count %d" p h.T.h_count)
+    snap.T.histograms;
+  line "# TYPE ll_telemetry_domains gauge";
+  line "ll_telemetry_domains %d" snap.T.domains;
+  line "# TYPE ll_telemetry_dropped_events gauge";
+  line "ll_telemetry_dropped_events %d" snap.T.dropped_events
+
+let prometheus_string snap =
+  let buf = Buffer.create 8192 in
+  prometheus buf snap;
+  Buffer.contents buf
+
+let write_prometheus path snap =
+  Ll_util.Fileio.write_atomic_string path (prometheus_string snap)
+
+(* ------------------------------------------------------------------ *)
+(* Live JSONL stream records                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* One "meta" line opens a stream, then one "delta" line per sample
+   (plus "progress" lines contributed by the attack layer).  Validated
+   by {!Trace_check.validate_stream}. *)
+let stream_meta_line ?(interval_s = Live.default_interval_s) () =
+  Printf.sprintf
+    "{\"type\":\"meta\",\"stream\":\"ll_telemetry\",\"version\":1,\"interval_s\":%.6g,\"t_ns\":%d,\"taken_at\":%.3f}"
+    interval_s (T.now_ns ()) (Ll_util.Timer.now ())
+
+let stream_delta_line (s : Live.sample) =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "{\"type\":\"delta\",\"seq\":%d,\"t_ns\":%d,\"dt_s\":%.6g" s.Live.s_seq
+       s.Live.s_t_ns s.Live.s_dt_s);
+  Buffer.add_string buf ",\"counters\":{";
+  let first = ref true in
+  List.iter
+    (fun (name, delta, rate) ->
+      if !first then first := false else Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf "\"%s\":[%d,%.6g]" (json_escape name) delta rate))
+    s.Live.s_counters;
+  Buffer.add_string buf "},\"gauges\":{";
+  let first = ref true in
+  List.iter
+    (fun (name, v) ->
+      if !first then first := false else Buffer.add_char buf ',';
+      Buffer.add_string buf (Printf.sprintf "\"%s\":%.6g" (json_escape name) v))
+    s.Live.s_gauges;
+  Buffer.add_string buf "},\"hist_deltas\":{";
+  let first = ref true in
+  List.iter
+    (fun (name, dcount, dsum) ->
+      if !first then first := false else Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf "\"%s\":[%d,%.6g]" (json_escape name) dcount dsum))
+    s.Live.s_hists;
+  Buffer.add_string buf
+    (Printf.sprintf "},\"dropped_delta\":%d,\"dropped_total\":%d}" s.Live.s_dropped_delta
+       s.Live.s_snap.T.dropped_events);
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Ring-drop warning                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* One human-readable line when a snapshot lost events to ring
+   wraparound, naming the affected domains — printed to stderr by the
+   CLI so drops are loud instead of buried in exported JSON. *)
+let drop_warning (snap : T.snapshot) =
+  if snap.T.dropped_events = 0 then None
+  else
+    let doms =
+      String.concat ", "
+        (List.map
+           (fun (tid, n) -> Printf.sprintf "domain-%d: %d" tid n)
+           snap.T.dropped_by_domain)
+    in
+    Some
+      (Printf.sprintf
+         "telemetry: %d trace event(s) dropped by ring wraparound (%s); re-run with a larger --trace-ring-size"
+         snap.T.dropped_events doms)
+
+(* ------------------------------------------------------------------ *)
 (* Compact text summary                                                *)
 (* ------------------------------------------------------------------ *)
 

@@ -29,6 +29,37 @@ val jsonl_string : Telemetry.snapshot -> string
 
 val write_jsonl : string -> Telemetry.snapshot -> unit
 
+(** {1 Prometheus text exposition}
+
+    The scrape format ({e text/plain; version=0.0.4}): [# TYPE] comment
+    then samples, histograms with cumulative [le]-labelled buckets plus
+    [_sum]/[_count].  Metric names are sanitized ([attack.dips] becomes
+    [ll_attack_dips]). *)
+
+val prom_name : string -> string
+
+val prometheus : Buffer.t -> Telemetry.snapshot -> unit
+
+val prometheus_string : Telemetry.snapshot -> string
+
+val write_prometheus : string -> Telemetry.snapshot -> unit
+(** Atomic write — a scraper watching the path never sees a torn file. *)
+
+(** {1 Live JSONL stream records}
+
+    The line protocol of the CLI's [--stream] mode (and the future
+    [logiclockd] event feed): one [meta] line, then one [delta] line per
+    {!Live} sample; the attack layer appends [progress] lines.
+    {!Trace_check.validate_stream} validates a captured stream. *)
+
+val stream_meta_line : ?interval_s:float -> unit -> string
+
+val stream_delta_line : Live.sample -> string
+
+val drop_warning : Telemetry.snapshot -> string option
+(** A one-line warning naming the domains that lost ring events, or
+    [None] when [dropped_events = 0]. *)
+
 val summary : Telemetry.snapshot -> string
 (** Compact human-readable rollup: counters, gauges, histogram means and
     approximate quantiles, and per-name span totals. *)

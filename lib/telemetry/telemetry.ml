@@ -376,6 +376,7 @@ type snapshot = {
   events : event array;  (* merged across domains, ts-sorted *)
   domains : int;
   dropped_events : int;  (* overwritten by ring wraparound *)
+  dropped_by_domain : (int * int) list;  (* (track id, drops), drops > 0 only *)
   unbalanced_span_ends : int;
 }
 
@@ -406,6 +407,7 @@ let snapshot () =
   let hist_ns = Array.make n_metrics 0 in
   let events = ref [] in
   let dropped = ref 0 in
+  let dropped_by = ref [] in
   let unbalanced = ref 0 in
   List.iter
     (fun st ->
@@ -413,6 +415,7 @@ let snapshot () =
       let total = st.head in
       let first = max 0 (total - cap) in
       dropped := !dropped + first;
+      if first > 0 then dropped_by := (st.tid, first) :: !dropped_by;
       unbalanced := !unbalanced + st.unbalanced;
       for i = first to total - 1 do
         let e = st.ring.(i mod cap) in
@@ -492,6 +495,7 @@ let snapshot () =
     events;
     domains = List.length states;
     dropped_events = !dropped;
+    dropped_by_domain = List.sort compare !dropped_by;
     unbalanced_span_ends = !unbalanced;
   }
 

@@ -158,6 +158,9 @@ type snapshot = {
   events : event array;  (** merged across domains, time-sorted *)
   domains : int;
   dropped_events : int;
+  dropped_by_domain : (int * int) list;
+      (** per-track drop counts, [(track id, drops)] with [drops > 0],
+          sorted by track id — the detail behind [dropped_events] *)
   unbalanced_span_ends : int;
 }
 

@@ -291,3 +291,98 @@ let validate_chrome_trace_file path =
   let contents = really_input_string ic len in
   close_in ic;
   validate_chrome_trace contents
+
+(* ------------------------------------------------------------------ *)
+(* Live JSONL stream validation                                        *)
+(* ------------------------------------------------------------------ *)
+
+type stream_report = {
+  sr_lines : int;
+  sr_meta : int;
+  sr_deltas : int;
+  sr_progress : int;
+  sr_errors : string list;
+}
+
+(* A captured [--stream] feed: one JSON object per line.  The first line
+   must be a [meta] record; [delta] lines carry strictly increasing
+   [seq] and strictly increasing monotonic [t_ns]; [progress] lines
+   carry non-decreasing [t_ns] and non-decreasing [dips].  Anything
+   malformed, unknown, or time-travelling is an error. *)
+let validate_stream contents =
+  let errors = ref [] in
+  let err fmt = Printf.ksprintf (fun s -> errors := s :: !errors) fmt in
+  let metas = ref 0 and deltas = ref 0 and progresses = ref 0 and lines = ref 0 in
+  let last_seq = ref 0 in
+  let last_delta_t = ref min_int in
+  let last_progress_t = ref min_int in
+  let last_dips = ref 0 in
+  let require_num line_no obj key =
+    match member key obj |> to_num_opt with
+    | Some v -> v
+    | None ->
+      err "line %d: missing numeric field %S" line_no key;
+      0.0
+  in
+  let handle line_no line =
+    match parse_json line with
+    | exception Parse_error msg -> err "line %d: JSON parse error: %s" line_no msg
+    | obj -> (
+      match member "type" obj |> to_string_opt with
+      | None -> err "line %d: missing type" line_no
+      | Some "meta" ->
+        incr metas;
+        if !lines > 1 then err "line %d: meta record not first" line_no;
+        ignore (require_num line_no obj "version");
+        ignore (require_num line_no obj "t_ns")
+      | Some "delta" ->
+        incr deltas;
+        let seq = int_of_float (require_num line_no obj "seq") in
+        let t_ns = int_of_float (require_num line_no obj "t_ns") in
+        ignore (require_num line_no obj "dt_s");
+        (match member "counters" obj with
+        | Some (Obj _) -> ()
+        | _ -> err "line %d: delta missing counters object" line_no);
+        if seq <= !last_seq then
+          err "line %d: delta seq %d not increasing (prev %d)" line_no seq !last_seq;
+        if t_ns <= !last_delta_t && !last_delta_t <> min_int then
+          err "line %d: delta t_ns regressed" line_no;
+        last_seq := seq;
+        last_delta_t := t_ns
+      | Some "progress" ->
+        incr progresses;
+        let t_ns = int_of_float (require_num line_no obj "t_ns") in
+        let dips = int_of_float (require_num line_no obj "dips") in
+        if t_ns < !last_progress_t then err "line %d: progress t_ns regressed" line_no;
+        if dips < !last_dips then
+          err "line %d: progress dips regressed (%d after %d)" line_no dips !last_dips;
+        last_progress_t := t_ns;
+        last_dips := dips
+      | Some other -> err "line %d: unknown stream record type %S" line_no other)
+  in
+  String.split_on_char '\n' contents
+  |> List.iter (fun line ->
+         if String.trim line <> "" then begin
+           incr lines;
+           handle !lines line
+         end);
+  if !lines = 0 then err "empty stream";
+  if !metas = 0 then err "no meta record"
+  else if !metas > 1 then err "%d meta records (expected 1)" !metas;
+  let report =
+    {
+      sr_lines = !lines;
+      sr_meta = !metas;
+      sr_deltas = !deltas;
+      sr_progress = !progresses;
+      sr_errors = List.rev !errors;
+    }
+  in
+  if report.sr_errors = [] then Ok report else Error report.sr_errors
+
+let validate_stream_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let contents = really_input_string ic len in
+  close_in ic;
+  validate_stream contents

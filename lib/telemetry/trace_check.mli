@@ -37,3 +37,24 @@ val validate_chrome_trace : string -> (report, string list) result
     are monotone.  [Error] lists every violation (or the parse error). *)
 
 val validate_chrome_trace_file : string -> (report, string list) result
+
+(** {1 Live stream validation}
+
+    The line protocol of the CLI's [--stream] mode: a [meta] record
+    first, then [delta] records (from {!Export.stream_delta_line}) and
+    [progress] records (from the attack layer). *)
+
+type stream_report = {
+  sr_lines : int;  (** non-empty lines *)
+  sr_meta : int;
+  sr_deltas : int;
+  sr_progress : int;
+  sr_errors : string list;
+}
+
+val validate_stream : string -> (stream_report, string list) result
+(** Checks: every line parses as a JSON object of a known record type,
+    exactly one [meta] record and it comes first, [delta] [seq]/[t_ns]
+    strictly increase, [progress] [t_ns] and [dips] never regress. *)
+
+val validate_stream_file : string -> (stream_report, string list) result

@@ -1,0 +1,148 @@
+(* The bench-trajectory regression gate: noise policy (exact for
+   booleans/strings/deterministic counters, ratio-or-absolute slack for
+   noisy-by-name fields), record matching across files by identity
+   fields, and the missing-field / missing-record failure rules. *)
+
+module Bench_diff = Logiclock.Telemetry.Bench_diff
+
+let record ?(name = "c432/sarlock8") ?(wall = "0.125") ?(dips = "42")
+    ?(broken = "true") ?(verdict = "\"equivalent\"") ?(extra = "") () =
+  Printf.sprintf
+    {|{"name": %S, "kind": "attack", "wall_s": %s, "num_dips": %s, "all_broken": %s, "composed": %s%s}|}
+    name wall dips broken verdict extra
+
+let file records = Printf.sprintf "[%s]" (String.concat ", " records)
+
+let diff ?config baseline current =
+  Bench_diff.diff_strings ?config ~baseline:(file baseline) ~current:(file current)
+    ()
+
+let check_pass name o =
+  Alcotest.(check (list string)) (name ^ ": no failures") [] o.Bench_diff.failures;
+  Alcotest.(check bool) name true (Bench_diff.pass o)
+
+let check_fail name o = Alcotest.(check bool) name false (Bench_diff.pass o)
+
+let test_identical_passes () =
+  let o = diff [ record () ] [ record () ] in
+  check_pass "identical files" o;
+  Alcotest.(check int) "one record compared" 1 o.Bench_diff.records_compared;
+  Alcotest.(check bool) "fields compared" true (o.Bench_diff.fields_compared >= 4)
+
+let test_noisy_jitter_passes () =
+  (* wall_s is noisy by name: a 3x swing is inside the 10x ratio. *)
+  check_pass "wall time jitter"
+    (diff [ record ~wall:"0.125" () ] [ record ~wall:"0.375" () ]);
+  (* Tiny absolute values whose ratio explodes pass on abs_tol. *)
+  check_pass "absolute slack"
+    (diff [ record ~wall:"0.0001" () ] [ record ~wall:"3.0" () ])
+
+let test_noisy_regression_fails () =
+  check_fail "20x wall regression"
+    (diff [ record ~wall:"100.0" () ] [ record ~wall:"2000.0" () ])
+
+let test_deterministic_counter_exact () =
+  check_fail "DIP count drifted" (diff [ record ~dips:"42" () ] [ record ~dips:"43" () ]);
+  check_pass "DIP count stable" (diff [ record ~dips:"42" () ] [ record ~dips:"42" () ])
+
+let test_bool_and_string_exact () =
+  check_fail "verdict bool flipped"
+    (diff [ record ~broken:"true" () ] [ record ~broken:"false" () ]);
+  check_fail "verdict string changed"
+    (diff
+       [ record ~verdict:"\"equivalent\"" () ]
+       [ record ~verdict:"\"MISMATCH\"" () ])
+
+let test_missing_field_fails () =
+  let o =
+    Bench_diff.diff_strings
+      ~baseline:(file [ record ~extra:{|, "gc_heap_words": 1000|} () ])
+      ~current:(file [ record () ])
+      ()
+  in
+  check_fail "field dropped from emitter" o
+
+let test_extra_field_allowed () =
+  check_pass "new field in current run"
+    (Bench_diff.diff_strings ~baseline:(file [ record () ])
+       ~current:(file [ record ~extra:{|, "brand_new_metric": 7|} () ])
+       ())
+
+let test_missing_record_fails () =
+  check_fail "record dropped"
+    (diff [ record ~name:"a" (); record ~name:"b" () ] [ record ~name:"a" () ])
+
+let test_extra_record_allowed () =
+  check_pass "new record in current run"
+    (diff [ record ~name:"a" () ] [ record ~name:"a" (); record ~name:"b" () ])
+
+let test_records_matched_by_identity () =
+  (* Order must not matter: records pair up by name, not position. *)
+  check_pass "reordered records"
+    (diff
+       [ record ~name:"a" ~dips:"1" (); record ~name:"b" ~dips:"2" () ]
+       [ record ~name:"b" ~dips:"2" (); record ~name:"a" ~dips:"1" () ]);
+  check_fail "pairing is by name"
+    (diff
+       [ record ~name:"a" ~dips:"1" (); record ~name:"b" ~dips:"2" () ]
+       [ record ~name:"b" ~dips:"1" (); record ~name:"a" ~dips:"2" () ])
+
+let test_arrays_skipped_by_default () =
+  let base = record ~extra:{|, "round_walls": [1, 2, 3]|} ()
+  and cur = record ~extra:{|, "round_walls": [1]|} () in
+  check_pass "trajectory arrays skipped" (diff [ base ] [ cur ]);
+  check_fail "length compared when opted in"
+    (diff
+       ~config:{ Bench_diff.default_config with compare_arrays = true }
+       [ base ] [ cur ])
+
+let test_noisy_classifier () =
+  let noisy = Bench_diff.noisy_field Bench_diff.default_config in
+  List.iter
+    (fun f -> Alcotest.(check bool) (f ^ " is noisy") true (noisy f))
+    [ "wall_s"; "dips_per_s"; "gc_minor_words_per_s"; "steals"; "elapsed_s" ];
+  List.iter
+    (fun f -> Alcotest.(check bool) (f ^ " is exact") false (noisy f))
+    [ "num_dips"; "all_broken"; "adaptive_leaves"; "key_bits" ]
+
+let test_unparseable_input_is_failure () =
+  (* Reported, never raised: the gate must not crash CI on a torn file. *)
+  check_fail "garbage current"
+    (Bench_diff.diff_strings ~baseline:(file [ record () ]) ~current:"{oops" ());
+  check_fail "unreadable baseline file"
+    (Bench_diff.diff_files ~baseline:"/nonexistent/BENCH_x.json"
+       ~current:"/nonexistent/BENCH_y.json" ())
+
+let test_summary_shapes () =
+  let ok = diff [ record () ] [ record () ] in
+  Alcotest.(check bool) "pass summary is one line" true
+    (not (String.contains (Bench_diff.summary ok) '\n'));
+  let bad = diff [ record ~dips:"1" () ] [ record ~dips:"2" () ] in
+  Alcotest.(check bool) "failure summary names the field" true
+    (let s = Bench_diff.summary bad in
+     let needle = "num_dips" in
+     let n = String.length needle and len = String.length s in
+     let rec find i = i + n <= len && (String.sub s i n = needle || find (i + 1)) in
+     find 0)
+
+let suite =
+  [
+    Alcotest.test_case "identical files pass" `Quick test_identical_passes;
+    Alcotest.test_case "noisy jitter passes" `Quick test_noisy_jitter_passes;
+    Alcotest.test_case "noisy regression fails" `Quick test_noisy_regression_fails;
+    Alcotest.test_case "deterministic counters exact" `Quick
+      test_deterministic_counter_exact;
+    Alcotest.test_case "bools and strings exact" `Quick test_bool_and_string_exact;
+    Alcotest.test_case "missing field fails" `Quick test_missing_field_fails;
+    Alcotest.test_case "extra field allowed" `Quick test_extra_field_allowed;
+    Alcotest.test_case "missing record fails" `Quick test_missing_record_fails;
+    Alcotest.test_case "extra record allowed" `Quick test_extra_record_allowed;
+    Alcotest.test_case "records matched by identity" `Quick
+      test_records_matched_by_identity;
+    Alcotest.test_case "arrays skipped by default" `Quick
+      test_arrays_skipped_by_default;
+    Alcotest.test_case "noisy classifier" `Quick test_noisy_classifier;
+    Alcotest.test_case "parse errors are failures" `Quick
+      test_unparseable_input_is_failure;
+    Alcotest.test_case "summary shapes" `Quick test_summary_shapes;
+  ]

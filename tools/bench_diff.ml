@@ -1,0 +1,47 @@
+(* CLI front end for the bench-trajectory regression gate
+   ({!Logiclock.Telemetry.Bench_diff}): compares a freshly emitted
+   BENCH_*.json against its committed baseline and exits non-zero when
+   any field moved outside the noise policy.  Wired under the
+   [bench-regress] alias so [dune runtest] catches perf and behaviour
+   drift.
+
+   Usage: bench_diff [--tol R] [--abs-tol A] [--arrays] BASELINE CURRENT *)
+
+module Bench_diff = Logiclock.Telemetry.Bench_diff
+
+let () =
+  let cfg = ref Bench_diff.default_config in
+  let paths = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--tol" :: v :: rest ->
+        cfg := { !cfg with Bench_diff.tol = float_of_string v };
+        parse rest
+    | "--abs-tol" :: v :: rest ->
+        cfg := { !cfg with Bench_diff.abs_tol = float_of_string v };
+        parse rest
+    | "--arrays" :: rest ->
+        cfg := { !cfg with Bench_diff.compare_arrays = true };
+        parse rest
+    | p :: rest ->
+        paths := p :: !paths;
+        parse rest
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  match List.rev !paths with
+  | [ baseline; current ] ->
+      let outcome =
+        Bench_diff.diff_files ~config:!cfg ~baseline ~current ()
+      in
+      if Bench_diff.pass outcome then
+        Printf.printf "bench_diff: %s vs %s: %s" baseline current
+          (Bench_diff.summary outcome)
+      else begin
+        Printf.eprintf "bench_diff: %s vs %s FAILED\n%s" baseline current
+          (Bench_diff.summary outcome);
+        exit 1
+      end
+  | _ ->
+      prerr_endline
+        "usage: bench_diff [--tol R] [--abs-tol A] [--arrays] BASELINE CURRENT";
+      exit 2

@@ -8,11 +8,15 @@
    to an emitter without documenting it fails, while documentation can
    describe more than any single record carries.
 
-   Usage: check_bench FORMAT.mld FILE.json[=SECTION]...
+   Usage: check_bench [--require f1,f2,...] FORMAT.mld FILE.json[=SECTION]...
 
    SECTION defaults to the basename of FILE.json; passing an explicit
    section maps artifacts that share a record shape (BENCH_sat_simp.json,
-   BENCH_dip_batch.json) onto the section that documents it. *)
+   BENCH_dip_batch.json) onto the section that documents it.
+
+   --require lists fields every checked artifact must carry (in at least
+   one record); it fails an emitter that silently stops writing a field
+   the regression gate depends on — e.g. the GC gauges. *)
 
 let read_file path =
   let ic = open_in_bin path in
@@ -142,9 +146,18 @@ let matches pattern key =
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
+  let required = ref [] in
+  let rec strip_opts = function
+    | "--require" :: v :: rest ->
+        required := !required @ String.split_on_char ',' v;
+        strip_opts rest
+    | args -> args
+  in
+  let args = strip_opts args in
   match args with
   | [] | [ _ ] ->
-      prerr_endline "usage: check_bench FORMAT.mld FILE.json[=SECTION]...";
+      prerr_endline
+        "usage: check_bench [--require f1,f2,...] FORMAT.mld FILE.json[=SECTION]...";
       exit 2
   | mld_path :: files ->
       let sections = parse_sections (read_file mld_path) in
@@ -172,7 +185,12 @@ let () =
                   if not (List.exists (fun p -> matches p k) fields) then
                     err "%s: key %S not documented under {2 %s} in %s" path k
                       section mld_path)
-                keys)
+                keys;
+              List.iter
+                (fun r ->
+                  if not (List.mem r keys) then
+                    err "%s: required key %S missing" path r)
+                !required)
         files;
       if !errors = [] then
         Printf.printf "check_bench: %d file(s), %d key(s) OK\n" (List.length files)
