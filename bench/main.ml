@@ -43,9 +43,13 @@ let sections =
      the batched-DIP q sweep behind [bench-dip-batch-smoke]
      (BENCH_dip_batch.json); "cube" is the adaptive cube-and-conquer vs
      fixed-N comparison (BENCH_cube.json), "cubesmoke" its seconds-scale
-     subset behind [bench-cube-smoke]. *)
+     subset behind [bench-cube-smoke]; "keypop"/"keypopsmoke" is the exact
+     key-population grid behind [bench-keypop-smoke] (BENCH_keypop.json). *)
   let extras =
-    [ "satsmoke"; "evalsmoke"; "satsimp"; "dipbatch"; "cube"; "cubesmoke" ]
+    [
+      "satsmoke"; "evalsmoke"; "satsimp"; "dipbatch"; "cube"; "cubesmoke";
+      "keypop"; "keypopsmoke";
+    ]
   in
   let chosen =
     List.filter (fun s -> List.mem s all || List.mem s extras) requested
@@ -317,7 +321,7 @@ let fig1_locked () =
 let fig1a () =
   header "Figure 1(a): error distribution, SARLock |I| = |K| = 3, correct key 101";
   let original, locked = fig1_locked () in
-  let m = LL.Attack.Analysis.error_matrix ~original ~locked:locked.LL.Locking.Locked.circuit in
+  let m = LL.Attack.Analysis.error_matrix ~original ~locked:locked.LL.Locking.Locked.circuit () in
   Format.printf "%a" LL.Attack.Analysis.pp m;
   let show keys = String.concat ", " (List.map string_of_int keys) in
   Printf.printf "globally correct keys   : %s\n"
@@ -333,7 +337,7 @@ let fig1a () =
 let fig1b () =
   header "Figure 1(b): two incorrect keys + MUX = unlocked design";
   let original, locked = fig1_locked () in
-  let m = LL.Attack.Analysis.error_matrix ~original ~locked:locked.circuit in
+  let m = LL.Attack.Analysis.error_matrix ~original ~locked:locked.circuit () in
   let correct = Bitvec.to_int locked.correct_key in
   let pick cond =
     match
@@ -553,7 +557,7 @@ let exact () =
   header "Exact analysis (BDD): how many keys are functionally correct?";
   let c432 = LL.Bench_suite.Iscas.get "c432" in
   let report label original (locked : LL.Locking.Locked.t) =
-    let n = LL.Bdd.Exact.correct_key_count ~original ~locked:locked.LL.Locking.Locked.circuit in
+    let n = LL.Bdd.Exact.correct_key_count ~original ~locked:locked.LL.Locking.Locked.circuit () in
     let total = Float.pow 2.0 (float_of_int (LL.Locking.Locked.key_size locked)) in
     Printf.printf "  %-24s %12.0f of %.0f keys are correct\n%!" label n total
   in
@@ -701,6 +705,16 @@ let cube ~smoke =
      else "Adaptive cube-and-conquer vs fixed-N split");
   Cube_bench.run ~smoke
 
+(* ------------------------------------------------------------------ *)
+(* Exact key-population grid (BENCH_keypop.json).                      *)
+(* ------------------------------------------------------------------ *)
+
+let keypop ~smoke =
+  header
+    (if smoke then "Exact key-population grid (fast CI check)"
+     else "Exact key-population grid: BDD-sifted counts per cofactor");
+  Keypop_bench.run ~smoke
+
 let () =
   Printf.printf "logiclock benchmark harness — paper: DAC'24 LBR, One-Key Premise\n";
   Printf.printf "host: %d core(s) recommended by the runtime\n"
@@ -724,6 +738,8 @@ let () =
   if want "evalsmoke" then eval_core ~smoke:true;
   if want "cube" then cube ~smoke:false;
   if want "cubesmoke" then cube ~smoke:true;
+  if want "keypop" then keypop ~smoke:false;
+  if want "keypopsmoke" then keypop ~smoke:true;
   if want "micro" then micro ();
   if want "table2" then table2 ();
   write_split_json ()

@@ -19,7 +19,7 @@ let () =
     LL.Locking.Sarlock.lock ~key:(Bitvec.of_string "101") ~key_size:3 original
   in
   Format.printf "Fig. 1(a) — error distribution (rows: keys, columns: inputs 0..7):@.";
-  let m = Analysis.error_matrix ~original ~locked:locked.LL.Locking.Locked.circuit in
+  let m = Analysis.error_matrix ~original ~locked:locked.LL.Locking.Locked.circuit () in
   Format.printf "%a@." Analysis.pp m;
   Format.printf "globally correct keys : %s@."
     (String.concat ", " (List.map string_of_int (Analysis.correct_keys m)));

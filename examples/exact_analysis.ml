@@ -25,7 +25,7 @@ let () =
   Format.printf "%-14s %18s %22s@." "scheme" "correct keys" "wrong-key error rate";
   List.iter
     (fun (label, (locked : LL.Locking.Locked.t)) ->
-      let correct = Exact.correct_key_count ~original:c ~locked:locked.circuit in
+      let correct = Exact.correct_key_count ~original:c ~locked:locked.circuit () in
       let total = 2.0 ** float_of_int (LL.Locking.Locked.key_size locked) in
       (* A canonical wrong key: flip the first bit of the correct key. *)
       let wrong = Bitvec.mapi (fun i b -> if i = 0 then not b else b) locked.correct_key in

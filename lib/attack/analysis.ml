@@ -1,47 +1,102 @@
 module Circuit = Ll_netlist.Circuit
 module Eval = Ll_netlist.Eval
+module Compiled = Ll_netlist.Compiled
 module Bitvec = Ll_util.Bitvec
+module Pool = Ll_runtime.Pool
 
 type matrix = { num_inputs : int; num_keys : int; errors : bool array array }
 
-let error_matrix ~original ~locked =
-  let n_in = Circuit.num_inputs locked and n_key = Circuit.num_keys locked in
-  if Circuit.num_inputs original <> n_in then
-    invalid_arg "Analysis.error_matrix: input count mismatch";
-  if Circuit.num_outputs original <> Circuit.num_outputs locked then
-    invalid_arg "Analysis.error_matrix: output count mismatch";
-  if n_in + n_key > 24 then invalid_arg "Analysis.error_matrix: space too large";
-  (* Exhaustive sweep through the packed kernel: 64 input patterns per
-     call, input-space words precomputed once and reused for every key.
-     Lane [l] of block [b] is input pattern [64*b + l]. *)
+(* Packed input-space words for an exhaustive sweep: lane [l] of block [b]
+   is input pattern [64*b + l]. *)
+let input_space_words ~n_in =
   let n_pat = 1 lsl n_in in
   let blocks = (n_pat + 63) / 64 in
-  let input_words =
-    Array.init blocks (fun b ->
-        let base = b * 64 in
-        Array.init n_in (fun p ->
-            let w = ref 0L in
-            for l = 0 to min 63 (n_pat - base - 1) do
-              if ((base + l) lsr p) land 1 = 1 then
-                w := Int64.logor !w (Int64.shift_left 1L l)
-            done;
-            !w))
-  in
-  let ref_words =
-    Array.map (fun iw -> Eval.eval_lanes original ~inputs:iw ~keys:[||]) input_words
-  in
-  let errors =
-    Array.init (1 lsl n_key) (fun k ->
-        let keys =
-          Array.init n_key (fun i -> if (k lsr i) land 1 = 1 then -1L else 0L)
-        in
+  Array.init blocks (fun b ->
+      let base = b * 64 in
+      Array.init n_in (fun p ->
+          let w = ref 0L in
+          for l = 0 to min 63 (n_pat - base - 1) do
+            if ((base + l) lsr p) land 1 = 1 then
+              w := Int64.logor !w (Int64.shift_left 1L l)
+          done;
+          !w))
+
+let key_lanes_of_int ~n_key k =
+  Array.init n_key (fun i -> if (k lsr i) land 1 = 1 then -1L else 0L)
+
+(* Keys are swept in fixed chunks of [key_chunk]; the partition depends
+   only on the key-space size, never on the pool, so the serial and
+   parallel paths compute — and place — byte-identical results. *)
+let key_chunk = 1024
+
+(* Run [chunk lo hi] over every chunk of [0, n); each chunk touches only
+   its own output slice (or returns its own array), so the pool path is
+   deterministic by construction. *)
+let sweep_chunks ?pool ~n chunk =
+  let n_chunks = (n + key_chunk - 1) / key_chunk in
+  let bounds ci = (ci * key_chunk, min n ((ci + 1) * key_chunk)) in
+  match pool with
+  | None ->
+      for ci = 0 to n_chunks - 1 do
+        let lo, hi = bounds ci in
+        chunk lo hi
+      done
+  | Some p ->
+      let outcomes =
+        Pool.map_array p
+          (fun _ctx ci ->
+            let lo, hi = bounds ci in
+            chunk lo hi)
+          (Array.init n_chunks Fun.id)
+      in
+      Array.iter
+        (function
+          | Pool.Done () -> ()
+          | Pool.Cancelled -> failwith "Analysis: sweep task cancelled"
+          | Pool.Failed e -> raise e)
+        outcomes
+
+let check_pair name original locked =
+  if Circuit.num_inputs original <> Circuit.num_inputs locked then
+    invalid_arg (name ^ ": input count mismatch");
+  if Circuit.num_outputs original <> Circuit.num_outputs locked then
+    invalid_arg (name ^ ": output count mismatch")
+
+let reference_words prog input_words =
+  let s = Compiled.scratch prog in
+  let n_out = prog.Compiled.num_outputs in
+  Array.map
+    (fun iw ->
+      Compiled.eval_lanes_into prog s ~inputs:iw ~keys:[||];
+      Array.init n_out (fun o -> Compiled.output_lanes prog s o))
+    input_words
+
+let error_matrix ?pool ~original ~locked () =
+  let n_in = Circuit.num_inputs locked and n_key = Circuit.num_keys locked in
+  check_pair "Analysis.error_matrix" original locked;
+  if n_in + n_key > 28 then invalid_arg "Analysis.error_matrix: space too large";
+  (* Exhaustive sweep through the packed kernel: 64 input patterns per
+     call, input-space words precomputed once and reused for every key;
+     the key dimension is sharded over the pool in key-major chunks with
+     one compiled scratch per task. *)
+  let po = Compiled.compile original and pl = Compiled.compile locked in
+  let n_pat = 1 lsl n_in in
+  let input_words = input_space_words ~n_in in
+  let ref_words = reference_words po input_words in
+  let errors = Array.make (1 lsl n_key) [||] in
+  sweep_chunks ?pool ~n:(1 lsl n_key) (fun lo hi ->
+      let s = Compiled.scratch pl in
+      for k = lo to hi - 1 do
+        let keys = key_lanes_of_int ~n_key k in
         let row = Array.make n_pat false in
         Array.iteri
           (fun b iw ->
-            let got = Eval.eval_lanes locked ~inputs:iw ~keys in
+            Compiled.eval_lanes_into pl s ~inputs:iw ~keys;
             let diff = ref 0L in
             Array.iteri
-              (fun o w -> diff := Int64.logor !diff (Int64.logxor w got.(o)))
+              (fun o w ->
+                diff :=
+                  Int64.logor !diff (Int64.logxor w (Compiled.output_lanes pl s o)))
               ref_words.(b);
             let base = b * 64 in
             for l = 0 to min 63 (n_pat - base - 1) do
@@ -49,9 +104,80 @@ let error_matrix ~original ~locked =
                 row.(base + l) <- true
             done)
           input_words;
-        row)
-  in
+        errors.(k) <- row
+      done);
   { num_inputs = n_in; num_keys = n_key; errors }
+
+let cofactor_key_counts ?pool ~original ~locked ~fixed_inputs () =
+  let n_in = Circuit.num_inputs locked and n_key = Circuit.num_keys locked in
+  check_pair "Analysis.cofactor_key_counts" original locked;
+  if n_in + n_key > 30 then
+    invalid_arg "Analysis.cofactor_key_counts: space too large";
+  let n_fixed = Array.length fixed_inputs in
+  if n_fixed > 20 then
+    invalid_arg "Analysis.cofactor_key_counts: too many fixed inputs";
+  let seen = Array.make n_in false in
+  Array.iter
+    (fun i ->
+      if i < 0 || i >= n_in then
+        invalid_arg "Analysis.cofactor_key_counts: fixed input out of range";
+      if seen.(i) then
+        invalid_arg "Analysis.cofactor_key_counts: duplicate fixed input";
+      seen.(i) <- true)
+    fixed_inputs;
+  let po = Compiled.compile original and pl = Compiled.compile locked in
+  let n_pat = 1 lsl n_in in
+  let n_cells = 1 lsl n_fixed in
+  let input_words = input_space_words ~n_in in
+  let ref_words = reference_words po input_words in
+  let cell_of_pattern x =
+    let c = ref 0 in
+    for i = 0 to n_fixed - 1 do
+      c := !c lor (((x lsr fixed_inputs.(i)) land 1) lsl i)
+    done;
+    !c
+  in
+  (* cell_of.(x) is only materialized when the input space is small;
+     above that it is recomputed per errored lane. *)
+  let cell_table = if n_in <= 22 then Array.init n_pat cell_of_pattern else [||] in
+  let cell_of x = if n_in <= 22 then cell_table.(x) else cell_of_pattern x in
+  let n_chunks = ((1 lsl n_key) + key_chunk - 1) / key_chunk in
+  let partial = Array.make n_chunks [||] in
+  sweep_chunks ?pool ~n:(1 lsl n_key) (fun lo hi ->
+      let s = Compiled.scratch pl in
+      let counts = Array.make n_cells 0 in
+      let ok = Array.make n_cells true in
+      for k = lo to hi - 1 do
+        let keys = key_lanes_of_int ~n_key k in
+        Array.fill ok 0 n_cells true;
+        Array.iteri
+          (fun b iw ->
+            Compiled.eval_lanes_into pl s ~inputs:iw ~keys;
+            let diff = ref 0L in
+            Array.iteri
+              (fun o w ->
+                diff :=
+                  Int64.logor !diff (Int64.logxor w (Compiled.output_lanes pl s o)))
+              ref_words.(b);
+            if !diff <> 0L then begin
+              let base = b * 64 in
+              for l = 0 to min 63 (n_pat - base - 1) do
+                if Int64.logand (Int64.shift_right_logical !diff l) 1L = 1L then
+                  ok.(cell_of (base + l)) <- false
+              done
+            end)
+          input_words;
+        for c = 0 to n_cells - 1 do
+          if ok.(c) then counts.(c) <- counts.(c) + 1
+        done
+      done;
+      partial.(lo / key_chunk) <- counts);
+  (* Deterministic merge: plain integer sums in chunk order. *)
+  let counts = Array.make n_cells 0 in
+  Array.iter
+    (fun p -> Array.iteri (fun c v -> counts.(c) <- counts.(c) + v) p)
+    partial;
+  counts
 
 let correct_keys m =
   List.init (Array.length m.errors) (fun k -> k)

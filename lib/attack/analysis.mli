@@ -8,9 +8,18 @@ type matrix = {
 }
 
 val error_matrix :
-  original:Ll_netlist.Circuit.t -> locked:Ll_netlist.Circuit.t -> matrix
-(** Exhaustive over both spaces; requires [num_inputs + num_keys <= 24]
-    in total.  Input/key integers are little-endian over port order. *)
+  ?pool:Ll_runtime.Pool.t ->
+  original:Ll_netlist.Circuit.t ->
+  locked:Ll_netlist.Circuit.t ->
+  unit ->
+  matrix
+(** Exhaustive over both spaces; requires [num_inputs + num_keys <= 28]
+    in total.  Input/key integers are little-endian over port order.
+
+    The sweep runs through the compiled 64-lane kernel.  With [pool] the
+    key dimension is sharded in key-major chunks of fixed size with one
+    kernel scratch per task; the chunk partition depends only on the
+    key-space size, so the serial and parallel results are byte-identical. *)
 
 val correct_keys : matrix -> int list
 (** Keys with no error anywhere (functionally correct for the whole
@@ -23,6 +32,24 @@ val unlocking_keys : matrix -> condition:(int * bool) list -> int list
 
 val error_rate : matrix -> key:int -> float
 (** Fraction of input patterns the given key corrupts. *)
+
+val cofactor_key_counts :
+  ?pool:Ll_runtime.Pool.t ->
+  original:Ll_netlist.Circuit.t ->
+  locked:Ll_netlist.Circuit.t ->
+  fixed_inputs:int array ->
+  unit ->
+  int array
+(** Per-cofactor correct-key populations by exhaustive packed simulation:
+    cell [c] (bit [i] of [c] = value of input [fixed_inputs.(i)]) counts
+    the keys under which the locked design matches the original on every
+    input pattern of that cofactor.  The simulation-side counterpart of
+    [Ll_bdd.Exact.cofactor_key_counts] — same cell indexing, usable when
+    BDDs blow up.  Requires [num_inputs + num_keys <= 30] and at most 20
+    fixed inputs (all distinct, in range); sharded over [pool] like
+    {!error_matrix}, with per-chunk partial counts merged by integer sums
+    in chunk order (serial == parallel, byte-identical).  Raises
+    [Invalid_argument] on violations. *)
 
 val pp : Format.formatter -> matrix -> unit
 (** Renders the Fig. 1(a)-style table (keys as rows, inputs as columns,

@@ -1,82 +1,605 @@
-(* Hash-consed ROBDD with an operation cache.  Terminals are nodes 0
-   (false) and 1 (true); internal nodes store (var, low, high) in parallel
-   growable arrays.  The reduction invariant low <> high and hash-consing
-   make node equality functional equality. *)
+(* Flat-table ROBDD engine with reference-tracked garbage collection and
+   dynamic variable reordering (Rudell sifting).
+
+   Nodes live in parallel int arrays (var/low/high/next/ref); terminals
+   are nodes 0 (false) and 1 (true).  The unique table is level-indexed:
+   one chained hash subtable per variable (heads in [buckets], chains
+   through [next_of]), which is what makes the in-place adjacent-level
+   swap of sifting possible.  Operation results are memoized in lossy
+   open-addressed caches keyed by packed 63-bit ints (3 tag bits + two
+   30-bit node ids), so a lookup never allocates.
+
+   Reference counts track parents plus external references ({!ref_} /
+   {!deref}).  {!gc} sweeps ref-0 nodes top-down (one pass: a dead
+   parent's child-edge decrements land before the child's level is
+   visited) and flushes the caches, because freed slots are recycled.
+   {!reorder} sifts each variable through the order, keeping the best
+   position; live node ids are preserved (the swap rewrites nodes in
+   place), so externally referenced handles survive reordering with their
+   function intact.  Unreferenced handles are invalidated by both.
+
+   The variable order is the identity at creation; all traversals compare
+   {e levels} ([level_of]), never raw variable indices. *)
+
+module Tel = Ll_telemetry.Telemetry
 
 type node = int
-
-type manager = {
-  nvars : int;
-  mutable var_of : int array;
-  mutable low_of : int array;
-  mutable high_of : int array;
-  mutable count : int;  (* allocated nodes, terminals included *)
-  unique : (int * int * int, int) Hashtbl.t;  (* (var, low, high) -> node *)
-  op_cache : (int * int * int, int) Hashtbl.t;  (* (op-tag, a, b) -> node *)
-  ite_cache : (int * int * int, int) Hashtbl.t;
-}
 
 let bot : node = 0
 let top : node = 1
 
-let manager ?(initial_capacity = 1024) ~num_vars () =
+(* Node ids must fit the 30-bit fields of packed cache keys. *)
+let node_limit = 1 lsl 30
+
+(* Saturation value for reference counts: a count that reaches it stays
+   there (the node becomes immortal).  Projection nodes are pinned this
+   way on purpose. *)
+let ref_sat = 1 lsl 40
+
+type manager = {
+  nvars : int;
+  (* node store: parallel arrays, grown together *)
+  mutable var_of : int array;  (* variable index; max_int terminals; -1 free *)
+  mutable low_of : int array;
+  mutable high_of : int array;
+  mutable next_of : int array;  (* unique-table chain / free list *)
+  mutable ref_of : int array;
+  mutable count : int;  (* allocation high-water mark, terminals included *)
+  mutable free_head : int;
+  mutable live : int;  (* live internal nodes *)
+  (* variable order *)
+  level_of : int array;  (* var -> level *)
+  var_at : int array;  (* level -> var *)
+  proj : int array;  (* var -> pinned projection node, -1 until created *)
+  (* level-indexed unique table *)
+  buckets : int array array;  (* var -> bucket heads *)
+  tbl_size : int array;  (* var -> live nodes at that variable *)
+  (* lossy operation caches (packed keys; -1 = empty) *)
+  mutable opc_key : int array;
+  mutable opc_val : int array;
+  mutable itec_f : int array;
+  mutable itec_g : int array;
+  mutable itec_h : int array;
+  mutable itec_val : int array;
+  (* generation-stamped sat-count memo *)
+  mutable sc_val : float array;
+  mutable sc_stamp : int array;
+  mutable generation : int;
+  (* reordering config *)
+  mutable auto_reorder : bool;
+  mutable frozen : bool;
+  mutable growth : float;
+  mutable next_reorder : int;
+  min_reorder : int;
+  (* statistics *)
+  mutable reorders : int;
+  mutable gc_runs : int;
+  mutable nodes_freed : int;
+  mutable peak : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable flushed_hits : int;  (* already pushed to telemetry *)
+  mutable flushed_misses : int;
+}
+
+type stats = {
+  live_nodes : int;
+  peak_nodes : int;
+  allocated_nodes : int;
+  reorders : int;
+  gc_runs : int;
+  nodes_freed : int;
+  cache_hits : int;
+  cache_misses : int;
+}
+
+let float_exact_bound = 9007199254740992.0 (* 2^53 *)
+
+let c_gc_runs = Tel.Metric.counter "bdd.gc_runs"
+let c_reorders = Tel.Metric.counter "bdd.reorders"
+let c_nodes_freed = Tel.Metric.counter "bdd.nodes_freed"
+let c_cache_hits = Tel.Metric.counter "bdd.cache_hits"
+let c_cache_misses = Tel.Metric.counter "bdd.cache_misses"
+let g_live = Tel.Metric.gauge "bdd.live_nodes"
+let g_peak = Tel.Metric.gauge "bdd.peak_nodes"
+
+let cache_bits_min = 12
+let cache_bits_max = 22
+
+let pow2_at_least n lo hi =
+  let b = ref lo in
+  while !b < hi && 1 lsl !b < n do
+    incr b
+  done;
+  1 lsl !b
+
+let manager ?(initial_capacity = 1024) ?(auto_reorder = false)
+    ?(reorder_threshold = 4096) ?(growth = 2.0) ~num_vars () =
   if num_vars < 0 then invalid_arg "Bdd.manager: negative num_vars";
-  let cap = max 2 initial_capacity in
+  if growth < 1.1 then invalid_arg "Bdd.manager: growth must be >= 1.1";
+  if reorder_threshold < 16 then invalid_arg "Bdd.manager: reorder_threshold too small";
+  let cap = max 16 initial_capacity in
+  let csize = 1 lsl cache_bits_min in
   let m =
     {
       nvars = num_vars;
-      var_of = Array.make cap max_int;
+      var_of = Array.make cap (-1);
       low_of = Array.make cap (-1);
       high_of = Array.make cap (-1);
+      next_of = Array.make cap (-1);
+      ref_of = Array.make cap 0;
       count = 2;
-      unique = Hashtbl.create cap;
-      op_cache = Hashtbl.create cap;
-      ite_cache = Hashtbl.create cap;
+      free_head = -1;
+      live = 0;
+      level_of = Array.init num_vars (fun i -> i);
+      var_at = Array.init num_vars (fun i -> i);
+      proj = Array.make num_vars (-1);
+      buckets = Array.init num_vars (fun _ -> Array.make 4 (-1));
+      tbl_size = Array.make num_vars 0;
+      opc_key = Array.make csize (-1);
+      opc_val = Array.make csize 0;
+      itec_f = Array.make csize (-1);
+      itec_g = Array.make csize 0;
+      itec_h = Array.make csize 0;
+      itec_val = Array.make csize 0;
+      sc_val = Array.make cap 0.0;
+      sc_stamp = Array.make cap 0;
+      generation = 1;
+      auto_reorder;
+      frozen = false;
+      growth;
+      next_reorder = reorder_threshold;
+      min_reorder = reorder_threshold;
+      reorders = 0;
+      gc_runs = 0;
+      nodes_freed = 0;
+      peak = 0;
+      hits = 0;
+      misses = 0;
+      flushed_hits = 0;
+      flushed_misses = 0;
     }
   in
   (* Terminals sit below every variable. *)
   m.var_of.(0) <- max_int;
   m.var_of.(1) <- max_int;
+  m.ref_of.(0) <- ref_sat;
+  m.ref_of.(1) <- ref_sat;
   m
 
 let num_vars m = m.nvars
 
-let grow m =
+(* ------------------------------------------------------------------ *)
+(* Node store                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let grow_nodes m =
   let old = Array.length m.var_of in
-  let n = 2 * old in
-  let grow_arr a fill =
+  if old >= node_limit then failwith "Bdd: node limit (2^30) exceeded";
+  let n = min node_limit (2 * old) in
+  let grow a fill =
     let fresh = Array.make n fill in
     Array.blit a 0 fresh 0 old;
     fresh
   in
-  m.var_of <- grow_arr m.var_of max_int;
-  m.low_of <- grow_arr m.low_of (-1);
-  m.high_of <- grow_arr m.high_of (-1)
+  m.var_of <- grow m.var_of (-1);
+  m.low_of <- grow m.low_of (-1);
+  m.high_of <- grow m.high_of (-1);
+  m.next_of <- grow m.next_of (-1);
+  m.ref_of <- grow m.ref_of 0;
+  m.sc_val <- grow m.sc_val 0.0;
+  m.sc_stamp <- grow m.sc_stamp 0
+
+let incr_ref m n =
+  if n > top then begin
+    let r = m.ref_of.(n) in
+    if r < ref_sat then m.ref_of.(n) <- r + 1
+  end
+
+(* Plain decrement: dead (ref-0) nodes stay in the table until {!gc} —
+   they are still canonical and may be revived by a unique-table hit. *)
+let decr_ref m n =
+  if n > top then begin
+    let r = m.ref_of.(n) in
+    if r > 0 && r < ref_sat then m.ref_of.(n) <- r - 1
+  end
+
+let uhash low high = ((low * 0x9E3779B1) lxor (high * 0x85EBCA6B)) land max_int
+
+let rehash_subtable m v =
+  let old = m.buckets.(v) in
+  let size = 2 * Array.length old in
+  let fresh = Array.make size (-1) in
+  let mask = size - 1 in
+  Array.iter
+    (fun head ->
+      let n = ref head in
+      while !n >= 0 do
+        let next = m.next_of.(!n) in
+        let h = uhash m.low_of.(!n) m.high_of.(!n) land mask in
+        m.next_of.(!n) <- fresh.(h);
+        fresh.(h) <- !n;
+        n := next
+      done)
+    old;
+  m.buckets.(v) <- fresh
+
+let insert_raw m v n =
+  let b = m.buckets.(v) in
+  let h = uhash m.low_of.(n) m.high_of.(n) land (Array.length b - 1) in
+  m.next_of.(n) <- b.(h);
+  b.(h) <- n;
+  m.tbl_size.(v) <- m.tbl_size.(v) + 1;
+  if m.tbl_size.(v) > 4 * Array.length b then rehash_subtable m v
+
+let alloc m =
+  if m.free_head >= 0 then begin
+    let n = m.free_head in
+    m.free_head <- m.next_of.(n);
+    n
+  end
+  else begin
+    if m.count >= Array.length m.var_of then grow_nodes m;
+    let n = m.count in
+    m.count <- n + 1;
+    n
+  end
 
 let mk m v low high =
   if low = high then low
-  else
-    let key = (v, low, high) in
-    match Hashtbl.find_opt m.unique key with
-    | Some n -> n
-    | None ->
-        if m.count = Array.length m.var_of then grow m;
-        let n = m.count in
-        m.count <- n + 1;
-        m.var_of.(n) <- v;
-        m.low_of.(n) <- low;
-        m.high_of.(n) <- high;
-        Hashtbl.replace m.unique key n;
-        n
+  else begin
+    let b = m.buckets.(v) in
+    let h = uhash low high land (Array.length b - 1) in
+    let n = ref b.(h) in
+    while !n >= 0 && not (m.low_of.(!n) = low && m.high_of.(!n) = high) do
+      n := m.next_of.(!n)
+    done;
+    if !n >= 0 then !n
+    else begin
+      let n = alloc m in
+      m.var_of.(n) <- v;
+      m.low_of.(n) <- low;
+      m.high_of.(n) <- high;
+      m.ref_of.(n) <- 0;
+      incr_ref m low;
+      incr_ref m high;
+      insert_raw m v n;
+      m.live <- m.live + 1;
+      if m.live > m.peak then m.peak <- m.live;
+      n
+    end
+  end
 
 let var m i =
   if i < 0 || i >= m.nvars then invalid_arg "Bdd.var: out of range";
-  mk m i bot top
+  let p = m.proj.(i) in
+  if p >= 0 then p
+  else begin
+    let n = mk m i bot top in
+    (* Pin the projection: its id must stay valid across gc/reorder. *)
+    m.ref_of.(n) <- ref_sat;
+    m.proj.(i) <- n;
+    n
+  end
 
-(* Binary apply with terminal cases per operator. *)
+let ref_ m n = incr_ref m n
+let deref m n = decr_ref m n
+
+(* ------------------------------------------------------------------ *)
+(* Operation caches                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let tag_and = 0
+let tag_or = 1
+let tag_xor = 2
+let tag_restrict = 3
+let tag_forall = 4
+
+let pack tag a b = tag lor (a lsl 3) lor (b lsl 33)
+
+let cache_slot key mask =
+  let h = key * 0x9E3779B97F4A7 in
+  (h lxor (h lsr 29)) land mask
+
+let opc_find m key =
+  let slot = cache_slot key (Array.length m.opc_key - 1) in
+  if m.opc_key.(slot) = key then begin
+    m.hits <- m.hits + 1;
+    m.opc_val.(slot)
+  end
+  else begin
+    m.misses <- m.misses + 1;
+    -1
+  end
+
+let opc_store m key v =
+  let slot = cache_slot key (Array.length m.opc_key - 1) in
+  m.opc_key.(slot) <- key;
+  m.opc_val.(slot) <- v
+
+let itec_find m f g h =
+  let slot = cache_slot (pack 5 f g lxor (h * 0xC2B2AE35)) (Array.length m.itec_f - 1) in
+  if m.itec_f.(slot) = f && m.itec_g.(slot) = g && m.itec_h.(slot) = h then begin
+    m.hits <- m.hits + 1;
+    (slot, m.itec_val.(slot))
+  end
+  else begin
+    m.misses <- m.misses + 1;
+    (slot, -1)
+  end
+
+let itec_store m slot f g h v =
+  m.itec_f.(slot) <- f;
+  m.itec_g.(slot) <- g;
+  m.itec_h.(slot) <- h;
+  m.itec_val.(slot) <- v
+
+let flush_caches m =
+  let target = pow2_at_least (2 * m.live) cache_bits_min cache_bits_max in
+  if target <> Array.length m.opc_key then begin
+    m.opc_key <- Array.make target (-1);
+    m.opc_val <- Array.make target 0;
+    m.itec_f <- Array.make target (-1);
+    m.itec_g <- Array.make target 0;
+    m.itec_h <- Array.make target 0;
+    m.itec_val <- Array.make target 0
+  end
+  else begin
+    Array.fill m.opc_key 0 target (-1);
+    Array.fill m.itec_f 0 target (-1)
+  end
+
+let flush_metric_deltas m =
+  Tel.Metric.add c_cache_hits (m.hits - m.flushed_hits);
+  Tel.Metric.add c_cache_misses (m.misses - m.flushed_misses);
+  m.flushed_hits <- m.hits;
+  m.flushed_misses <- m.misses;
+  Tel.Metric.set g_live (float_of_int m.live);
+  Tel.Metric.set g_peak (float_of_int m.peak)
+
+(* ------------------------------------------------------------------ *)
+(* Garbage collection                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let free_slot m n =
+  m.var_of.(n) <- -1;
+  m.next_of.(n) <- m.free_head;
+  m.free_head <- n;
+  m.live <- m.live - 1;
+  m.nodes_freed <- m.nodes_freed + 1
+
+(* Sweep dead (ref-0) nodes in one top-down pass over the levels: the
+   child-edge decrements of a freed parent always land before the child's
+   own level is visited.  Caches are flushed because freed slots are
+   recycled by {!alloc}. *)
+let gc (m : manager) =
+  let freed0 = m.nodes_freed in
+  Tel.with_span "bdd.gc" (fun () ->
+      for l = 0 to m.nvars - 1 do
+        let v = m.var_at.(l) in
+        let b = m.buckets.(v) in
+        for i = 0 to Array.length b - 1 do
+          let prev = ref (-1) and n = ref b.(i) in
+          while !n >= 0 do
+            let next = m.next_of.(!n) in
+            if m.ref_of.(!n) = 0 then begin
+              decr_ref m m.low_of.(!n);
+              decr_ref m m.high_of.(!n);
+              if !prev < 0 then b.(i) <- next else m.next_of.(!prev) <- next;
+              free_slot m !n;
+              m.tbl_size.(v) <- m.tbl_size.(v) - 1
+            end
+            else prev := !n;
+            n := next
+          done
+        done
+      done;
+      m.generation <- m.generation + 1;
+      m.gc_runs <- m.gc_runs + 1;
+      flush_caches m;
+      Tel.Metric.incr c_gc_runs;
+      Tel.Metric.add c_nodes_freed (m.nodes_freed - freed0);
+      flush_metric_deltas m);
+  m.nodes_freed - freed0
+
+(* ------------------------------------------------------------------ *)
+(* Sifting                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Recursive deref used during a level swap only: after the pre-reorder
+   gc every node holds ref >= 1, so a count hitting 0 here means the node
+   just lost its last parent — free it eagerly so sifting's size metric
+   (m.live) stays exact. *)
+let rec kill m n =
+  if n > top then begin
+    let r = m.ref_of.(n) in
+    if r < ref_sat then begin
+      m.ref_of.(n) <- r - 1;
+      if r <= 1 then begin
+        kill m m.low_of.(n);
+        kill m m.high_of.(n);
+        (* unlink from its subtable *)
+        let v = m.var_of.(n) in
+        let b = m.buckets.(v) in
+        let h = uhash m.low_of.(n) m.high_of.(n) land (Array.length b - 1) in
+        let prev = ref (-1) and p = ref b.(h) in
+        while !p >= 0 && !p <> n do
+          prev := !p;
+          p := m.next_of.(!p)
+        done;
+        if !p = n then begin
+          if !prev < 0 then b.(h) <- m.next_of.(n)
+          else m.next_of.(!prev) <- m.next_of.(n)
+        end;
+        m.tbl_size.(v) <- m.tbl_size.(v) - 1;
+        free_slot m n
+      end
+    end
+  end
+
+(* A child edge of a node being rewritten during a swap: reuse an equal
+   cofactor directly, or find-or-create the (v, c0, c1) node.  Either way
+   the new parent's edge is accounted with one incr. *)
+let swap_child m v c0 c1 =
+  if c0 = c1 then begin
+    incr_ref m c0;
+    c0
+  end
+  else begin
+    let h = mk m v c0 c1 in
+    incr_ref m h;
+    h
+  end
+
+(* In-place swap of adjacent levels l and l+1.  Nodes at the upper
+   variable x whose children do not reach the lower variable y are
+   untouched (they simply sink one level with x); the rest are rewritten
+   in place to have top variable y, preserving their node ids — which is
+   what keeps externally referenced handles valid across reordering. *)
+let swap m l =
+  let x = m.var_at.(l) and y = m.var_at.(l + 1) in
+  (* Collect the x subtable. *)
+  let xs = Array.make m.tbl_size.(x) (-1) in
+  let k = ref 0 in
+  let bx = m.buckets.(x) in
+  Array.iter
+    (fun head ->
+      let n = ref head in
+      while !n >= 0 do
+        xs.(!k) <- !n;
+        incr k;
+        n := m.next_of.(!n)
+      done)
+    bx;
+  (* Rebuild the x subtable with the untouched nodes only. *)
+  m.buckets.(x) <- Array.make (Array.length bx) (-1);
+  m.tbl_size.(x) <- 0;
+  let rewrite = ref [] in
+  Array.iter
+    (fun n ->
+      if n >= 0 then begin
+        let f0 = m.low_of.(n) and f1 = m.high_of.(n) in
+        let touches c = c > top && m.var_of.(c) = y in
+        if touches f0 || touches f1 then rewrite := n :: !rewrite
+        else insert_raw m x n
+      end)
+    xs;
+  List.iter
+    (fun n ->
+      let f0 = m.low_of.(n) and f1 = m.high_of.(n) in
+      let f00, f01 =
+        if f0 > top && m.var_of.(f0) = y then (m.low_of.(f0), m.high_of.(f0))
+        else (f0, f0)
+      and f10, f11 =
+        if f1 > top && m.var_of.(f1) = y then (m.low_of.(f1), m.high_of.(f1))
+        else (f1, f1)
+      in
+      let h0 = swap_child m x f00 f10 in
+      let h1 = swap_child m x f01 f11 in
+      kill m f0;
+      kill m f1;
+      m.var_of.(n) <- y;
+      m.low_of.(n) <- h0;
+      m.high_of.(n) <- h1;
+      insert_raw m y n)
+    !rewrite;
+  m.var_at.(l) <- y;
+  m.var_at.(l + 1) <- x;
+  m.level_of.(y) <- l;
+  m.level_of.(x) <- l + 1
+
+let max_growth_per_var = 1.2
+
+let sift_var m v =
+  if m.tbl_size.(v) > 0 then begin
+    let nlev = m.nvars in
+    let best = ref m.live and bestl = ref m.level_of.(v) in
+    let limit () = int_of_float (max_growth_per_var *. float_of_int !best) in
+    let note () =
+      if m.live < !best then begin
+        best := m.live;
+        bestl := m.level_of.(v)
+      end
+    in
+    let down () =
+      while m.level_of.(v) < nlev - 1 && m.live <= limit () do
+        swap m m.level_of.(v);
+        note ()
+      done
+    in
+    let up () =
+      while m.level_of.(v) > 0 && m.live <= limit () do
+        swap m (m.level_of.(v) - 1);
+        note ()
+      done
+    in
+    let goto_best () =
+      while m.level_of.(v) > !bestl do
+        swap m (m.level_of.(v) - 1)
+      done;
+      while m.level_of.(v) < !bestl do
+        swap m m.level_of.(v)
+      done
+    in
+    if m.level_of.(v) >= nlev / 2 then begin
+      down ();
+      goto_best ();
+      up ()
+    end
+    else begin
+      up ();
+      goto_best ();
+      down ()
+    end;
+    goto_best ()
+  end
+
+let reorder (m : manager) =
+  if (not m.frozen) && m.nvars > 1 then begin
+    Tel.with_span "bdd.reorder" ~a0:m.live (fun () ->
+        ignore (gc m);
+        (* Sift variables in decreasing subtable-size order (sizes taken
+           once, before any movement — the classic Rudell schedule). *)
+        let order = Array.init m.nvars (fun v -> v) in
+        Array.sort
+          (fun a b ->
+            let c = compare m.tbl_size.(b) m.tbl_size.(a) in
+            if c <> 0 then c else compare a b)
+          order;
+        Array.iter (fun v -> sift_var m v) order;
+        m.reorders <- m.reorders + 1;
+        m.generation <- m.generation + 1;
+        flush_caches m;
+        m.next_reorder <-
+          max m.min_reorder (int_of_float (m.growth *. float_of_int m.live));
+        Tel.Metric.incr c_reorders;
+        flush_metric_deltas m)
+  end
+
+let fix_order m =
+  m.frozen <- true;
+  m.auto_reorder <- false
+
+let set_auto_reorder m flag = if not m.frozen then m.auto_reorder <- flag
+
+let checkpoint m =
+  if m.live >= m.next_reorder && not m.frozen then begin
+    ignore (gc m);
+    if m.auto_reorder && m.live >= (3 * m.next_reorder) / 4 then reorder m
+    else
+      m.next_reorder <-
+        max m.min_reorder (int_of_float (m.growth *. float_of_int m.live))
+  end
+
+let order m = Array.copy m.var_at
+
+(* ------------------------------------------------------------------ *)
+(* Boolean operations                                                  *)
+(* ------------------------------------------------------------------ *)
+
 type op = Op_and | Op_or | Op_xor
 
-let op_tag = function Op_and -> 0 | Op_or -> 1 | Op_xor -> 2
+let op_tag = function Op_and -> tag_and | Op_or -> tag_or | Op_xor -> tag_xor
 
 let terminal_case op a b =
   match op with
@@ -98,32 +621,35 @@ let terminal_case op a b =
       else if b = bot then Some a
       else None
 
+let level m n = if n <= top then max_int else m.level_of.(m.var_of.(n))
+
 let rec apply m op a b =
   match terminal_case op a b with
   | Some r -> r
   | None ->
       (* Symmetric operators: canonical argument order doubles cache hits. *)
       let a, b = if a <= b then (a, b) else (b, a) in
-      let key = (op_tag op, a, b) in
-      (match Hashtbl.find_opt m.op_cache key with
-      | Some r -> r
-      | None ->
-          let va = m.var_of.(a) and vb = m.var_of.(b) in
-          let v = min va vb in
-          let a0 = if va = v then m.low_of.(a) else a in
-          let a1 = if va = v then m.high_of.(a) else a in
-          let b0 = if vb = v then m.low_of.(b) else b in
-          let b1 = if vb = v then m.high_of.(b) else b in
-          let low = apply m op a0 b0 in
-          let high = apply m op a1 b1 in
-          let r = mk m v low high in
-          Hashtbl.replace m.op_cache key r;
-          r)
+      let key = pack (op_tag op) a b in
+      let cached = opc_find m key in
+      if cached >= 0 then cached
+      else begin
+        let la = level m a and lb = level m b in
+        let l = if la <= lb then la else lb in
+        let v = m.var_at.(l) in
+        let a0 = if la = l then m.low_of.(a) else a in
+        let a1 = if la = l then m.high_of.(a) else a in
+        let b0 = if lb = l then m.low_of.(b) else b in
+        let b1 = if lb = l then m.high_of.(b) else b in
+        let low = apply m op a0 b0 in
+        let high = apply m op a1 b1 in
+        let r = mk m v low high in
+        opc_store m key r;
+        r
+      end
 
 let apply_and m a b = apply m Op_and a b
 let apply_or m a b = apply m Op_or a b
 let apply_xor m a b = apply m Op_xor a b
-
 let neg m a = apply_xor m a top
 
 let rec ite m i t e =
@@ -131,27 +657,59 @@ let rec ite m i t e =
   else if i = bot then e
   else if t = e then t
   else if t = top && e = bot then i
-  else
-    let key = (i, t, e) in
-    match Hashtbl.find_opt m.ite_cache key with
-    | Some r -> r
-    | None ->
-        let v = min m.var_of.(i) (min m.var_of.(t) m.var_of.(e)) in
-        let part n = if m.var_of.(n) = v then (m.low_of.(n), m.high_of.(n)) else (n, n) in
-        let i0, i1 = part i and t0, t1 = part t and e0, e1 = part e in
-        let low = ite m i0 t0 e0 in
-        let high = ite m i1 t1 e1 in
-        let r = mk m v low high in
-        Hashtbl.replace m.ite_cache key r;
-        r
+  else begin
+    let slot, cached = itec_find m i t e in
+    if cached >= 0 then cached
+    else begin
+      let l = min (level m i) (min (level m t) (level m e)) in
+      let v = m.var_at.(l) in
+      let part n =
+        if level m n = l then (m.low_of.(n), m.high_of.(n)) else (n, n)
+      in
+      let i0, i1 = part i and t0, t1 = part t and e0, e1 = part e in
+      let low = ite m i0 t0 e0 in
+      let high = ite m i1 t1 e1 in
+      let r = mk m v low high in
+      itec_store m slot i t e r;
+      r
+    end
+  end
 
 let rec restrict m n v value =
-  if n <= top || m.var_of.(n) > v then n
+  if n <= top || level m n > m.level_of.(v) then n
   else if m.var_of.(n) = v then if value then m.high_of.(n) else m.low_of.(n)
-  else
-    let low = restrict m m.low_of.(n) v value in
-    let high = restrict m m.high_of.(n) v value in
-    mk m m.var_of.(n) low high
+  else begin
+    let key = pack tag_restrict n ((v lsl 1) lor Bool.to_int value) in
+    let cached = opc_find m key in
+    if cached >= 0 then cached
+    else begin
+      let low = restrict m m.low_of.(n) v value in
+      let high = restrict m m.high_of.(n) v value in
+      let r = mk m m.var_of.(n) low high in
+      opc_store m key r;
+      r
+    end
+  end
+
+let rec forall m v n =
+  if n <= top || level m n > m.level_of.(v) then n
+  else if m.var_of.(n) = v then apply_and m m.low_of.(n) m.high_of.(n)
+  else begin
+    let key = pack tag_forall n v in
+    let cached = opc_find m key in
+    if cached >= 0 then cached
+    else begin
+      let low = forall m v m.low_of.(n) in
+      let high = forall m v m.high_of.(n) in
+      let r = mk m m.var_of.(n) low high in
+      opc_store m key r;
+      r
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Queries                                                             *)
+(* ------------------------------------------------------------------ *)
 
 let eval m n assignment =
   if Array.length assignment <> m.nvars then invalid_arg "Bdd.eval: assignment length";
@@ -163,28 +721,32 @@ let eval m n assignment =
   in
   go n
 
+(* Model counting over all [num_vars] variables, with a manager-level
+   memo keyed by the structure generation: gc recycles slots and
+   reordering changes levels, so both bump [generation] and lazily
+   invalidate every entry.  Counts at or above [float_exact_bound] (2^53)
+   round to the nearest representable double. *)
 let sat_count m n =
-  let memo = Hashtbl.create 256 in
-  (* count n = models over variables [var_of n .. nvars); scale at root. *)
+  let gen = m.generation in
   let rec go n =
-    if n = bot then 0.0
-    else if n = top then 1.0
-    else
-      match Hashtbl.find_opt memo n with
-      | Some c -> c
-      | None ->
-          let v = m.var_of.(n) in
-          let child_scale child =
-            let vc = if child <= top then m.nvars else m.var_of.(child) in
-            go child *. Float.pow 2.0 (float_of_int (vc - v - 1))
-          in
-          let c = child_scale m.low_of.(n) +. child_scale m.high_of.(n) in
-          Hashtbl.replace memo n c;
-          c
+    (* n > top *)
+    if m.sc_stamp.(n) = gen then m.sc_val.(n)
+    else begin
+      let l = level m n in
+      let child c =
+        let lc = if c <= top then m.nvars else level m c in
+        let base = if c = bot then 0.0 else if c = top then 1.0 else go c in
+        base *. Float.pow 2.0 (float_of_int (lc - l - 1))
+      in
+      let v = child m.low_of.(n) +. child m.high_of.(n) in
+      m.sc_stamp.(n) <- gen;
+      m.sc_val.(n) <- v;
+      v
+    end
   in
   if n = bot then 0.0
   else if n = top then Float.pow 2.0 (float_of_int m.nvars)
-  else go n *. Float.pow 2.0 (float_of_int m.var_of.(n))
+  else go n *. Float.pow 2.0 (float_of_int (level m n))
 
 let size m n =
   let seen = Hashtbl.create 64 in
@@ -199,6 +761,24 @@ let size m n =
   Hashtbl.length seen
 
 let total_nodes m = m.count
+let live_nodes m = m.live + 2
+let peak_nodes m = m.peak
+
+let stats (m : manager) =
+  {
+    live_nodes = m.live;
+    peak_nodes = m.peak;
+    allocated_nodes = m.count;
+    reorders = m.reorders;
+    gc_runs = m.gc_runs;
+    nodes_freed = m.nodes_freed;
+    cache_hits = m.hits;
+    cache_misses = m.misses;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Circuits                                                            *)
+(* ------------------------------------------------------------------ *)
 
 module Circuit = Ll_netlist.Circuit
 module Gate = Ll_netlist.Gate
@@ -209,12 +789,22 @@ let of_circuit m c ~inputs ~keys =
     invalid_arg "Bdd.of_circuit: input count mismatch";
   if Array.length keys <> Circuit.num_keys c then
     invalid_arg "Bdd.of_circuit: key count mismatch";
-  let node_fn = Array.make (Circuit.num_nodes c) bot in
+  (* Every argument and intermediate is referenced for the duration of
+     the build, so the per-gate checkpoint may gc and sift freely. *)
+  Array.iter (incr_ref m) inputs;
+  Array.iter (incr_ref m) keys;
+  let node_fn = Array.make (Circuit.num_nodes c) (-1) in
   let next_input = ref 0 and next_key = ref 0 in
-  let reduce op init fns =
-    match Array.length fns with
-    | 0 -> init
-    | _ -> Array.fold_left (fun acc f -> op m acc f) fns.(0) (Array.sub fns 1 (Array.length fns - 1))
+  let reduce op init (fns : int array) =
+    let len = Array.length fns in
+    if len = 0 then init
+    else begin
+      let acc = ref fns.(0) in
+      for i = 1 to len - 1 do
+        acc := op m !acc fns.(i)
+      done;
+      !acc
+    end
   in
   Array.iteri
     (fun i nd ->
@@ -242,30 +832,44 @@ let of_circuit m c ~inputs ~keys =
             | Gate.Buf -> fns.(0)
             | Gate.Mux -> ite m fns.(0) fns.(2) fns.(1)
             | Gate.Lut table ->
-                (* Shannon expansion over the minterm list. *)
+                (* Cofactor-recursive build over the truth table: split on
+                   the highest-numbered fanin first, so sub-tables are
+                   contiguous halves — 2^k - 1 ite calls instead of the
+                   former 2^k minterm products. *)
                 let k = Array.length fns in
-                let acc = ref bot in
-                for idx = 0 to (1 lsl k) - 1 do
-                  if Bitvec.get table idx then begin
-                    let minterm = ref top in
-                    for b = 0 to k - 1 do
-                      let lit =
-                        if (idx lsr b) land 1 = 1 then fns.(b) else neg m fns.(b)
-                      in
-                      minterm := apply_and m !minterm lit
-                    done;
-                    acc := apply_or m !acc !minterm
+                let rec build lo w =
+                  if w = 0 then if Bitvec.get table lo then top else bot
+                  else begin
+                    let half = 1 lsl (w - 1) in
+                    let f0 = build lo (w - 1) in
+                    let f1 = build (lo + half) (w - 1) in
+                    ite m fns.(w - 1) f1 f0
                   end
-                done;
-                !acc)
+                in
+                build 0 k)
       in
-      node_fn.(i) <- f)
+      incr_ref m f;
+      node_fn.(i) <- f;
+      checkpoint m)
     c.Circuit.nodes;
-  Array.map (fun (_, j) -> node_fn.(j)) c.Circuit.outputs
+  let outs =
+    Array.map
+      (fun (_, j) ->
+        let f = node_fn.(j) in
+        incr_ref m f;
+        f)
+      c.Circuit.outputs
+  in
+  Array.iter (fun f -> if f >= 0 then decr_ref m f) node_fn;
+  Array.iter (decr_ref m) inputs;
+  Array.iter (decr_ref m) keys;
+  outs
 
-let circuit_manager c =
+let circuit_manager ?auto_reorder ?reorder_threshold ?growth c =
   let n_in = Circuit.num_inputs c and n_key = Circuit.num_keys c in
-  let m = manager ~num_vars:(n_in + n_key) () in
+  let m =
+    manager ?auto_reorder ?reorder_threshold ?growth ~num_vars:(n_in + n_key) ()
+  in
   let inputs = Array.init n_in (fun i -> var m i) in
   let keys = Array.init n_key (fun i -> var m (n_in + i)) in
   (m, inputs, keys)

@@ -2,22 +2,53 @@
 
     A second, SAT-independent engine for exact reasoning about circuit
     functions: canonical equivalence, exact model counting (used for exact
-    error rates of locked designs) and cofactoring.  Nodes are
-    hash-consed, so two equal functions over one manager are the {e same}
-    node — equality is integer comparison.
+    error rates and key-population counts of locked designs) and
+    cofactoring.  Nodes are hash-consed, so two equal functions over one
+    manager are the {e same} node — equality is integer comparison.
 
-    The variable order is fixed at manager creation (index order).  BDDs
-    can blow up on multiplier-like functions; guard large circuits with
-    {!size} checks or fall back to SAT ({!Ll_sat}). *)
+    The engine stores nodes in flat int arrays with a level-indexed
+    unique table and lossy packed-key operation caches (no per-lookup
+    boxing), tracks node liveness by reference counting, and supports
+    dynamic variable reordering by sifting.  The variable order starts as
+    index order; {!reorder} (or size-triggered auto-reordering) permutes
+    it to shrink the graph.  Variable {e indices} never change meaning —
+    [var], [restrict], [eval] and [sat_count] always speak variable
+    indices, whatever the current order.
+
+    {b Liveness contract.} Nodes returned by operations start
+    unreferenced.  {!gc} and {!reorder} — and therefore {!checkpoint},
+    which may trigger either — invalidate every node handle that is not
+    protected by {!ref_} (projection nodes from {!var} are permanently
+    protected; {!of_circuit} returns referenced outputs).  Referenced
+    handles survive both: reordering rewrites nodes in place, so ids are
+    preserved.  Code that never calls the gc/reorder entry points can
+    ignore references entirely, matching the previous engine's API.
+
+    BDDs can still blow up on multiplier-like functions; guard large
+    circuits with {!size}/{!live_nodes} checks or fall back to SAT
+    ({!Ll_sat}). *)
 
 type manager
 
 type node = private int
 (** Canonical function handle, valid only within its manager. *)
 
-val manager : ?initial_capacity:int -> num_vars:int -> unit -> manager
-(** [num_vars] fixes the support; variables are indexed [0 .. num_vars-1]
-    with 0 closest to the root.  Raises [Invalid_argument] when negative. *)
+val manager :
+  ?initial_capacity:int ->
+  ?auto_reorder:bool ->
+  ?reorder_threshold:int ->
+  ?growth:float ->
+  num_vars:int ->
+  unit ->
+  manager
+(** [num_vars] fixes the support; variables are indexed [0 .. num_vars-1],
+    initially with 0 closest to the root.  Raises [Invalid_argument] when
+    negative.
+
+    [auto_reorder] (default [false]) lets {!checkpoint} trigger sifting
+    when the live-node count crosses a threshold that starts at
+    [reorder_threshold] (default 4096) and grows by [growth] (default
+    2.0, must be >= 1.1) after each garbage collection or reorder. *)
 
 val num_vars : manager -> int
 
@@ -28,8 +59,9 @@ val top : node
 (** The constant-true function. *)
 
 val var : manager -> int -> node
-(** The projection function of a variable.  Raises [Invalid_argument] when
-    out of range. *)
+(** The projection function of a variable.  Raises [Invalid_argument]
+    when out of range.  Projection nodes are permanently referenced:
+    their handles survive gc and reordering. *)
 
 val apply_and : manager -> node -> node -> node
 val apply_or : manager -> node -> node -> node
@@ -40,28 +72,107 @@ val ite : manager -> node -> node -> node -> node
 (** [ite m i t e] = if [i] then [t] else [e]. *)
 
 val restrict : manager -> node -> int -> bool -> node
-(** Cofactor with respect to one variable. *)
+(** Cofactor with respect to one variable (by index). *)
+
+val forall : manager -> int -> node -> node
+(** [forall m v n] = universal quantification of variable [v]:
+    [restrict n v false AND restrict n v true], computed in one memoized
+    pass. *)
 
 val eval : manager -> node -> bool array -> bool
-(** Raises [Invalid_argument] when the assignment length differs from
-    [num_vars]. *)
+(** The assignment is indexed by variable index (order-independent).
+    Raises [Invalid_argument] when the length differs from [num_vars]. *)
 
 val sat_count : manager -> node -> float
-(** Number of satisfying assignments over all [num_vars] variables
-    (exact for counts below 2^53). *)
+(** Number of satisfying assignments over all [num_vars] variables.  The
+    result is independent of the variable order.  Memoized in the
+    manager, keyed by its structure generation (gc and reorder
+    invalidate).  Exact only below {!float_exact_bound}: counts at or
+    above 2^53 are rounded to the nearest representable double. *)
+
+val float_exact_bound : float
+(** 2^53, the largest float magnitude below which {!sat_count} is exact. *)
 
 val size : manager -> node -> int
 (** Number of internal (non-terminal) nodes reachable from [node]. *)
 
 val total_nodes : manager -> int
-(** Allocated nodes in the manager (monotone; includes garbage). *)
+(** Allocated node slots in the manager (high-water mark; includes
+    terminals and freed slots awaiting reuse). *)
+
+val live_nodes : manager -> int
+(** Currently live nodes, terminals included. *)
+
+val peak_nodes : manager -> int
+(** Maximum simultaneous live internal nodes seen over the manager's
+    lifetime. *)
+
+(** {1 References, garbage collection, reordering} *)
+
+val ref_ : manager -> node -> unit
+(** Protect a node (and transitively its descendants) from {!gc} and
+    keep its id stable across {!reorder}.  Balanced by {!deref}. *)
+
+val deref : manager -> node -> unit
+(** Release one external reference.  No-op on terminals and on nodes with
+    no external references. *)
+
+val gc : manager -> int
+(** Sweep all unreferenced nodes, flush the operation caches, and return
+    the number of nodes freed.  Unreferenced handles become invalid. *)
+
+val reorder : manager -> unit
+(** Sift every variable through the order, keeping each at its best
+    position (Rudell sifting with a 1.2 per-variable growth bound).
+    Runs {!gc} first; referenced handles keep their ids and functions.
+    No-op after {!fix_order}. *)
+
+val fix_order : manager -> unit
+(** Freeze the current variable order: disables {!reorder} and
+    auto-reordering from this point on. *)
+
+val set_auto_reorder : manager -> bool -> unit
+(** Toggle size-triggered reordering at {!checkpoint}s (ignored once the
+    order is frozen). *)
+
+val checkpoint : manager -> unit
+(** A safe point: when the live-node count has crossed the current
+    threshold, run {!gc} and possibly {!reorder} (if auto-reorder is
+    enabled).  Call between operations, never while holding unreferenced
+    intermediate results. *)
+
+val order : manager -> int array
+(** The current variable order: element [l] is the variable index at
+    level [l] (level 0 is the root end). *)
+
+type stats = {
+  live_nodes : int;  (** live internal nodes *)
+  peak_nodes : int;  (** lifetime peak of live internal nodes *)
+  allocated_nodes : int;  (** slot high-water mark *)
+  reorders : int;
+  gc_runs : int;
+  nodes_freed : int;
+  cache_hits : int;  (** op + ite cache hits *)
+  cache_misses : int;
+}
+
+val stats : manager -> stats
+
+(** {1 Circuits} *)
 
 val of_circuit :
   manager -> Ll_netlist.Circuit.t -> inputs:node array -> keys:node array -> node array
 (** Symbolically simulate a circuit: ports are bound to the given BDDs
-    (port order), outputs are returned in output order.  Raises
-    [Invalid_argument] on count mismatches. *)
+    (port order), outputs are returned in output order, already
+    referenced ({!ref_}) so they survive gc/reordering.  Runs
+    {!checkpoint} after every gate.  Raises [Invalid_argument] on count
+    mismatches. *)
 
-val circuit_manager : Ll_netlist.Circuit.t -> manager * node array * node array
+val circuit_manager :
+  ?auto_reorder:bool ->
+  ?reorder_threshold:int ->
+  ?growth:float ->
+  Ll_netlist.Circuit.t ->
+  manager * node array * node array
 (** Convenience: a manager with one variable per primary input followed by
     one per key port, plus the corresponding projection nodes. *)

@@ -15,10 +15,15 @@ let equivalent a b =
   let inputs = Array.init (Circuit.num_inputs a) (fun i -> Bdd.var m i) in
   let fa = Bdd.of_circuit m a ~inputs ~keys:[||] in
   let fb = Bdd.of_circuit m b ~inputs ~keys:[||] in
-  (* Hash-consing makes equivalence plain equality of node handles. *)
+  (* of_circuit references its outputs, so fa's handles survive the
+     checkpoints inside the second build; hash-consing then makes
+     equivalence plain equality of node handles. *)
   Array.for_all2 (fun x y -> x = y) fa fb
 
-(* The difference function OR_o (f_o xor g_o) for a keyed locked design. *)
+(* The difference function OR_o (f_o xor g_o) for a keyed locked design.
+   The running disjunction is re-referenced at every step so the per-gate
+   checkpoints of any later build (and explicit gc calls) cannot collect
+   it. *)
 let difference ~original ~locked ~key =
   check_signatures original locked;
   if Bitvec.length key <> Circuit.num_keys locked then
@@ -32,7 +37,17 @@ let difference ~original ~locked ~key =
   let f = Bdd.of_circuit m original ~inputs ~keys:[||] in
   let g = Bdd.of_circuit m locked ~inputs ~keys in
   let diff = ref Bdd.bot in
-  Array.iteri (fun o fo -> diff := Bdd.apply_or m !diff (Bdd.apply_xor m fo g.(o))) f;
+  Bdd.ref_ m !diff;
+  Array.iteri
+    (fun o fo ->
+      let d = Bdd.apply_or m !diff (Bdd.apply_xor m fo g.(o)) in
+      Bdd.ref_ m d;
+      Bdd.deref m !diff;
+      diff := d;
+      Bdd.checkpoint m)
+    f;
+  Array.iter (Bdd.deref m) f;
+  Array.iter (Bdd.deref m) g;
   (m, !diff)
 
 let error_count ~original ~locked ~key =
@@ -43,29 +58,109 @@ let error_rate ~original ~locked ~key =
   error_count ~original ~locked ~key
   /. Float.pow 2.0 (float_of_int (Circuit.num_inputs original))
 
-let correct_key_count ~original ~locked =
-  check_signatures original locked;
+(* Build the agreement function AND_o (f_o = g_o) with keys at variables
+   [0 .. n_key-1] and inputs above them: the final counts then range over
+   key variables only (the input factor divides out).  Returns a
+   referenced node. *)
+let agreement m original locked =
   let n_in = Circuit.num_inputs original and n_key = Circuit.num_keys locked in
-  (* Order keys first: [forall inputs] is then a traversal of the lower
-     part of the BDD, but a simple universal quantification works at any
-     order; we put inputs below keys so the final count ranges over key
-     variables only. *)
-  let m = Bdd.manager ~num_vars:(n_key + n_in) () in
   let keys = Array.init n_key (fun i -> Bdd.var m i) in
   let inputs = Array.init n_in (fun i -> Bdd.var m (n_key + i)) in
   let f = Bdd.of_circuit m original ~inputs ~keys:[||] in
   let g = Bdd.of_circuit m locked ~inputs ~keys in
   let agree = ref Bdd.top in
+  Bdd.ref_ m !agree;
   Array.iteri
     (fun o fo ->
-      agree := Bdd.apply_and m !agree (Bdd.neg m (Bdd.apply_xor m fo g.(o))))
+      let eq = Bdd.neg m (Bdd.apply_xor m fo g.(o)) in
+      Bdd.ref_ m eq;
+      let a = Bdd.apply_and m !agree eq in
+      Bdd.ref_ m a;
+      Bdd.deref m eq;
+      Bdd.deref m !agree;
+      agree := a;
+      Bdd.checkpoint m)
     f;
-  (* Universally quantify the input variables (indices n_key ..): a key is
-     correct iff agree holds for every input assignment. *)
-  let forall = ref !agree in
+  Array.iter (Bdd.deref m) f;
+  Array.iter (Bdd.deref m) g;
+  !agree
+
+(* Universally quantify variable [v] out of the referenced node [!q],
+   keeping [!q] referenced throughout and checkpointing after the step. *)
+let quantify_step m q v =
+  let q' = Bdd.forall m v !q in
+  Bdd.ref_ m q';
+  Bdd.deref m !q;
+  q := q';
+  Bdd.checkpoint m
+
+let correct_key_count ?(auto_reorder = false) ~original ~locked () =
+  check_signatures original locked;
+  let n_in = Circuit.num_inputs original and n_key = Circuit.num_keys locked in
+  let m = Bdd.manager ~auto_reorder ~num_vars:(n_key + n_in) () in
+  let q = ref (agreement m original locked) in
+  (* A key is correct iff agreement holds for every input assignment. *)
   for v = n_key + n_in - 1 downto n_key do
-    forall := Bdd.apply_and m (Bdd.restrict m !forall v false) (Bdd.restrict m !forall v true)
+    quantify_step m q v
   done;
   (* Count over key variables only: the function no longer depends on the
      input variables, so divide their factor out. *)
-  Bdd.sat_count m !forall /. Float.pow 2.0 (float_of_int n_in)
+  Bdd.sat_count m !q /. Float.pow 2.0 (float_of_int n_in)
+
+type keypop = {
+  counts : float array;
+  peak_nodes : int;
+  reorders : int;
+  gc_runs : int;
+  nodes_freed : int;
+}
+
+let cofactor_key_counts ?(auto_reorder = false) ~original ~locked ~fixed_inputs () =
+  check_signatures original locked;
+  let n_in = Circuit.num_inputs original and n_key = Circuit.num_keys locked in
+  let n_fixed = Array.length fixed_inputs in
+  if n_fixed > 20 then invalid_arg "Bdd.Exact.cofactor_key_counts: too many fixed inputs";
+  let seen = Array.make n_in false in
+  Array.iter
+    (fun i ->
+      if i < 0 || i >= n_in then
+        invalid_arg "Bdd.Exact.cofactor_key_counts: fixed input out of range";
+      if seen.(i) then
+        invalid_arg "Bdd.Exact.cofactor_key_counts: duplicate fixed input";
+      seen.(i) <- true)
+    fixed_inputs;
+  let m = Bdd.manager ~auto_reorder ~num_vars:(n_key + n_in) () in
+  let q = ref (agreement m original locked) in
+  (* Quantify out only the free (non-fixed) inputs: the result depends on
+     the key variables and the fixed input variables. *)
+  for v = n_key + n_in - 1 downto n_key do
+    if not seen.(v - n_key) then quantify_step m q v
+  done;
+  (* One cofactor per assignment of the fixed inputs; bit [i] of the cell
+     index is the value of [fixed_inputs.(i)]. *)
+  let counts =
+    Array.init (1 lsl n_fixed) (fun idx ->
+        let r = ref !q in
+        Bdd.ref_ m !r;
+        for i = 0 to n_fixed - 1 do
+          let r' =
+            Bdd.restrict m !r (n_key + fixed_inputs.(i)) ((idx lsr i) land 1 = 1)
+          in
+          Bdd.ref_ m r';
+          Bdd.deref m !r;
+          r := r'
+        done;
+        let c = Bdd.sat_count m !r /. Float.pow 2.0 (float_of_int n_in) in
+        Bdd.deref m !r;
+        Bdd.checkpoint m;
+        c)
+  in
+  Bdd.deref m !q;
+  let st = Bdd.stats m in
+  {
+    counts;
+    peak_nodes = st.Bdd.peak_nodes;
+    reorders = st.Bdd.reorders;
+    gc_runs = st.Bdd.gc_runs;
+    nodes_freed = st.Bdd.nodes_freed;
+  }

@@ -2,9 +2,12 @@
 
     These complement the sampled estimators of [Ll_attack.Analysis] with
     exact counts, and the SAT checks of [Ll_attack.Equiv] with a canonical
-    (counterexample-free) decision procedure.  Practical for designs whose
-    BDDs stay small — control-dominated logic up to a few hundred gates;
-    multipliers will blow up. *)
+    (counterexample-free) decision procedure.  Every analysis keeps its
+    intermediates referenced and checkpoints between steps, so the
+    engine's garbage collector and (when [auto_reorder] is set) dynamic
+    variable reordering run freely underneath — the counts themselves are
+    order-independent.  Practical for designs whose BDDs stay small;
+    multipliers will blow up even with reordering. *)
 
 val equivalent : Ll_netlist.Circuit.t -> Ll_netlist.Circuit.t -> bool
 (** Canonical equivalence of two key-free circuits of equal signature
@@ -17,8 +20,8 @@ val error_count :
   key:Ll_util.Bitvec.t ->
   float
 (** Exact number of input patterns on which the locked design under [key]
-    differs from the original (exact below 2^53).  Raises
-    [Invalid_argument] on mismatches. *)
+    differs from the original (exact below {!Bdd.float_exact_bound}).
+    Raises [Invalid_argument] on mismatches. *)
 
 val error_rate :
   original:Ll_netlist.Circuit.t ->
@@ -28,8 +31,42 @@ val error_rate :
 (** {!error_count} divided by [2^num_inputs]. *)
 
 val correct_key_count :
-  original:Ll_netlist.Circuit.t -> locked:Ll_netlist.Circuit.t -> float
+  ?auto_reorder:bool ->
+  original:Ll_netlist.Circuit.t ->
+  locked:Ll_netlist.Circuit.t ->
+  unit ->
+  float
 (** Exact number of functionally correct keys: the model count of
     [forall x. locked(x, k) = original(x)] over the key variables.  This
-    quantifies the "many right keys" effect of LUT-style locking.  Raises
+    quantifies the "many right keys" effect of LUT-style locking.
+    [auto_reorder] (default [false]) enables size-triggered sifting in
+    the underlying manager; the count is identical either way.  Raises
     [Invalid_argument] on mismatches. *)
+
+type keypop = {
+  counts : float array;
+      (** One correct-key count per cofactor; bit [i] of the cell index
+          is the value assigned to [fixed_inputs.(i)]. *)
+  peak_nodes : int;  (** peak live BDD nodes during the analysis *)
+  reorders : int;  (** sifting passes triggered *)
+  gc_runs : int;
+  nodes_freed : int;
+}
+
+val cofactor_key_counts :
+  ?auto_reorder:bool ->
+  original:Ll_netlist.Circuit.t ->
+  locked:Ll_netlist.Circuit.t ->
+  fixed_inputs:int array ->
+  unit ->
+  keypop
+(** Per-cofactor correct-key populations: for every assignment of the
+    [fixed_inputs] (input positions, all distinct), the exact number of
+    keys under which the locked design matches the original on {e all}
+    remaining inputs.  [counts] has [2^(length fixed_inputs)] cells.
+    With [fixed_inputs = [||]] this is {!correct_key_count} in a
+    one-cell array.  This is the paper's per-cofactor one-key-premise
+    measurement, exact where BDDs fit (see
+    [Ll_attack.Analysis.cofactor_key_counts] for the packed-simulation
+    fallback).  Raises [Invalid_argument] on signature mismatch, out of
+    range or duplicate fixed inputs, or more than 20 fixed inputs. *)

@@ -60,7 +60,7 @@ let test_sampled_error_rate_wrong_key () =
 let test_sampled_error_rate_matches_exhaustive () =
   let c = random_circuit ~seed:165 ~num_inputs:4 ~num_outputs:2 ~gates:12 () in
   let locked = LL.Locking.Sarlock.lock ~key:(Bitvec.of_string "0011") ~key_size:4 c in
-  let m = Analysis.error_matrix ~original:c ~locked:locked.circuit in
+  let m = Analysis.error_matrix ~original:c ~locked:locked.circuit () in
   (* Wrong key 0: corrupts exactly 1/16 of patterns. *)
   let exact = Analysis.error_rate m ~key:0 in
   let sampled =

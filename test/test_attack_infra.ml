@@ -191,7 +191,7 @@ let test_fanout_select_random () =
 let test_analysis_fig1a_shape () =
   let c = random_circuit ~seed:96 ~num_inputs:3 ~num_outputs:2 ~gates:8 () in
   let locked = LL.Locking.Sarlock.lock ~key:(Bitvec.of_string "101") ~key_size:3 c in
-  let m = Analysis.error_matrix ~original:c ~locked:locked.circuit in
+  let m = Analysis.error_matrix ~original:c ~locked:locked.circuit () in
   Alcotest.(check (list int)) "only correct key clean" [ 5 ] (Analysis.correct_keys m);
   (* Sub-function msb=0 (input position 2 = 0): keys whose own pattern has
      msb=1 unlock that half: 4,6,7 plus the correct key 5. *)
@@ -207,7 +207,7 @@ let test_analysis_rejects_large () =
   let locked = (LL.Locking.Xor_lock.lock ~num_keys:10 c).circuit in
   Alcotest.(check bool) "raises" true
     (try
-       ignore (Analysis.error_matrix ~original:c ~locked);
+       ignore (Analysis.error_matrix ~original:c ~locked ());
        false
      with Invalid_argument _ -> true)
 

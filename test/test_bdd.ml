@@ -140,7 +140,7 @@ let test_exact_error_count_sarlock () =
 let test_exact_error_matches_matrix () =
   let c = random_circuit ~seed:194 ~num_inputs:4 ~num_outputs:2 ~gates:12 () in
   let locked = LL.Locking.Xor_lock.lock ~prng:(Prng.create 3) ~num_keys:3 c in
-  let m = LL.Attack.Analysis.error_matrix ~original:c ~locked:locked.circuit in
+  let m = LL.Attack.Analysis.error_matrix ~original:c ~locked:locked.circuit () in
   for k = 0 to 7 do
     let exact =
       Exact.error_count ~original:c ~locked:locked.circuit ~key:(Bitvec.of_int ~width:3 k)
@@ -157,16 +157,16 @@ let test_correct_key_count () =
   let c = random_circuit ~seed:195 ~num_inputs:6 ~num_outputs:2 ~gates:20 () in
   let sar = LL.Locking.Sarlock.lock ~key_size:4 c in
   Alcotest.(check (float 1e-9)) "sarlock single key" 1.0
-    (Exact.correct_key_count ~original:c ~locked:sar.circuit);
+    (Exact.correct_key_count ~original:c ~locked:sar.circuit ());
   (* Anti-SAT has exactly 2^m correct keys (k1 = k2). *)
   let anti = LL.Locking.Antisat.lock ~width:3 c in
   Alcotest.(check (float 1e-9)) "antisat 2^m keys" 8.0
-    (Exact.correct_key_count ~original:c ~locked:anti.circuit)
+    (Exact.correct_key_count ~original:c ~locked:anti.circuit ())
 
 let test_lut_has_many_correct_keys () =
   let c = random_circuit ~seed:196 ~num_inputs:6 ~num_outputs:2 ~gates:20 () in
   let locked = LL.Locking.Lut_lock.lock ~stage1_luts:2 ~stage1_inputs:2 c in
-  let n = Exact.correct_key_count ~original:c ~locked:locked.circuit in
+  let n = Exact.correct_key_count ~original:c ~locked:locked.circuit () in
   Alcotest.(check bool) "more than one" true (n > 1.0)
 
 let suite =

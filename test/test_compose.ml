@@ -11,7 +11,7 @@ let fixture () =
 
 let test_composition_with_region_unlocking_keys () =
   let c, locked = fixture () in
-  let m = Analysis.error_matrix ~original:c ~locked:locked.LL.Locking.Locked.circuit in
+  let m = Analysis.error_matrix ~original:c ~locked:locked.LL.Locking.Locked.circuit () in
   (* Split on input 0: region x0=0 and x0=1. *)
   let correct = Bitvec.to_int locked.correct_key in
   let pick cond =
@@ -29,7 +29,7 @@ let test_composition_with_region_unlocking_keys () =
 
 let test_composition_with_wrong_region_key_fails () =
   let c, locked = fixture () in
-  let m = Analysis.error_matrix ~original:c ~locked:locked.circuit in
+  let m = Analysis.error_matrix ~original:c ~locked:locked.circuit () in
   (* Deliberately use a key that does NOT unlock region x0=0. *)
   let unlockers = Analysis.unlocking_keys m ~condition:[ (0, false) ] in
   let bad =
@@ -48,7 +48,7 @@ let test_composition_respects_condition_order () =
      cross-check against Cofactor.conditions. *)
   let c, locked = fixture () in
   let conds = LL.Synth.Cofactor.conditions ~split_inputs:[| 2; 0 |] 2 in
-  let m = Analysis.error_matrix ~original:c ~locked:locked.circuit in
+  let m = Analysis.error_matrix ~original:c ~locked:locked.circuit () in
   let correct = Bitvec.to_int locked.correct_key in
   let keys =
     Array.map

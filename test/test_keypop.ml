@@ -1,0 +1,285 @@
+(* Reordering soundness and key-population analyses: sifting vs fixed
+   order must never change a count, gc/reorder must never corrupt a
+   referenced function, and the BDD-exact, packed-simulation and sharded
+   cofactor analyses must all agree. *)
+
+open Helpers
+module Bdd = LL.Bdd.Bdd
+module Exact = LL.Bdd.Exact
+module Analysis = LL.Attack.Analysis
+module Pool = LL.Runtime.Pool
+
+(* Build every output of [c] in a fresh manager; [auto_reorder] drives
+   the engine config.  Returns the manager and referenced output nodes. *)
+let build ?(auto_reorder = false) ?(reorder_threshold = 64) c =
+  let m, inputs, keys =
+    Bdd.circuit_manager ~auto_reorder ~reorder_threshold c
+  in
+  let outs = Bdd.of_circuit m c ~inputs ~keys in
+  (m, outs)
+
+let prop_sift_matches_fixed =
+  qcheck_case ~count:30 "random circuits: sifted counts/evals match fixed order"
+    QCheck2.Gen.(pair (int_bound 100000) (int_bound 50))
+    (fun (seed, gates) ->
+      let c =
+        random_circuit ~seed ~num_inputs:8 ~num_outputs:3 ~gates:(10 + gates) ()
+      in
+      let mf, outs_f = build c in
+      let ms, outs_s = build ~auto_reorder:true c in
+      Bdd.reorder ms;
+      let ok = ref true in
+      Array.iteri
+        (fun o fs ->
+          if Bdd.sat_count ms fs <> Bdd.sat_count mf outs_f.(o) then ok := false)
+        outs_s;
+      for v = 0 to 255 do
+        let assignment = Array.init 8 (fun i -> (v lsr i) land 1 = 1) in
+        Array.iteri
+          (fun o fs ->
+            if Bdd.eval ms fs assignment <> Bdd.eval mf outs_f.(o) assignment then
+              ok := false)
+          outs_s
+      done;
+      !ok)
+
+let toy_circuit seed = random_circuit ~seed ~num_inputs:6 ~num_outputs:2 ~gates:25 ()
+
+let lock_schemes c =
+  [
+    ("xor", (LL.Locking.Xor_lock.lock ~num_keys:5 c).circuit);
+    ("sarlock", (LL.Locking.Sarlock.lock ~key_size:4 c).circuit);
+    ("antisat", (LL.Locking.Antisat.lock ~width:3 c).circuit);
+    ("lut", (LL.Locking.Lut_lock.lock ~stage1_luts:2 ~stage1_inputs:2 c).circuit);
+    ("mixed", (LL.Locking.Mixed_sarlock.lock ~key_size:4 c).circuit);
+  ]
+
+let test_sift_matches_fixed_on_lock_schemes () =
+  let c = toy_circuit 501 in
+  List.iter
+    (fun (name, locked) ->
+      let fixed = Exact.correct_key_count ~original:c ~locked () in
+      let sifted =
+        Exact.correct_key_count ~auto_reorder:true ~original:c ~locked ()
+      in
+      Alcotest.(check (float 0.0)) (name ^ ": sift on/off identical") fixed sifted)
+    (lock_schemes c)
+
+let test_reorder_shrinks_achilles_heel () =
+  (* OR of disjoint AND pairs (x_i and x_{n/2+i}): exponential under the
+     identity order, linear once the pairs are adjacent — the classic
+     reordering test function. *)
+  let n = 14 in
+  let m = Bdd.manager ~num_vars:n () in
+  let f = ref Bdd.bot in
+  for i = 0 to (n / 2) - 1 do
+    f :=
+      Bdd.apply_or m !f
+        (Bdd.apply_and m (Bdd.var m i) (Bdd.var m ((n / 2) + i)))
+  done;
+  Bdd.ref_ m !f;
+  let size_before = Bdd.size m !f in
+  let count_before = Bdd.sat_count m !f in
+  Bdd.reorder m;
+  let size_after = Bdd.size m !f in
+  Alcotest.(check bool)
+    (Printf.sprintf "size shrinks (%d -> %d)" size_before size_after)
+    true
+    (size_after < size_before / 4);
+  Alcotest.(check (float 0.0)) "sat_count preserved" count_before (Bdd.sat_count m !f);
+  for v = 0 to 999 do
+    let assignment = Array.init n (fun i -> (v * 7919 lsr i) land 1 = 1) in
+    let want =
+      let any = ref false in
+      for i = 0 to (n / 2) - 1 do
+        if assignment.(i) && assignment.((n / 2) + i) then any := true
+      done;
+      !any
+    in
+    Alcotest.(check bool) "eval preserved" want (Bdd.eval m !f assignment)
+  done
+
+let test_gc_then_reorder_stress () =
+  let m = Bdd.manager ~num_vars:10 ~reorder_threshold:64 () in
+  (* Alternately build kept and dropped functions, then gc + reorder
+     repeatedly; the kept functions must survive every pass intact. *)
+  let kept = ref [] in
+  let prng = Prng.create 0x5eed in
+  for round = 0 to 19 do
+    let f = ref (if round land 1 = 0 then Bdd.top else Bdd.bot) in
+    for _ = 0 to 15 do
+      let v = Bdd.var m (Prng.int prng 10) in
+      let g = if Prng.bool prng then v else Bdd.neg m v in
+      f :=
+        (if Prng.bool prng then Bdd.apply_and m !f g
+         else if Prng.bool prng then Bdd.apply_or m !f g
+         else Bdd.apply_xor m !f g)
+    done;
+    if round land 3 = 0 then begin
+      Bdd.ref_ m !f;
+      kept := (!f, Bdd.sat_count m !f) :: !kept
+    end;
+    (* everything unreferenced is fair game *)
+    let freed = Bdd.gc m in
+    Alcotest.(check bool) "gc freed counter sane" true (freed >= 0);
+    if round land 7 = 3 then Bdd.reorder m
+  done;
+  ignore (Bdd.gc m);
+  Bdd.reorder m;
+  List.iter
+    (fun (f, count) ->
+      Alcotest.(check (float 0.0)) "kept function count stable" count
+        (Bdd.sat_count m f))
+    !kept;
+  let st = Bdd.stats m in
+  Alcotest.(check bool) "gc ran" true (st.Bdd.gc_runs > 0);
+  Alcotest.(check bool) "reorder ran" true (st.Bdd.reorders > 0);
+  Alcotest.(check bool) "nodes were freed" true (st.Bdd.nodes_freed > 0)
+
+let test_fix_order_freezes () =
+  let m = Bdd.manager ~num_vars:8 () in
+  let f = ref Bdd.bot in
+  for i = 0 to 3 do
+    f := Bdd.apply_or m !f (Bdd.apply_and m (Bdd.var m i) (Bdd.var m (4 + i)))
+  done;
+  Bdd.ref_ m !f;
+  Bdd.fix_order m;
+  let before = Bdd.order m in
+  Bdd.reorder m;
+  Alcotest.(check (array int)) "order frozen" before (Bdd.order m);
+  Alcotest.(check int) "no reorder recorded" 0 (Bdd.stats m).Bdd.reorders
+
+let prop_forall_is_and_of_cofactors =
+  qcheck_case ~count:50 "forall v f = restrict0 AND restrict1"
+    QCheck2.Gen.(pair (int_bound 100000) (int_bound 7))
+    (fun (seed, v) ->
+      let c = random_circuit ~seed ~num_inputs:8 ~num_outputs:1 ~gates:30 () in
+      let m, outs = build c in
+      let f = outs.(0) in
+      Bdd.forall m v f
+      = Bdd.apply_and m (Bdd.restrict m f v false) (Bdd.restrict m f v true))
+
+let test_sat_count_memo_across_generations () =
+  let m = Bdd.manager ~num_vars:12 () in
+  let f = ref Bdd.bot in
+  for i = 0 to 5 do
+    f := Bdd.apply_or m !f (Bdd.apply_and m (Bdd.var m i) (Bdd.var m (6 + i)))
+  done;
+  Bdd.ref_ m !f;
+  let c0 = Bdd.sat_count m !f in
+  let c1 = Bdd.sat_count m !f in
+  (* memoized read *)
+  Alcotest.(check (float 0.0)) "repeat read" c0 c1;
+  ignore (Bdd.gc m);
+  Alcotest.(check (float 0.0)) "after gc" c0 (Bdd.sat_count m !f);
+  Bdd.reorder m;
+  Alcotest.(check (float 0.0)) "after reorder" c0 (Bdd.sat_count m !f)
+
+(* The BDD-exact per-cofactor counts must equal exhaustive enumeration
+   (packed simulation over every key and input pattern), with and without
+   sifting, on every lock scheme. *)
+let test_cofactor_counts_bdd_vs_enumeration () =
+  let c = toy_circuit 502 in
+  let fixed_inputs = [| 0; 2 |] in
+  List.iter
+    (fun (name, locked) ->
+      let sim =
+        Analysis.cofactor_key_counts ~original:c ~locked ~fixed_inputs ()
+      in
+      let bdd = Exact.cofactor_key_counts ~original:c ~locked ~fixed_inputs () in
+      let bdd_sift =
+        Exact.cofactor_key_counts ~auto_reorder:true ~original:c ~locked
+          ~fixed_inputs ()
+      in
+      Alcotest.(check int)
+        (name ^ ": cell count")
+        (Array.length sim)
+        (Array.length bdd.Exact.counts);
+      Array.iteri
+        (fun cell s ->
+          Alcotest.(check (float 0.0))
+            (Printf.sprintf "%s cell %d: bdd = enumeration" name cell)
+            (float_of_int s) bdd.Exact.counts.(cell);
+          Alcotest.(check (float 0.0))
+            (Printf.sprintf "%s cell %d: sifted bdd = enumeration" name cell)
+            (float_of_int s)
+            bdd_sift.Exact.counts.(cell))
+        sim)
+    (lock_schemes c)
+
+let test_cofactor_counts_empty_fixed_is_key_count () =
+  let c = toy_circuit 503 in
+  let locked = (LL.Locking.Lut_lock.lock ~stage1_luts:2 ~stage1_inputs:2 c).circuit in
+  let kp = Exact.cofactor_key_counts ~original:c ~locked ~fixed_inputs:[||] () in
+  Alcotest.(check int) "one cell" 1 (Array.length kp.Exact.counts);
+  Alcotest.(check (float 0.0)) "equals correct_key_count"
+    (Exact.correct_key_count ~original:c ~locked ())
+    kp.Exact.counts.(0)
+
+(* Sharded sweeps: the pool path must produce byte-identical results to
+   the serial path.  11 key bits span multiple 1024-key chunks, so the
+   chunk partition and merge order are genuinely exercised. *)
+let test_error_matrix_serial_equals_parallel () =
+  let c = random_circuit ~seed:504 ~num_inputs:6 ~num_outputs:2 ~gates:40 () in
+  let locked = (LL.Locking.Xor_lock.lock ~num_keys:11 c).circuit in
+  let serial = Analysis.error_matrix ~original:c ~locked () in
+  Pool.with_pool ~num_domains:3 (fun pool ->
+      let parallel = Analysis.error_matrix ~pool ~original:c ~locked () in
+      Alcotest.(check bool) "matrices byte-identical" true (serial = parallel))
+
+let test_cofactor_counts_serial_equals_parallel () =
+  let c = random_circuit ~seed:505 ~num_inputs:6 ~num_outputs:2 ~gates:40 () in
+  let locked = (LL.Locking.Xor_lock.lock ~num_keys:11 c).circuit in
+  let fixed_inputs = [| 1; 4; 5 |] in
+  let serial = Analysis.cofactor_key_counts ~original:c ~locked ~fixed_inputs () in
+  Pool.with_pool ~num_domains:3 (fun pool ->
+      let parallel =
+        Analysis.cofactor_key_counts ~pool ~original:c ~locked ~fixed_inputs ()
+      in
+      Alcotest.(check (array int)) "counts byte-identical" serial parallel)
+
+let test_error_matrix_beyond_old_cap () =
+  (* 6 + 19 = 25 bits: rejected by the old 2^24 cap, in range now. *)
+  let c = random_circuit ~seed:506 ~num_inputs:6 ~num_outputs:2 ~gates:60 () in
+  let locked = LL.Locking.Xor_lock.lock ~num_keys:19 c in
+  Pool.with_pool ~num_domains:3 (fun pool ->
+      let m = Analysis.error_matrix ~pool ~original:c ~locked:locked.circuit () in
+      Alcotest.(check int) "full key space" (1 lsl 19) (Array.length m.Analysis.errors);
+      (* The intended key is among the functionally correct ones (key
+         gates on unobservable wires can make wrong keys correct too),
+         and some wrong key corrupts something. *)
+      let intended =
+        let k = ref 0 in
+        for i = 0 to 18 do
+          if Bitvec.get locked.correct_key i then k := !k lor (1 lsl i)
+        done;
+        !k
+      in
+      let correct = Analysis.correct_keys m in
+      Alcotest.(check bool) "intended key correct" true (List.mem intended correct);
+      Alcotest.(check bool) "some key corrupts" true
+        (List.length correct < 1 lsl 19))
+
+let suite =
+  [
+    prop_sift_matches_fixed;
+    Alcotest.test_case "sift on/off identical on lock schemes" `Quick
+      test_sift_matches_fixed_on_lock_schemes;
+    Alcotest.test_case "reorder shrinks achilles-heel function" `Quick
+      test_reorder_shrinks_achilles_heel;
+    Alcotest.test_case "gc then reorder stress" `Quick test_gc_then_reorder_stress;
+    Alcotest.test_case "fix_order freezes" `Quick test_fix_order_freezes;
+    prop_forall_is_and_of_cofactors;
+    Alcotest.test_case "sat_count memo across generations" `Quick
+      test_sat_count_memo_across_generations;
+    Alcotest.test_case "cofactor counts: bdd = enumeration" `Quick
+      test_cofactor_counts_bdd_vs_enumeration;
+    Alcotest.test_case "cofactor counts: empty fixed = key count" `Quick
+      test_cofactor_counts_empty_fixed_is_key_count;
+    Alcotest.test_case "error matrix serial = parallel" `Quick
+      test_error_matrix_serial_equals_parallel;
+    Alcotest.test_case "cofactor counts serial = parallel" `Quick
+      test_cofactor_counts_serial_equals_parallel;
+    Alcotest.test_case "error matrix beyond old cap" `Slow
+      test_error_matrix_beyond_old_cap;
+  ]

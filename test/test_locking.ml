@@ -115,7 +115,7 @@ let test_sarlock_every_wrong_key_corrupts_one_pattern () =
      compared bits equal k. *)
   let c = random_circuit ~seed:78 ~num_inputs:4 ~num_outputs:2 ~gates:12 () in
   let locked = Sarlock.lock ~key:(Bitvec.of_string "0110") ~key_size:4 c in
-  let m = LL.Attack.Analysis.error_matrix ~original:c ~locked:locked.Locked.circuit in
+  let m = LL.Attack.Analysis.error_matrix ~original:c ~locked:locked.Locked.circuit () in
   for k = 0 to 15 do
     let row = m.LL.Attack.Analysis.errors.(k) in
     let corrupted = Array.to_list row |> List.mapi (fun x e -> (x, e))
@@ -164,7 +164,7 @@ let test_mixed_sarlock_survives_cofactoring () =
   let c = random_circuit ~seed:85 ~num_inputs:6 ~num_outputs:2 ~gates:20 () in
   let count_bad locked =
     (* wrong keys corrupting the cofactor x0=0 *)
-    let m = LL.Attack.Analysis.error_matrix ~original:c ~locked in
+    let m = LL.Attack.Analysis.error_matrix ~original:c ~locked () in
     (1 lsl 4)
     - List.length (LL.Attack.Analysis.unlocking_keys m ~condition:[ (0, false) ])
   in
